@@ -1,0 +1,36 @@
+"""E6 — regenerate Figure 7 / Table 6 (knowledge of incumbents).
+
+Paper shape: homogeneous — TCP-awareness costs delay (the naive Tao
+runs ~55% less queueing delay); mixed — the naive Tao is squeezed out
+by NewReno while the aware Tao claims its share (+36% throughput, -37%
+delay vs. naive when facing TCP).
+"""
+
+from conftest import BENCH_SCALE_FINE, banner, require_assets
+
+from repro.experiments import tcp_awareness
+
+
+def test_fig7_tcp_awareness(benchmark):
+    require_assets("tao_tcp_naive", "tao_tcp_aware")
+
+    result = benchmark.pedantic(
+        lambda: tcp_awareness.run(scale=BENCH_SCALE_FINE),
+        rounds=1, iterations=1)
+
+    banner("Figure 7 — TCP-aware vs TCP-naive, 10 Mbps / 100 ms / 250 kB",
+           "awareness costs delay alone, pays against NewReno")
+    print(tcp_awareness.format_table(result))
+
+    naive_homog = result.tao_point("naive_homogeneous")
+    aware_homog = result.tao_point("aware_homogeneous")
+    naive_mixed = result.tao_point("naive_vs_newreno")
+    aware_mixed = result.tao_point("aware_vs_newreno")
+
+    # Cost of awareness in the homogeneous setting: more delay.
+    assert naive_homog.median_delay_s <= aware_homog.median_delay_s, (
+        "TCP-naive Tao should see less queueing delay among its own kind")
+    # Benefit against TCP: the aware Tao claims more throughput.
+    assert (aware_mixed.median_throughput_bps
+            > naive_mixed.median_throughput_bps), (
+        "TCP-aware Tao should claim more of the link from NewReno")

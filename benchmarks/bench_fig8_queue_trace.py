@@ -1,0 +1,47 @@
+"""E7 — regenerate Figure 8 (queue traces under scheduled TCP).
+
+Contrived cross-traffic: NewReno on exactly during t in [5 s, 10 s).
+Paper shape: the TCP-aware Tao keeps a *longer* queue in isolation than
+the naive one, but a *shorter* queue (and fewer drops) while TCP is
+active — awareness is not simply "more aggressive" or "less
+aggressive".
+"""
+
+from conftest import banner, require_assets
+
+from repro.experiments.tcp_awareness import run_queue_trace
+
+
+def test_fig8_queue_trace(benchmark):
+    require_assets("tao_tcp_naive", "tao_tcp_aware")
+
+    def run_both():
+        aware = run_queue_trace("tao_tcp_aware", seed=1)
+        naive = run_queue_trace("tao_tcp_naive", seed=1)
+        return aware, naive
+
+    aware, naive = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    banner("Figure 8 — bottleneck queue trace, TCP on during [5s, 10s)",
+           "aware: longer queue alone, shorter queue under TCP; "
+           "naive: the reverse")
+    for trace in (aware, naive):
+        alone = trace.mean_queue(1.0, 5.0)
+        with_tcp = trace.mean_queue(6.0, 10.0)
+        after = trace.mean_queue(11.0, 15.0)
+        drops = len(trace.drop_times)
+        print(f"{trace.scheme:<15} queue alone={alone:7.1f} pkts  "
+              f"with TCP={with_tcp:7.1f} pkts  after={after:7.1f} pkts  "
+              f"drops={drops}")
+
+    # Relative shape: the naive Tao suffers a larger queue increase
+    # when TCP arrives than the aware Tao does.
+    naive_increase = (naive.mean_queue(6.0, 10.0)
+                      - naive.mean_queue(1.0, 5.0))
+    aware_increase = (aware.mean_queue(6.0, 10.0)
+                      - aware.mean_queue(1.0, 5.0))
+    assert naive_increase > aware_increase, (
+        "TCP's arrival should hurt the naive Tao's queue more than "
+        "the aware Tao's")
+    # Both traces must actually show the TCP burst.
+    assert naive.mean_queue(6.0, 10.0) > naive.mean_queue(1.0, 5.0)

@@ -1,0 +1,43 @@
+"""E8 — regenerate Figure 9 / Table 7 (the price of sender diversity).
+
+Paper shape: co-optimization lets a delta=0.1 (throughput-sensitive)
+and delta=10 (delay-sensitive) sender coexist: in the mixed network the
+delay-sensitive sender sees lower delay than the throughput-sensitive
+one, and co-optimization costs the throughput-sensitive sender some
+throughput ("the price of playing nice") while protecting the
+delay-sensitive one.
+"""
+
+from conftest import BENCH_SCALE_FINE, banner, require_assets
+
+from repro.experiments import diversity
+
+
+def test_fig9_diversity(benchmark):
+    require_assets("tao_delta_tpt_naive", "tao_delta_del_naive",
+                   "tao_delta_tpt_coopt", "tao_delta_del_coopt")
+
+    result = benchmark.pedantic(
+        lambda: diversity.run(scale=BENCH_SCALE_FINE),
+        rounds=1, iterations=1)
+
+    banner("Figure 9 — sender diversity, 10 Mbps / 100 ms / no-drop",
+           "delay-sensitive sender keeps lower delay in the mix; "
+           "co-optimization taxes the throughput-sensitive sender")
+    print(diversity.format_table(result))
+
+    # In the mixed network, the delay-sensitive sender must see less
+    # queueing delay than the throughput-sensitive one.
+    for setting in ("naive_mixed", "coopt_mixed"):
+        tpt_delay = result.qdelay_ms(setting, "learner")
+        del_delay = result.qdelay_ms(setting, "peer")
+        assert del_delay <= tpt_delay + 1.0, (
+            f"[{setting}] delay-sensitive sender should see lower delay")
+
+    # Co-optimization protects the delay-sensitive sender in the mix:
+    # its delay must not blow up relative to running alone.
+    alone = result.qdelay_ms("del_coopt_alone", "learner")
+    mixed = result.qdelay_ms("coopt_mixed", "peer")
+    naive_mixed = result.qdelay_ms("naive_mixed", "peer")
+    assert mixed <= max(naive_mixed, alone * 4 + 5.0), (
+        "co-optimized delay sender should not collapse in the mix")

@@ -1,0 +1,61 @@
+"""E11 — simulator kernel microbenchmarks.
+
+Not a paper artifact: these time the discrete-event core that every
+experiment rests on, so performance regressions in the hot path
+(event loop, link forwarding, transport ACK processing) are caught.
+"""
+
+from repro.core.scenario import NetworkConfig
+from repro.experiments.common import build_simulation
+from repro.sim.engine import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw schedule/execute cycles per second."""
+
+    def spin():
+        sim = Simulator()
+
+        def reschedule(depth):
+            if depth > 0:
+                sim.schedule(0.001, reschedule, depth - 1)
+
+        for _ in range(100):
+            sim.schedule(0.0, reschedule, 1000)
+        sim.run_until_idle()
+        return sim.events_processed
+
+    events = benchmark(spin)
+    assert events >= 100_000
+
+
+def test_single_flow_simulation_rate(benchmark):
+    """Packets simulated per second for a saturated dumbbell flow."""
+    config = NetworkConfig(
+        link_speeds_mbps=(15.0,), rtt_ms=100.0,
+        sender_kinds=("newreno",), mean_on_s=100.0, mean_off_s=0.0,
+        buffer_bdp=5.0)
+
+    def run_once():
+        handle = build_simulation(config, seed=1)
+        result = handle.run(10.0)
+        return result.flows[0].packets_delivered
+
+    delivered = benchmark(run_once)
+    assert delivered > 5_000
+
+
+def test_many_sender_simulation_rate(benchmark):
+    """The 100-sender multiplexing scenario's cost per simulated second."""
+    config = NetworkConfig(
+        link_speeds_mbps=(15.0,), rtt_ms=150.0,
+        sender_kinds=("newreno",) * 50,
+        mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0)
+
+    def run_once():
+        handle = build_simulation(config, seed=1)
+        result = handle.run(3.0)
+        return sum(f.packets_delivered for f in result.flows)
+
+    delivered = benchmark(run_once)
+    assert delivered > 500

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Mini Figure 2: sweep link speed and plot normalized objective.
+
+Sweeps a dumbbell's link speed across 1-1000 Mbps and prints an ASCII
+rendition of the paper's Figure 2: the normalized objective (0 = fair
+share at zero queueing delay) for two Tao protocols with different
+operating ranges, next to TCP Cubic.
+
+Run:  python examples/link_speed_sweep.py       (~2-3 minutes)
+"""
+
+from repro import NetworkConfig, Scale, run_seeds
+from repro.experiments.common import mean_normalized_score
+from repro.experiments.link_speed import TAO_RANGES, sweep_speeds
+from repro.remy.assets import available_assets, load_tree
+
+SCALE = Scale(duration_s=12.0, packet_budget=40_000, n_seeds=2)
+SCHEMES = ("tao_2x", "tao_1000x", "cubic")
+
+#: Objective axis of the chart, in log2 units.
+AXIS_LO, AXIS_HI = -4.0, 0.5
+
+
+def config_for(speed_mbps, kind):
+    return NetworkConfig(
+        link_speeds_mbps=(speed_mbps,), rtt_ms=150.0,
+        sender_kinds=(kind, kind), mean_on_s=1.0, mean_off_s=1.0,
+        buffer_bdp=5.0)
+
+
+def score(speed_mbps, scheme, trees):
+    kind = "learner" if scheme in trees else "cubic"
+    config = config_for(speed_mbps, kind)
+    tree_map = {"learner": trees[scheme]} if scheme in trees else None
+    runs = run_seeds(config, trees=tree_map, scale=SCALE)
+    return mean_normalized_score(runs, config)
+
+
+def render_row(value, width=50):
+    clamped = min(max(value, AXIS_LO), AXIS_HI)
+    position = int((clamped - AXIS_LO) / (AXIS_HI - AXIS_LO)
+                   * (width - 1))
+    row = ["."] * width
+    row[position] = "o"
+    zero = int((0.0 - AXIS_LO) / (AXIS_HI - AXIS_LO) * (width - 1))
+    if row[zero] == ".":
+        row[zero] = "|"
+    return "".join(row)
+
+
+def main():
+    wanted = [s for s in SCHEMES if s.startswith("tao")]
+    have = set(available_assets())
+    missing = [s for s in wanted if s not in have]
+    if missing:
+        print(f"train assets first: {missing}")
+        print("  python scripts/train_assets.py --assets "
+              + " ".join(missing))
+        return
+    trees = {name: load_tree(name) for name in wanted}
+
+    print(f"normalized objective, {AXIS_LO:+.0f} (left) to "
+          f"{AXIS_HI:+.1f} (right); '|' marks 0 = omniscient-like")
+    for scheme in SCHEMES:
+        lo_hi = TAO_RANGES.get(scheme)
+        label = f"{scheme} [{lo_hi[0]:g}-{lo_hi[1]:g} Mbps]" \
+            if lo_hi else scheme
+        print(f"\n--- {label} ---")
+        for speed in sweep_speeds(7):
+            value = score(speed, scheme, trees)
+            in_range = "in " if lo_hi and lo_hi[0] <= speed <= lo_hi[1] \
+                else "out" if lo_hi else "   "
+            print(f"{speed:8.1f} Mbps {in_range} "
+                  f"{render_row(value)} {value:+.2f}")
+
+
+if __name__ == "__main__":
+    main()

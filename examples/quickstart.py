@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: simulate congestion control on a shared bottleneck.
+
+Builds the paper's calibration network (32 Mbps dumbbell, 150 ms RTT,
+two senders with 1 s mean on/off workloads, 5 BDP of buffer), runs TCP
+Cubic, Cubic-over-sfqCoDel, and a computer-generated Tao protocol over
+it, and prints throughput/delay next to the omniscient bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NetworkConfig, Scale, run_seeds
+from repro.core.omniscient import omniscient_dumbbell
+from repro.remy.assets import available_assets, load_tree
+
+SCALE = Scale(duration_s=45.0, packet_budget=150_000, n_seeds=3)
+
+
+def summarize(runs, label):
+    flows = [flow for run in runs for flow in run.flows
+             if flow.packets_delivered > 0]
+    tpt = sum(f.throughput_bps for f in flows) / len(flows) / 1e6
+    qdelay = sum(f.queueing_delay_s for f in flows) / len(flows) * 1e3
+    losses = sum(f.retransmissions for f in flows)
+    print(f"{label:<22} {tpt:8.2f} Mbps {qdelay:10.1f} ms "
+          f"{losses:8d} rtx")
+
+
+def main():
+    base = NetworkConfig(
+        link_speeds_mbps=(32.0,), rtt_ms=150.0,
+        sender_kinds=("cubic", "cubic"),
+        mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0)
+
+    print(f"{'scheme':<22} {'throughput':>13} {'queueing':>13} "
+          f"{'loss':>12}")
+
+    summarize(run_seeds(base, scale=SCALE), "cubic / droptail")
+
+    sfq = NetworkConfig.from_dict({**base.to_dict(),
+                                   "queue": "sfq_codel"})
+    summarize(run_seeds(sfq, scale=SCALE), "cubic / sfqCoDel")
+
+    if "tao_calibration" in available_assets():
+        tao_config = NetworkConfig.from_dict(
+            {**base.to_dict(), "sender_kinds": ["learner", "learner"]})
+        tree = load_tree("tao_calibration")
+        summarize(run_seeds(tao_config, trees={"learner": tree},
+                            scale=SCALE), "Tao (computer-made)")
+    else:
+        print("(train assets first for the Tao row: "
+              "python scripts/train_assets.py --assets tao_calibration)")
+
+    omni = omniscient_dumbbell(base)[0]
+    print(f"{'omniscient bound':<22} {omni.throughput_bps / 1e6:8.2f} "
+          f"Mbps {0.0:10.1f} ms {'-':>12}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Run every experiment and emit the EXPERIMENTS.md results block.
+
+Usage::
+
+    python scripts/run_experiments.py --scale quick
+    python scripts/run_experiments.py --scale default -o results.md
+
+Each experiment prints its table as it completes, and the combined
+markdown lands on stdout (or ``-o``).  ``quick`` matches the benchmark
+harness's budget; ``default`` is the scale EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+
+from repro.core.scale import Scale
+from repro.experiments import (calibration, diversity, link_speed,
+                               multiplexing, rtt, signals, structure,
+                               tcp_awareness)
+from repro.experiments.tcp_awareness import run_queue_trace
+
+SCALES = {
+    "quick": Scale(duration_s=10.0, packet_budget=30_000,
+                   min_duration_s=4.0, n_seeds=2, sweep_points=5),
+    "default": Scale(duration_s=30.0, packet_budget=90_000,
+                     min_duration_s=4.0, n_seeds=3, sweep_points=7),
+    "full": Scale(duration_s=60.0, packet_budget=300_000,
+                  min_duration_s=4.0, n_seeds=5, sweep_points=10),
+}
+
+
+def _fig8_block() -> str:
+    lines = ["Figure 8 — queue traces (TCP on during [5 s, 10 s)):"]
+    for scheme in ("tao_tcp_aware", "tao_tcp_naive"):
+        trace = run_queue_trace(scheme, seed=1)
+        lines.append(
+            f"{scheme:<15} queue alone={trace.mean_queue(1, 5):7.1f} "
+            f"pkts  with TCP={trace.mean_queue(6, 10):7.1f} pkts  "
+            f"drops={len(trace.drop_times)}")
+    return "\n".join(lines)
+
+
+EXPERIMENTS = [
+    ("E1 Figure 1 / Table 1 — calibration",
+     lambda s: calibration.format_table(calibration.run(scale=s))),
+    ("E2 Figure 2 / Table 2 — link-speed ranges",
+     lambda s: link_speed.format_table(link_speed.run(scale=s))),
+    ("E3 Figure 3 / Table 3 — multiplexing",
+     lambda s: multiplexing.format_table(multiplexing.run(scale=s))),
+    ("E4 Figure 4 / Table 4 — propagation delay",
+     lambda s: rtt.format_table(rtt.run(scale=s))),
+    ("E5 Figure 6 / Table 5 — structural knowledge",
+     lambda s: structure.format_table(structure.run(scale=s))),
+    ("E6 Figure 7 / Table 6 — TCP-awareness",
+     lambda s: tcp_awareness.format_table(tcp_awareness.run(scale=s))),
+    ("E7 Figure 8 — queue traces",
+     lambda s: _fig8_block()),
+    ("E8 Figure 9 / Table 7 — sender diversity",
+     lambda s: diversity.format_table(diversity.run(scale=s))),
+    ("E9 Section 3.4 — signal knockouts",
+     lambda s: signals.format_table(signals.run(scale=s))),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default="quick")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also write the combined report here")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="substring filter on experiment titles")
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    report = io.StringIO()
+    report.write(f"Results at scale={args.scale!r} "
+                 f"(duration<={scale.duration_s:g}s, "
+                 f"{scale.n_seeds} seeds, "
+                 f"{scale.sweep_points} sweep points)\n")
+    for title, runner in EXPERIMENTS:
+        if args.only and not any(needle.lower() in title.lower()
+                                 for needle in args.only):
+            continue
+        started = time.time()
+        print(f"\n### {title}", flush=True)
+        try:
+            block = runner(scale)
+        except FileNotFoundError as error:
+            block = f"SKIPPED: {error}"
+        print(block, flush=True)
+        elapsed = time.time() - started
+        print(f"({elapsed:.0f}s)", flush=True)
+        report.write(f"\n### {title}\n```\n{block}\n```\n")
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report.getvalue())
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""The learnability framework: quantifying the cost of modeling error.
+
+The paper's central methodology (sections 2.2 and 3.6): design a
+protocol against *training scenarios* (an imperfect network model), then
+measure it on *testing scenarios* (the "real" network).  The learnability
+question is how much performance that mismatch costs, compared with
+
+* a protocol designed for an accurate model of the test network, and
+* the omniscient upper bound.
+
+This module holds the value-level pieces: the pairing of a training
+range with testing configs (:class:`LearnabilityCase`) and the gap
+metrics the result sections report (throughput ratios, objective
+differences).  The simulation legwork lives in
+:mod:`repro.experiments`, keeping this layer import-light.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .objective import Objective
+from .scenario import NetworkConfig, ScenarioRange
+
+__all__ = ["LearnabilityCase", "GapReport", "objective_gap",
+           "throughput_ratio", "within_factor"]
+
+
+@dataclass(frozen=True)
+class LearnabilityCase:
+    """One train/test pairing in the study.
+
+    Example: Table 2's "Tao-10x" is ``training`` spanning 10-100 Mbps and
+    ``testing`` sweeping 1-1000 Mbps.
+    """
+
+    name: str
+    training: ScenarioRange
+    testing: Sequence[NetworkConfig]
+    objective: Objective = field(default_factory=Objective)
+
+    def in_training_range(self, config: NetworkConfig) -> bool:
+        """Is a testing config inside the training model's support?
+
+        Checks the dimensions the paper varies: link speed, RTT, and
+        number of senders.  Used to split sweep results into in-range
+        and out-of-range regions (Figure 2's shaded bands).
+        """
+        lo, hi = self.training.link_speed_mbps
+        if not all(lo * (1 - 1e-9) <= s <= hi * (1 + 1e-9)
+                   for s in config.link_speeds_mbps):
+            return False
+        lo, hi = self.training.rtt_ms
+        if not lo * (1 - 1e-9) <= config.rtt_ms <= hi * (1 + 1e-9):
+            return False
+        if self.training.sender_mixes is None:
+            lo, hi = self.training.num_senders
+            if not lo <= config.num_senders <= hi:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """Performance gaps of one scheme against references on one scenario."""
+
+    scheme: str
+    throughput_bps: float
+    delay_s: float
+    vs_omniscient_throughput: float    # scheme / omniscient, <= ~1
+    vs_accurate_objective: float       # objective difference (log2 units)
+
+    def throughput_within(self, fraction: float) -> bool:
+        """True if throughput is within ``fraction`` of omniscient
+        (e.g. 0.05 for the calibration experiment's "within 5%")."""
+        return self.vs_omniscient_throughput >= 1.0 - fraction
+
+
+def objective_gap(objective: Objective,
+                  scheme_tpt_delay: Sequence[tuple[float, float]],
+                  reference_tpt_delay: Sequence[tuple[float, float]]
+                  ) -> float:
+    """Objective difference (scheme minus reference), in log2 units.
+
+    Positive means the scheme beats the reference.  Both inputs are
+    per-flow (throughput_bps, delay_s) pairs.
+    """
+    return (objective.total(scheme_tpt_delay)
+            - objective.total(reference_tpt_delay))
+
+
+def throughput_ratio(scheme_bps: float, reference_bps: float) -> float:
+    """Simple ratio guarded against zero references."""
+    if reference_bps <= 0:
+        return math.inf if scheme_bps > 0 else 1.0
+    return scheme_bps / reference_bps
+
+
+def within_factor(scheme_bps: float, reference_bps: float,
+                  factor: float) -> bool:
+    """Is ``scheme`` within a multiplicative ``factor`` of ``reference``?
+
+    Used for paper claims such as "within 3% of the throughput" (factor
+    1.03) or "outperformed by 7.2x" (factor check inverted by caller).
+    """
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    ratio = throughput_ratio(scheme_bps, reference_bps)
+    return 1.0 / factor <= ratio <= factor

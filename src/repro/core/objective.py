@@ -1,0 +1,95 @@
+"""Objective functions (paper section 3.2).
+
+The study scores a congestion-control protocol with
+
+    U = log(throughput) - delta * log(delay)                      (Eq. 1)
+
+summed over connections, where throughput is delivered bytes over the
+sender's total "on" time, delay is the mean per-packet latency
+(propagation + queueing), and ``delta`` weighs delay against throughput
+(delta=1 for most experiments; 0.1 for the throughput-sensitive and 10
+for the delay-sensitive senders of section 4.6).  The log expresses
+proportional fairness.
+
+We use log base 2, as Remy did; the base only shifts every curve by a
+constant factor and cancels entirely in comparisons.
+
+For the operating-range figures (2-4) the paper plots a *normalized*
+objective so an ideal protocol sits at 0:
+
+    log(throughput / fair_share) - delta * log(delay / min_delay)
+
+where ``fair_share`` is the flow's equal share of the bottleneck and
+``min_delay`` its unloaded path latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["Objective", "normalized_objective", "THROUGHPUT_FLOOR_BPS",
+           "DELAY_FLOOR_S"]
+
+#: Floors guarding the logarithms.  A flow that delivered nothing scores
+#: as if it moved one bit per second — hugely negative, but finite, so
+#: averages over scenario samples stay well-defined.
+THROUGHPUT_FLOOR_BPS = 1.0
+DELAY_FLOOR_S = 1e-6
+
+
+@dataclass(frozen=True)
+class Objective:
+    """The paper's Eq. 1 with a configurable delay weight ``delta``."""
+
+    delta: float = 1.0
+
+    def score(self, throughput_bps: float, delay_s: float) -> float:
+        """U = log2(throughput) - delta * log2(delay) for one flow."""
+        tpt = max(throughput_bps, THROUGHPUT_FLOOR_BPS)
+        delay = max(delay_s, DELAY_FLOOR_S)
+        return math.log2(tpt) - self.delta * math.log2(delay)
+
+    def total(self,
+              flows: Iterable[Tuple[float, float]]) -> float:
+        """Sum of scores over ``(throughput_bps, delay_s)`` pairs."""
+        return sum(self.score(tpt, delay) for tpt, delay in flows)
+
+
+def normalized_objective(throughput_bps: float, delay_s: float,
+                         fair_share_bps: float, min_delay_s: float,
+                         delta: float = 1.0) -> float:
+    """The normalized score plotted in Figures 2, 3, and 4.
+
+    0 means "fair share of the link at zero queueing delay"; negative
+    values measure how far a protocol falls short.
+
+    Parameters
+    ----------
+    fair_share_bps:
+        The flow's equal share of the bottleneck (link rate divided by
+        the number of senders).
+    min_delay_s:
+        The flow's unloaded path latency (propagation + serialization).
+    """
+    if fair_share_bps <= 0:
+        raise ValueError("fair_share_bps must be positive")
+    if min_delay_s <= 0:
+        raise ValueError("min_delay_s must be positive")
+    tpt = max(throughput_bps, THROUGHPUT_FLOOR_BPS)
+    delay = max(delay_s, min_delay_s)
+    return (math.log2(tpt / fair_share_bps)
+            - delta * math.log2(delay / min_delay_s))
+
+
+def mean_normalized_objective(per_flow: Sequence[Tuple[float, float]],
+                              fair_share_bps: float, min_delay_s: float,
+                              delta: float = 1.0) -> float:
+    """Average normalized objective across flows (one sweep point)."""
+    if not per_flow:
+        raise ValueError("need at least one flow")
+    scores = [normalized_objective(tpt, delay, fair_share_bps,
+                                   min_delay_s, delta)
+              for tpt, delay in per_flow]
+    return sum(scores) / len(scores)

@@ -1,0 +1,200 @@
+"""The omniscient protocol: the paper's upper bound (section 1.1).
+
+A hypothetical centralized protocol that knows the topology, link
+speeds, and exactly when each sender turns on or off.  Whenever the set
+of active senders changes it recomputes the *proportionally fair*
+throughput allocation and every sender transmits at exactly its
+allocation — so no queues ever build and every packet experiences only
+propagation delay.
+
+For a sender, the paper defines the omniscient long-term throughput as
+the expected value of its allocation (over the stationary on/off
+process), with zero queueing delay.  This module provides:
+
+* :func:`proportional_fair_allocation` — general PF solver for a routing
+  matrix and capacities (Kelly-style multiplicative dual ascent on link
+  prices),
+* closed forms for the dumbbell (binomial expectation), and
+* subset enumeration for the parking lot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .scenario import NetworkConfig
+
+__all__ = ["OmniscientFlow", "proportional_fair_allocation",
+           "dumbbell_expected_throughput", "omniscient_dumbbell",
+           "parking_lot_allocation", "omniscient_parking_lot",
+           "omniscient_for_config"]
+
+
+@dataclass(frozen=True)
+class OmniscientFlow:
+    """The omniscient bound for one flow."""
+
+    flow_id: int
+    throughput_bps: float     # E[allocation | flow is on]
+    delay_s: float            # unloaded one-way path latency
+
+
+def proportional_fair_allocation(routes: Sequence[Sequence[float]],
+                                 capacities: Sequence[float],
+                                 max_iterations: int = 100_000,
+                                 tolerance: float = 1e-12) -> np.ndarray:
+    """Proportionally fair rates: maximize sum(log x) s.t. R x <= c.
+
+    Solved by multiplicative dual ascent on the link prices (the
+    classical Kelly decomposition): each flow transmits at the inverse
+    of its path price, and each link multiplies its price by
+    ``(load / capacity) ** step``.  The iteration is monotone and
+    robust for the small systems this study needs (the solve is exact
+    up to ``tolerance``; a final projection guarantees feasibility).
+
+    Parameters
+    ----------
+    routes:
+        L x F matrix; ``routes[l][f]`` is 1 if flow ``f`` crosses link
+        ``l`` (fractional entries are allowed).
+    capacities:
+        Length-L capacities, same units as the returned rates.
+    """
+    matrix = np.asarray(routes, dtype=float)
+    caps = np.asarray(capacities, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != caps.shape[0]:
+        raise ValueError("routes must be L x F with len(capacities) == L")
+    n_links, n_flows = matrix.shape
+    if n_flows == 0:
+        return np.zeros(0)
+    if np.any(caps <= 0):
+        raise ValueError("capacities must be positive")
+    for flow in range(n_flows):
+        if not np.any(matrix[:, flow] > 0):
+            raise ValueError(f"flow {flow} crosses no capacitated link")
+
+    # Work in units where the largest capacity is 1.
+    scale = float(np.max(caps))
+    caps_scaled = caps / scale
+    prices = np.ones(n_links)
+    step = 0.5
+    rates = np.ones(n_flows)
+    for _ in range(max_iterations):
+        path_price = matrix.T @ prices
+        rates = 1.0 / path_price
+        load = matrix @ rates
+        ratio = load / caps_scaled
+        # Converged when every significant-price link is exactly loaded
+        # and nothing is overloaded.
+        overload = float(np.max(ratio))
+        significant = prices > 1e-9 * float(np.max(prices))
+        gap = float(np.max(np.abs(np.log(ratio[significant])))) \
+            if np.any(significant) else 0.0
+        if overload <= 1.0 + tolerance and gap <= 1e-9:
+            break
+        prices *= ratio ** step
+    # Guarantee feasibility regardless of early exit.
+    load = matrix @ rates
+    overload = float(np.max(load / caps_scaled))
+    if overload > 1.0:
+        rates /= overload
+    return rates * scale
+
+
+def dumbbell_expected_throughput(rate_bps: float, n_senders: int,
+                                 p_on: float) -> float:
+    """E[allocation | on] on a shared link: closed form.
+
+    With each of the other ``n-1`` senders independently on with
+    probability ``p``, the sender's PF (equal) share is C/(K+1) with
+    K ~ Binomial(n-1, p), and
+
+        E[C / (K+1)] = C * (1 - (1-p)^n) / (n * p).
+    """
+    if n_senders < 1:
+        raise ValueError("n_senders must be >= 1")
+    if not 0.0 < p_on <= 1.0:
+        raise ValueError("p_on must be in (0, 1]")
+    return rate_bps * (1.0 - (1.0 - p_on) ** n_senders) / (n_senders * p_on)
+
+
+def omniscient_dumbbell(config: NetworkConfig) -> List[OmniscientFlow]:
+    """Omniscient bound for every sender of a dumbbell config."""
+    if config.topology != "dumbbell":
+        raise ValueError("config is not a dumbbell")
+    rate = config.link_speed_bps(0)
+    tpt = dumbbell_expected_throughput(rate, config.num_senders,
+                                       config.p_on)
+    one_way = config.rtt_ms / 2e3
+    return [OmniscientFlow(i, tpt, one_way)
+            for i in range(config.num_senders)]
+
+
+# ----------------------------------------------------------------------
+# Parking lot (Figure 5): flow 0 crosses links 0 and 1; flow 1 only
+# link 0; flow 2 only link 1.
+# ----------------------------------------------------------------------
+_PARKING_ROUTES = {
+    0: (1.0, 1.0),
+    1: (1.0, 0.0),
+    2: (0.0, 1.0),
+}
+
+
+def parking_lot_allocation(link_speeds_bps: Tuple[float, float],
+                           active_flows: Sequence[int]) -> Dict[int, float]:
+    """PF allocation for a subset of the three parking-lot flows."""
+    active = sorted(set(active_flows))
+    if not active:
+        return {}
+    if any(f not in _PARKING_ROUTES for f in active):
+        raise ValueError(f"unknown flow in {active_flows}")
+    routes = [[_PARKING_ROUTES[f][l] for f in active] for l in (0, 1)]
+    # Drop links no active flow crosses (a zero row breaks nothing but
+    # wastes a constraint).
+    keep = [l for l in (0, 1) if any(routes[l])]
+    matrix = [routes[l] for l in keep]
+    caps = [link_speeds_bps[l] for l in keep]
+    rates = proportional_fair_allocation(matrix, caps)
+    return dict(zip(active, rates))
+
+
+def omniscient_parking_lot(link_speeds_bps: Tuple[float, float],
+                           p_on: float,
+                           rtt_single_hop_s: float = 0.150
+                           ) -> List[OmniscientFlow]:
+    """Omniscient bound for the parking lot's three flows.
+
+    Enumerates the on/off states of the other flows (each on with the
+    stationary probability) and averages the PF allocation.
+    """
+    flows = (0, 1, 2)
+    one_way = {0: rtt_single_hop_s, 1: rtt_single_hop_s / 2.0,
+               2: rtt_single_hop_s / 2.0}
+    out: List[OmniscientFlow] = []
+    for flow in flows:
+        others = [f for f in flows if f != flow]
+        expected = 0.0
+        for k in range(len(others) + 1):
+            for subset in combinations(others, k):
+                probability = (p_on ** len(subset)
+                               * (1.0 - p_on) ** (len(others) - len(subset)))
+                allocation = parking_lot_allocation(
+                    link_speeds_bps, [flow, *subset])
+                expected += probability * allocation[flow]
+        out.append(OmniscientFlow(flow, expected, one_way[flow]))
+    return out
+
+
+def omniscient_for_config(config: NetworkConfig) -> List[OmniscientFlow]:
+    """Dispatch on topology."""
+    if config.topology == "dumbbell":
+        return omniscient_dumbbell(config)
+    speeds = (config.link_speed_bps(0), config.link_speed_bps(1))
+    return omniscient_parking_lot(speeds, config.p_on,
+                                  rtt_single_hop_s=config.rtt_ms / 1e3)

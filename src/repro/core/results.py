@@ -1,0 +1,123 @@
+"""Result containers: per-flow statistics and run summaries.
+
+The paper summarizes a protocol on a scenario with a throughput-delay
+point — the median across runs plus a one-standard-deviation ellipse
+(Figures 1, 7, 9).  :func:`summarize_ellipse` computes that summary from
+a set of per-run flow results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["FlowStats", "RunResult", "EllipsePoint", "summarize_ellipse"]
+
+
+@dataclass
+class FlowStats:
+    """Everything measured about one flow in one simulation run."""
+
+    flow_id: int
+    kind: str                     # scheme name ("cubic", "tao", "aimd", ...)
+    delivered_bytes: int          # unique payload delivered
+    on_time_s: float              # total time the application was "on"
+    mean_delay_s: float           # mean first-send-to-delivery latency
+    base_delay_s: float           # unloaded one-way path latency
+    base_rtt_s: float             # unloaded round-trip time
+    packets_delivered: int
+    packets_sent: int
+    retransmissions: int
+    timeouts: int
+    delta: float = 1.0            # this sender's objective preference
+
+    @property
+    def throughput_bps(self) -> float:
+        """Paper section 3.2: delivered bytes over total "on" time."""
+        if self.on_time_s <= 0:
+            return 0.0
+        return self.delivered_bytes * 8.0 / self.on_time_s
+
+    @property
+    def queueing_delay_s(self) -> float:
+        """Mean queueing component of delay (total minus unloaded path)."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return max(self.mean_delay_s - self.base_delay_s, 0.0)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of transmissions that never produced a delivery."""
+        if self.packets_sent == 0:
+            return 0.0
+        lost = self.packets_sent - self.packets_delivered
+        return max(lost, 0) / self.packets_sent
+
+
+@dataclass
+class RunResult:
+    """One simulation run: flows plus run-level metadata."""
+
+    flows: List[FlowStats]
+    seed: int
+    duration_s: float
+    bottleneck_drops: int = 0
+    bottleneck_utilization: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def flows_of_kind(self, kind: str) -> List[FlowStats]:
+        return [f for f in self.flows if f.kind == kind]
+
+    def mean_throughput_bps(self,
+                            kind: Optional[str] = None) -> float:
+        flows = self.flows if kind is None else self.flows_of_kind(kind)
+        if not flows:
+            return 0.0
+        return sum(f.throughput_bps for f in flows) / len(flows)
+
+    def mean_delay_s(self, kind: Optional[str] = None) -> float:
+        flows = self.flows if kind is None else self.flows_of_kind(kind)
+        flows = [f for f in flows if f.packets_delivered > 0]
+        if not flows:
+            return 0.0
+        return sum(f.mean_delay_s for f in flows) / len(flows)
+
+    def mean_queueing_delay_s(self, kind: Optional[str] = None) -> float:
+        flows = self.flows if kind is None else self.flows_of_kind(kind)
+        flows = [f for f in flows if f.packets_delivered > 0]
+        if not flows:
+            return 0.0
+        return sum(f.queueing_delay_s for f in flows) / len(flows)
+
+
+@dataclass(frozen=True)
+class EllipsePoint:
+    """A Figure 1/7/9-style summary: median point + 1-sigma ellipse."""
+
+    median_throughput_bps: float
+    median_delay_s: float
+    std_throughput_bps: float
+    std_delay_s: float
+    n_samples: int
+
+    def as_mbps(self) -> tuple[float, float]:
+        return (self.median_throughput_bps / 1e6, self.median_delay_s)
+
+
+def summarize_ellipse(throughputs_bps: Sequence[float],
+                      delays_s: Sequence[float]) -> EllipsePoint:
+    """Median + standard deviation of a cloud of (throughput, delay)."""
+    if len(throughputs_bps) != len(delays_s) or not throughputs_bps:
+        raise ValueError("need equal-length, non-empty samples")
+    tpt = np.asarray(throughputs_bps, dtype=float)
+    delay = np.asarray(delays_s, dtype=float)
+    return EllipsePoint(
+        median_throughput_bps=float(np.median(tpt)),
+        median_delay_s=float(np.median(delay)),
+        std_throughput_bps=float(np.std(tpt)),
+        std_delay_s=float(np.std(delay)),
+        n_samples=len(throughputs_bps),
+    )

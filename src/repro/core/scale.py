@@ -1,0 +1,63 @@
+"""Simulation budgets: trading fidelity against wall-clock time.
+
+A pure-Python packet-level simulator processes a bounded number of
+events per second, so every experiment here runs at a configurable
+*scale*: simulated duration shrinks on fast links to keep per-run packet
+counts bounded (the reproduction's key cost-control, DESIGN.md
+section 2), while floors on duration keep enough RTTs and on/off cycles
+in each run for the statistics to mean something.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .scenario import NetworkConfig
+
+__all__ = ["Scale", "QUICK", "DEFAULT", "FULL", "PACKET_BYTES"]
+
+#: On-the-wire data packet size used for packet-rate math (matches
+#: :data:`repro.protocols.transport.DATA_PACKET_BYTES`).
+PACKET_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Simulation budget knobs shared by experiments and training.
+
+    ``duration_s`` caps the simulated time; ``packet_budget`` shrinks the
+    duration on fast links (a 1000 Mbps run is limited to roughly
+    ``packet_budget`` packet events); ``min_duration_s`` keeps enough
+    on/off cycles and RTTs in even the fastest runs.
+    """
+
+    duration_s: float = 60.0
+    packet_budget: int = 300_000
+    min_duration_s: float = 4.0
+    n_seeds: int = 4
+    sweep_points: int = 12
+
+    def duration_for(self, config: NetworkConfig) -> float:
+        """Simulated seconds for one run of ``config``."""
+        rate_pps = max(config.link_speeds_mbps) * 1e6 / (
+            8.0 * PACKET_BYTES)
+        capped = self.packet_budget / max(rate_pps, 1.0)
+        duration = min(self.duration_s, capped)
+        floor = max(self.min_duration_s, 10.0 * config.rtt_ms / 1e3)
+        return max(duration, floor)
+
+    def with_seeds(self, n_seeds: int) -> "Scale":
+        return replace(self, n_seeds=n_seeds)
+
+
+#: Benchmark scale: seconds per experiment.
+QUICK = Scale(duration_s=12.0, packet_budget=40_000, n_seeds=2,
+              sweep_points=6)
+
+#: Default scale for examples and EXPERIMENTS.md numbers.
+DEFAULT = Scale(duration_s=60.0, packet_budget=300_000, n_seeds=4,
+                sweep_points=12)
+
+#: Full scale, approaching the paper's statistics.
+FULL = Scale(duration_s=120.0, packet_budget=1_500_000, n_seeds=8,
+             sweep_points=24)

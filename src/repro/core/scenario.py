@@ -1,0 +1,240 @@
+"""Network configurations and training-scenario distributions.
+
+The paper's protocol-design process takes a set of *training scenarios*
+(section 3.1): a distribution over network configurations expressing the
+designer's imperfect model of the eventual network.  Two types model
+this here:
+
+* :class:`NetworkConfig` — one concrete network: topology, link speeds,
+  RTT, senders (and which scheme each runs), workload, and buffering.
+* :class:`ScenarioRange` — a distribution over configs (link speeds
+  sampled log-uniformly, sender counts uniformly, an optional menu of
+  sender mixes for TCP-awareness/diversity training).  ``sample(rng)``
+  draws a config; the Remy optimizer averages its objective over draws.
+
+Sender *kinds* are role strings: ``"learner"`` (the tree being trained /
+the Tao under test), ``"peer"`` (a second, fixed tree — used by the
+sender-diversity experiment), or any registered scheme name ("aimd",
+"cubic", "newreno").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..topology.dumbbell import bdp_packets
+
+__all__ = ["NetworkConfig", "ScenarioRange", "QUEUE_KINDS"]
+
+QUEUE_KINDS = ("droptail", "codel", "sfq_codel")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One fully-specified network scenario.
+
+    Conventions
+    -----------
+    * ``rtt_ms`` is the unloaded RTT of a *single-hop* flow.  On the
+      parking lot each hop gets ``rtt_ms / 2`` one-way delay, so the
+      two-hop flow sees ``2 * rtt_ms`` (matching Figure 5: 75 ms per hop,
+      150 ms one-hop RTT, 300 ms for the crossing flow).
+    * ``link_speeds_mbps`` has one entry per bottleneck: one for the
+      dumbbell, two for the parking lot.
+    * ``buffer_bdp`` of ``None`` means an infinite ("no drop") buffer;
+      ``buffer_bytes`` (if set) takes precedence over ``buffer_bdp``.
+    * On the parking lot, ``sender_kinds`` must have exactly 3 entries:
+      (two-hop flow, link-1 flow, link-2 flow).
+    """
+
+    topology: str = "dumbbell"
+    link_speeds_mbps: Tuple[float, ...] = (32.0,)
+    rtt_ms: float = 150.0
+    sender_kinds: Tuple[str, ...] = ("learner", "learner")
+    deltas: Tuple[float, ...] = ()
+    mean_on_s: float = 1.0
+    mean_off_s: float = 1.0
+    buffer_bdp: Optional[float] = 5.0
+    buffer_bytes: Optional[float] = None
+    queue: str = "droptail"
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("dumbbell", "parking_lot"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        expected_links = 1 if self.topology == "dumbbell" else 2
+        if len(self.link_speeds_mbps) != expected_links:
+            raise ValueError(
+                f"{self.topology} needs {expected_links} link speed(s), "
+                f"got {len(self.link_speeds_mbps)}")
+        if any(s <= 0 for s in self.link_speeds_mbps):
+            raise ValueError("link speeds must be positive")
+        if self.rtt_ms <= 0:
+            raise ValueError("rtt_ms must be positive")
+        if not self.sender_kinds:
+            raise ValueError("need at least one sender")
+        if self.topology == "parking_lot" and len(self.sender_kinds) != 3:
+            raise ValueError("parking lot requires exactly 3 senders")
+        if self.queue not in QUEUE_KINDS:
+            raise ValueError(f"unknown queue {self.queue!r}")
+        if self.mean_on_s <= 0:
+            raise ValueError("mean_on_s must be positive")
+        if self.mean_off_s < 0:
+            raise ValueError("mean_off_s must be non-negative")
+        if not self.deltas:
+            object.__setattr__(
+                self, "deltas", tuple(1.0 for _ in self.sender_kinds))
+        if len(self.deltas) != len(self.sender_kinds):
+            raise ValueError("deltas must align with sender_kinds")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_senders(self) -> int:
+        return len(self.sender_kinds)
+
+    @property
+    def p_on(self) -> float:
+        """Stationary probability a sender is 'on'."""
+        return self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+
+    def link_speed_bps(self, index: int = 0) -> float:
+        return self.link_speeds_mbps[index] * 1e6
+
+    def buffer_packets(self, link_index: int = 0,
+                       packet_bytes: int = 1500) -> float:
+        """Bottleneck buffer size in packets (inf for "no drop")."""
+        if self.buffer_bytes is not None:
+            return max(math.floor(self.buffer_bytes / packet_bytes), 1)
+        if self.buffer_bdp is None:
+            return math.inf
+        bdp = bdp_packets(self.link_speed_bps(link_index),
+                          self.rtt_ms / 1e3, packet_bytes)
+        return max(math.floor(self.buffer_bdp * bdp), 1)
+
+    def fair_share_bps(self) -> float:
+        """Equal split of the (first) bottleneck across all senders."""
+        return self.link_speed_bps(0) / self.num_senders
+
+    def with_senders(self, kinds: Tuple[str, ...],
+                     deltas: Optional[Tuple[float, ...]] = None
+                     ) -> "NetworkConfig":
+        """A copy with a different sender population."""
+        if deltas is None:
+            deltas = tuple(1.0 for _ in kinds)
+        return replace(self, sender_kinds=kinds, deltas=deltas)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "link_speeds_mbps": list(self.link_speeds_mbps),
+            "rtt_ms": self.rtt_ms,
+            "sender_kinds": list(self.sender_kinds),
+            "deltas": list(self.deltas),
+            "mean_on_s": self.mean_on_s,
+            "mean_off_s": self.mean_off_s,
+            "buffer_bdp": self.buffer_bdp,
+            "buffer_bytes": self.buffer_bytes,
+            "queue": self.queue,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkConfig":
+        return cls(
+            topology=data["topology"],
+            link_speeds_mbps=tuple(data["link_speeds_mbps"]),
+            rtt_ms=data["rtt_ms"],
+            sender_kinds=tuple(data["sender_kinds"]),
+            deltas=tuple(data["deltas"]),
+            mean_on_s=data["mean_on_s"],
+            mean_off_s=data["mean_off_s"],
+            buffer_bdp=data["buffer_bdp"],
+            buffer_bytes=data["buffer_bytes"],
+            queue=data["queue"],
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioRange:
+    """A distribution over :class:`NetworkConfig` (the training model).
+
+    ``link_speed_mbps`` is sampled log-uniformly (the paper samples "100
+    link speeds logarithmically from the range"); ``rtt_ms`` uniformly;
+    the sender population either uniformly over ``num_senders`` homogeneous
+    learners or uniformly over the explicit ``sender_mixes`` menu.
+    """
+
+    topology: str = "dumbbell"
+    link_speed_mbps: Tuple[float, float] = (32.0, 32.0)
+    rtt_ms: Tuple[float, float] = (150.0, 150.0)
+    num_senders: Tuple[int, int] = (2, 2)
+    sender_mixes: Optional[Tuple[Tuple[str, ...], ...]] = None
+    mean_on_s: float = 1.0
+    mean_off_s: float = 1.0
+    onoff_options: Optional[Tuple[Tuple[float, float], ...]] = None
+    buffer_bdp: Optional[float] = 5.0
+    buffer_bytes: Optional[float] = None
+    queue: str = "droptail"
+    learner_delta: float = 1.0
+    peer_delta: float = 1.0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.link_speed_mbps
+        if not 0 < lo <= hi:
+            raise ValueError("link_speed_mbps must satisfy 0 < lo <= hi")
+        lo, hi = self.rtt_ms
+        if not 0 < lo <= hi:
+            raise ValueError("rtt_ms must satisfy 0 < lo <= hi")
+        lo, hi = self.num_senders
+        if not 0 < lo <= hi:
+            raise ValueError("num_senders must satisfy 0 < lo <= hi")
+        if self.sender_mixes is not None and not self.sender_mixes:
+            raise ValueError("sender_mixes, when given, must be non-empty")
+        if self.onoff_options is not None and not self.onoff_options:
+            raise ValueError("onoff_options, when given, must be non-empty")
+
+    def _delta_for(self, kind: str) -> float:
+        if kind == "learner":
+            return self.learner_delta
+        if kind == "peer":
+            return self.peer_delta
+        return 1.0
+
+    def sample(self, rng: random.Random) -> NetworkConfig:
+        """Draw one concrete configuration."""
+        n_links = 1 if self.topology == "dumbbell" else 2
+        lo, hi = self.link_speed_mbps
+        speeds = tuple(
+            math.exp(rng.uniform(math.log(lo), math.log(hi)))
+            for _ in range(n_links))
+        rtt = rng.uniform(*self.rtt_ms)
+        if self.sender_mixes is not None:
+            kinds = self.sender_mixes[rng.randrange(len(self.sender_mixes))]
+        else:
+            count = rng.randint(*self.num_senders)
+            kinds = tuple("learner" for _ in range(count))
+        deltas = tuple(self._delta_for(k) for k in kinds)
+        if self.onoff_options is not None:
+            index = rng.randrange(len(self.onoff_options))
+            mean_on, mean_off = self.onoff_options[index]
+        else:
+            mean_on, mean_off = self.mean_on_s, self.mean_off_s
+        return NetworkConfig(
+            topology=self.topology,
+            link_speeds_mbps=speeds,
+            rtt_ms=rtt,
+            sender_kinds=kinds,
+            deltas=deltas,
+            mean_on_s=mean_on,
+            mean_off_s=mean_off,
+            buffer_bdp=self.buffer_bdp,
+            buffer_bytes=self.buffer_bytes,
+            queue=self.queue,
+        )
+
+    def sample_many(self, n: int, seed: int) -> list[NetworkConfig]:
+        """Draw ``n`` configs deterministically from ``seed``."""
+        rng = random.Random(seed)
+        return [self.sample(rng) for _ in range(n)]

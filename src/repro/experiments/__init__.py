@@ -1,0 +1,28 @@
+"""Reproductions of every experiment in the paper's evaluation.
+
+One module per figure/table; see DESIGN.md section 4 for the index:
+
+* :mod:`repro.experiments.calibration` — Table 1 / Figure 1
+* :mod:`repro.experiments.link_speed` — Table 2 / Figure 2
+* :mod:`repro.experiments.multiplexing` — Table 3 / Figure 3
+* :mod:`repro.experiments.rtt` — Table 4 / Figure 4
+* :mod:`repro.experiments.structure` — Table 5 / Figures 5-6
+* :mod:`repro.experiments.tcp_awareness` — Table 6 / Figures 7-8
+* :mod:`repro.experiments.diversity` — Table 7 / Figure 9
+* :mod:`repro.experiments.signals` — section 3.4
+"""
+
+from . import (calibration, diversity, link_speed, multiplexing, rtt,
+               signals, structure, tcp_awareness)
+from .common import (DEFAULT, FULL, QUICK, Scale, SimulationHandle,
+                     build_simulation, mean_normalized_score, run_config,
+                     run_seeds, scored_flows)
+
+__all__ = [
+    "Scale", "QUICK", "DEFAULT", "FULL",
+    "SimulationHandle", "build_simulation",
+    "run_config", "run_seeds",
+    "scored_flows", "mean_normalized_score",
+    "calibration", "link_speed", "multiplexing", "rtt",
+    "structure", "tcp_awareness", "diversity", "signals",
+]

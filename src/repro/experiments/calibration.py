@@ -1,0 +1,101 @@
+"""Experiment E1 — the calibration experiment (Table 1, Figure 1).
+
+Network: 32 Mbps dumbbell, 150 ms RTT, 2 senders with 1 s mean on/off,
+5 BDP of drop-tail buffer.  Schemes: the Tao trained for exactly this
+scenario, TCP Cubic, Cubic-over-sfqCoDel, and the omniscient bound.
+
+The paper's headline: the Tao protocol lands within 5% of omniscient
+throughput and 10% on delay, and beats both human-designed baselines on
+throughput *and* delay simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..core.omniscient import omniscient_dumbbell
+from ..core.results import EllipsePoint, summarize_ellipse
+from ..core.scenario import NetworkConfig
+from ..remy.assets import load_tree
+from ..remy.tree import WhiskerTree
+from .common import DEFAULT, Scale, run_seeds
+
+__all__ = ["CALIBRATION_CONFIG", "CalibrationResult", "run",
+           "format_table"]
+
+#: Table 1's network parameters.
+CALIBRATION_CONFIG = NetworkConfig(
+    link_speeds_mbps=(32.0,), rtt_ms=150.0,
+    sender_kinds=("learner", "learner"),
+    mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0)
+
+#: Scheme name -> (sender kinds, queue discipline).
+_SCHEMES = {
+    "tao": (("learner", "learner"), "droptail"),
+    "cubic": (("cubic", "cubic"), "droptail"),
+    "cubic_sfqcodel": (("cubic", "cubic"), "sfq_codel"),
+}
+
+
+@dataclass
+class CalibrationResult:
+    """Throughput/queueing-delay summaries per scheme (Figure 1)."""
+
+    points: Dict[str, EllipsePoint] = field(default_factory=dict)
+    omniscient_throughput_bps: float = 0.0
+    omniscient_delay_s: float = 0.0
+
+    def throughput_vs_omniscient(self, scheme: str) -> float:
+        """Scheme median throughput as a fraction of omniscient."""
+        return (self.points[scheme].median_throughput_bps
+                / self.omniscient_throughput_bps)
+
+
+def run(scale: Scale = DEFAULT,
+        tree: Optional[WhiskerTree] = None,
+        base_seed: int = 1) -> CalibrationResult:
+    """Run the calibration experiment at the given scale.
+
+    ``tree`` overrides the shipped ``tao_calibration`` rule table.
+    """
+    if tree is None:
+        tree = load_tree("tao_calibration")
+    result = CalibrationResult()
+    for scheme, (kinds, queue) in _SCHEMES.items():
+        config = replace(CALIBRATION_CONFIG, sender_kinds=kinds,
+                         deltas=tuple(1.0 for _ in kinds), queue=queue)
+        runs = run_seeds(config, trees={"learner": tree}, scale=scale,
+                         base_seed=base_seed)
+        throughputs: List[float] = []
+        delays: List[float] = []
+        for run_result in runs:
+            for flow in run_result.flows:
+                if flow.packets_delivered == 0:
+                    continue
+                throughputs.append(flow.throughput_bps)
+                delays.append(flow.queueing_delay_s)
+        result.points[scheme] = summarize_ellipse(throughputs, delays)
+    omni = omniscient_dumbbell(CALIBRATION_CONFIG)[0]
+    result.omniscient_throughput_bps = omni.throughput_bps
+    result.omniscient_delay_s = 0.0   # zero queueing by construction
+    return result
+
+
+def format_table(result: CalibrationResult) -> str:
+    """Figure 1 as text: median throughput and queueing delay."""
+    lines = [
+        "Calibration experiment (Table 1 / Figure 1)",
+        f"{'scheme':<16} {'tpt (Mbps)':>12} {'qdelay (ms)':>12} "
+        f"{'vs omniscient':>14}",
+    ]
+    for scheme, point in result.points.items():
+        ratio = result.throughput_vs_omniscient(scheme)
+        lines.append(
+            f"{scheme:<16} {point.median_throughput_bps / 1e6:>12.2f} "
+            f"{point.median_delay_s * 1e3:>12.1f} {ratio:>13.0%}")
+    lines.append(
+        f"{'omniscient':<16} "
+        f"{result.omniscient_throughput_bps / 1e6:>12.2f} "
+        f"{0.0:>12.1f} {'100%':>14}")
+    return "\n".join(lines)

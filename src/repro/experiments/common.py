@@ -1,0 +1,246 @@
+"""Shared experiment machinery: configs -> simulations -> results.
+
+This module is the bridge between the declarative layer
+(:class:`~repro.core.scenario.NetworkConfig`) and the packet simulator:
+it builds the topology, instantiates one congestion controller, sender,
+receiver, and workload per flow, runs the event loop, and collects
+:class:`~repro.core.results.FlowStats`.
+
+It also defines :class:`Scale` — the knob set that lets every experiment
+run either as a quick benchmark (seconds) or a full reproduction
+(minutes): simulated duration adapts to the link speed so the
+pure-Python event loop processes a bounded number of packets per run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.objective import normalized_objective
+from ..core.results import FlowStats, RunResult
+from ..core.scale import DEFAULT, FULL, QUICK, Scale
+from ..core.scenario import NetworkConfig
+from ..protocols.base import CongestionController
+from ..protocols.registry import make_controller
+from ..protocols.remycc import RemyCCController
+from ..protocols.transport import DATA_PACKET_BYTES, FlowReceiver, FlowSender
+from ..remy.tree import WhiskerTree
+from ..sim.codel import CoDelQueue
+from ..sim.engine import Simulator
+from ..sim.queues import DropTailQueue, QueueDiscipline
+from ..sim.sfq_codel import SfqCoDelQueue
+from ..sim.tracing import QueueTrace
+from ..sim.workload import OnOffWorkload, ScheduledWorkload
+from ..topology.dumbbell import dumbbell
+from ..topology.graph import BuiltTopology
+from ..topology.parking_lot import parking_lot
+
+__all__ = ["Scale", "SimulationHandle", "build_simulation", "run_config",
+           "run_seeds", "scored_flows", "mean_normalized_score",
+           "QUICK", "DEFAULT", "FULL"]
+
+
+class SimulationHandle:
+    """A built-but-not-yet-run simulation plus everything in it."""
+
+    def __init__(self, sim: Simulator, built: BuiltTopology,
+                 config: NetworkConfig,
+                 controllers: List[CongestionController],
+                 senders: List[FlowSender],
+                 receivers: List[FlowReceiver],
+                 workloads: List[object],
+                 traces: Dict[str, QueueTrace],
+                 seed: int):
+        self.sim = sim
+        self.built = built
+        self.config = config
+        self.controllers = controllers
+        self.senders = senders
+        self.receivers = receivers
+        self.workloads = workloads
+        self.traces = traces
+        self.seed = seed
+
+    def bottleneck_links(self):
+        """The capacitated links of the configured topology."""
+        if self.config.topology == "dumbbell":
+            return [self.built.link("A", "B")]
+        return [self.built.link("A", "B"), self.built.link("B", "C")]
+
+    def run(self, duration_s: float) -> RunResult:
+        """Run to ``duration_s`` and collect per-flow statistics."""
+        self.sim.run(until=duration_s)
+        flows: List[FlowStats] = []
+        for i, kind in enumerate(self.config.sender_kinds):
+            sender = self.senders[i]
+            receiver = self.receivers[i]
+            workload = self.workloads[i]
+            path = self.built.network.flows[i]
+            flows.append(FlowStats(
+                flow_id=i,
+                kind=kind,
+                delivered_bytes=receiver.stats.delivered_bytes,
+                on_time_s=workload.on_time(duration_s),
+                mean_delay_s=receiver.stats.mean_delay,
+                base_delay_s=path.one_way_base_delay(DATA_PACKET_BYTES),
+                base_rtt_s=sender.base_rtt,
+                packets_delivered=receiver.stats.unique_delivered,
+                packets_sent=sender.stats.packets_sent,
+                retransmissions=sender.stats.retransmissions,
+                timeouts=sender.stats.timeouts,
+                delta=self.config.deltas[i],
+            ))
+        bottlenecks = self.bottleneck_links()
+        drops = sum(link.queue.stats.dropped for link in bottlenecks)
+        utilization = max(
+            link.stats.utilization(link.rate_bps, duration_s)
+            for link in bottlenecks)
+        return RunResult(flows=flows, seed=self.seed,
+                         duration_s=duration_s,
+                         bottleneck_drops=drops,
+                         bottleneck_utilization=utilization)
+
+
+def _queue_factory(config: NetworkConfig, link_index: int):
+    capacity = config.buffer_packets(link_index)
+    if config.queue == "droptail":
+        return lambda: DropTailQueue(capacity_packets=capacity)
+    if config.queue == "codel":
+        return lambda: CoDelQueue(capacity_packets=capacity)
+    if config.queue == "sfq_codel":
+        return lambda: SfqCoDelQueue(capacity_packets=capacity)
+    raise ValueError(f"unknown queue {config.queue!r}")
+
+
+def _controller_for(kind: str, trees: Dict[str, WhiskerTree],
+                    record_usage: bool) -> CongestionController:
+    if kind in trees:
+        return RemyCCController(trees[kind], record_usage=record_usage)
+    return make_controller(kind)
+
+
+def build_simulation(
+        config: NetworkConfig,
+        trees: Optional[Dict[str, WhiskerTree]] = None,
+        seed: int = 0,
+        record_usage: bool = False,
+        trace_queues: bool = False,
+        workload_intervals: Optional[
+            Dict[int, Sequence[Tuple[float, float]]]] = None,
+) -> SimulationHandle:
+    """Assemble a runnable simulation for one scenario.
+
+    Parameters
+    ----------
+    trees:
+        Maps sender kinds (e.g. ``"learner"``, ``"peer"``) to whisker
+        trees; kinds not present fall back to the scheme registry.
+    workload_intervals:
+        Per-flow deterministic on-intervals, overriding the exponential
+        on/off model (used by the Figure 8 queue-trace experiment).
+    """
+    trees = trees or {}
+    sim = Simulator()
+    if config.topology == "dumbbell":
+        topo = dumbbell(config.num_senders, config.link_speed_bps(0),
+                        config.rtt_ms / 1e3,
+                        queue_factory=_queue_factory(config, 0))
+    else:
+        topo = parking_lot(config.link_speed_bps(0),
+                           config.link_speed_bps(1),
+                           per_hop_delay_s=config.rtt_ms / 2e3,
+                           queue_factory1=_queue_factory(config, 0),
+                           queue_factory2=_queue_factory(config, 1))
+    built = topo.build(sim)
+
+    controllers: List[CongestionController] = []
+    senders: List[FlowSender] = []
+    receivers: List[FlowReceiver] = []
+    workloads: List[object] = []
+    for i, kind in enumerate(config.sender_kinds):
+        controller = _controller_for(kind, trees, record_usage)
+        sender = FlowSender(sim, built.network, i, controller)
+        receiver = FlowReceiver(sim, built.network, i)
+        if workload_intervals is not None and i in workload_intervals:
+            workload = ScheduledWorkload(sim, sender,
+                                         workload_intervals[i])
+        else:
+            flow_rng = random.Random(seed * 1_000_003 + i * 7_919 + 17)
+            workload = OnOffWorkload(sim, sender, config.mean_on_s,
+                                     config.mean_off_s, rng=flow_rng)
+        workload.start()
+        controllers.append(controller)
+        senders.append(sender)
+        receivers.append(receiver)
+        workloads.append(workload)
+
+    traces: Dict[str, QueueTrace] = {}
+    if trace_queues:
+        if config.topology == "dumbbell":
+            bottlenecks = [built.link("A", "B")]
+        else:
+            bottlenecks = [built.link("A", "B"), built.link("B", "C")]
+        for link in bottlenecks:
+            traces[link.name] = QueueTrace(link.queue)
+
+    return SimulationHandle(sim, built, config, controllers, senders,
+                            receivers, workloads, traces, seed)
+
+
+def run_config(config: NetworkConfig,
+               trees: Optional[Dict[str, WhiskerTree]] = None,
+               seed: int = 0,
+               scale: Scale = DEFAULT,
+               record_usage: bool = False) -> RunResult:
+    """Build and run one scenario at the given scale."""
+    handle = build_simulation(config, trees=trees, seed=seed,
+                              record_usage=record_usage)
+    return handle.run(scale.duration_for(config))
+
+
+def run_seeds(config: NetworkConfig,
+              trees: Optional[Dict[str, WhiskerTree]] = None,
+              scale: Scale = DEFAULT,
+              base_seed: int = 1) -> List[RunResult]:
+    """Run ``scale.n_seeds`` independent replications."""
+    return [run_config(config, trees=trees, seed=base_seed + k,
+                       scale=scale)
+            for k in range(scale.n_seeds)]
+
+
+def scored_flows(result: RunResult) -> List[FlowStats]:
+    """The flows that count toward the objective.
+
+    When rule-table ("learner"/"peer") senders are present only they are
+    scored — cross-traffic is environment, as in Remy's training.  In
+    homogeneous runs of named schemes, every flow is scored.
+    """
+    learners = [f for f in result.flows if f.kind in ("learner", "peer")]
+    return learners if learners else list(result.flows)
+
+
+def mean_normalized_score(results: Sequence[RunResult],
+                          config: NetworkConfig,
+                          delta: float = 1.0) -> float:
+    """Mean normalized objective across scored flows and seeds.
+
+    Normalization follows the paper's Figures 2-4: fair share is the
+    bottleneck rate over the number of senders; the delay floor is each
+    flow's unloaded one-way latency.
+    """
+    fair = config.fair_share_bps()
+    scores: List[float] = []
+    for result in results:
+        for flow in scored_flows(result):
+            if flow.on_time_s <= 0:
+                continue
+            delay = flow.mean_delay_s if flow.packets_delivered else \
+                flow.base_delay_s
+            scores.append(normalized_objective(
+                flow.throughput_bps, delay, fair, flow.base_delay_s,
+                delta=delta))
+    if not scores:
+        return -math.inf
+    return sum(scores) / len(scores)

@@ -1,0 +1,138 @@
+"""Experiment E8 — the price of sender diversity (Table 7, Figure 9).
+
+Two objectives share one 10 Mbps / 100 ms bottleneck with an infinite
+buffer: a throughput-sensitive sender (delta = 0.1) and a
+delay-sensitive sender (delta = 10).  Each exists in two variants:
+"naive" (trained only against its own kind) and "co-optimized"
+(trained jointly, each against the other as fixed cross-traffic).
+
+Figure 9's findings: co-optimization lets the two objectives coexist —
+the delay-sensitive sender keeps low delay even in the mixed network —
+but costs the throughput-sensitive sender some throughput ("the price
+of playing nice"), both alone and mixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.results import EllipsePoint, summarize_ellipse
+from ..core.scenario import NetworkConfig
+from ..remy.assets import load_tree
+from ..remy.tree import WhiskerTree
+from .common import DEFAULT, Scale, run_seeds
+
+__all__ = ["DiversityResult", "run", "format_table", "SETTINGS"]
+
+_TPT_DELTA = 0.1
+_DEL_DELTA = 10.0
+
+#: Setting name -> ((kinds), {kind: asset}, {kind: delta}).
+SETTINGS: Dict[str, Tuple[Tuple[str, ...], Dict[str, str],
+                          Dict[str, float]]] = {
+    "tpt_naive_alone": (
+        ("learner", "learner"),
+        {"learner": "tao_delta_tpt_naive"},
+        {"learner": _TPT_DELTA}),
+    "del_naive_alone": (
+        ("learner", "learner"),
+        {"learner": "tao_delta_del_naive"},
+        {"learner": _DEL_DELTA}),
+    "tpt_coopt_alone": (
+        ("learner", "learner"),
+        {"learner": "tao_delta_tpt_coopt"},
+        {"learner": _TPT_DELTA}),
+    "del_coopt_alone": (
+        ("learner", "learner"),
+        {"learner": "tao_delta_del_coopt"},
+        {"learner": _DEL_DELTA}),
+    "naive_mixed": (
+        ("learner", "peer"),
+        {"learner": "tao_delta_tpt_naive",
+         "peer": "tao_delta_del_naive"},
+        {"learner": _TPT_DELTA, "peer": _DEL_DELTA}),
+    "coopt_mixed": (
+        ("learner", "peer"),
+        {"learner": "tao_delta_tpt_coopt",
+         "peer": "tao_delta_del_coopt"},
+        {"learner": _TPT_DELTA, "peer": _DEL_DELTA}),
+}
+
+
+def _config_for(kinds: Tuple[str, ...],
+                deltas: Dict[str, float]) -> NetworkConfig:
+    """Table 7b: 10 Mbps, 100 ms, 1 s on/off, no-drop buffer."""
+    return NetworkConfig(
+        link_speeds_mbps=(10.0,), rtt_ms=100.0, sender_kinds=kinds,
+        deltas=tuple(deltas[k] for k in kinds),
+        mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=None,
+        queue="droptail")
+
+
+@dataclass
+class DiversityResult:
+    """Per (setting, sender kind) throughput/delay summaries."""
+
+    points: Dict[Tuple[str, str], EllipsePoint] = field(
+        default_factory=dict)
+
+    def throughput_mbps(self, setting: str, kind: str) -> float:
+        return self.points[(setting, kind)].median_throughput_bps / 1e6
+
+    def qdelay_ms(self, setting: str, kind: str) -> float:
+        return self.points[(setting, kind)].median_delay_s * 1e3
+
+
+def run(scale: Scale = DEFAULT,
+        trees: Optional[Dict[str, WhiskerTree]] = None,
+        base_seed: int = 1) -> DiversityResult:
+    """Run every Figure 9 setting."""
+    if trees is None:
+        trees = {}
+
+    def tree_for(asset: str) -> WhiskerTree:
+        return trees.get(asset) or load_tree(asset)
+
+    result = DiversityResult()
+    for setting, (kinds, assets, deltas) in SETTINGS.items():
+        config = _config_for(kinds, deltas)
+        tree_map = {kind: tree_for(asset)
+                    for kind, asset in assets.items()}
+        runs = run_seeds(config, trees=tree_map, scale=scale,
+                         base_seed=base_seed)
+        for kind in set(kinds):
+            tpts, delays = [], []
+            for run_result in runs:
+                for flow in run_result.flows_of_kind(kind):
+                    if flow.packets_delivered == 0:
+                        continue
+                    tpts.append(flow.throughput_bps)
+                    delays.append(flow.queueing_delay_s)
+            if tpts:
+                result.points[(setting, kind)] = summarize_ellipse(
+                    tpts, delays)
+    return result
+
+
+def format_table(result: DiversityResult) -> str:
+    lines = ["Sender diversity (Table 7 / Figure 9)",
+             f"{'setting':<18} {'sender':<24} {'tpt (Mbps)':>11} "
+             f"{'qdelay (ms)':>12}"]
+    labels = {
+        ("tpt_naive_alone", "learner"): "Tpt. sender [naive]",
+        ("del_naive_alone", "learner"): "Del. sender [naive]",
+        ("tpt_coopt_alone", "learner"): "Tpt. sender [co-opt]",
+        ("del_coopt_alone", "learner"): "Del. sender [co-opt]",
+        ("naive_mixed", "learner"): "Tpt. sender [naive]",
+        ("naive_mixed", "peer"): "Del. sender [naive]",
+        ("coopt_mixed", "learner"): "Tpt. sender [co-opt]",
+        ("coopt_mixed", "peer"): "Del. sender [co-opt]",
+    }
+    for (setting, kind), point in result.points.items():
+        label = labels.get((setting, kind), kind)
+        lines.append(
+            f"{setting:<18} {label:<24} "
+            f"{point.median_throughput_bps / 1e6:>11.2f} "
+            f"{point.median_delay_s * 1e3:>12.1f}")
+    return "\n".join(lines)

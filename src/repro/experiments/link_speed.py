@@ -1,0 +1,144 @@
+"""Experiment E2 — knowledge of link speed (Table 2, Figure 2).
+
+Four Tao protocols trained for nested link-speed operating ranges
+(2x, 10x, 100x, 1000x around the geometric mean of 32 Mbps) are swept
+over 1-1000 Mbps against Cubic, Cubic-over-sfqCoDel, and the omniscient
+bound.  The paper's finding: a *weak* tradeoff — narrow-range Taos win
+modestly inside their range but fall off a cliff outside it, while the
+1000x Tao tracks within a few percent everywhere and beats the
+human-designed schemes across the whole sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.objective import normalized_objective
+from ..core.omniscient import dumbbell_expected_throughput
+from ..core.scenario import NetworkConfig
+from ..remy.assets import load_tree
+from ..remy.tree import WhiskerTree
+from .common import DEFAULT, Scale, mean_normalized_score, run_seeds
+
+__all__ = ["TAO_RANGES", "SweepPoint", "LinkSpeedResult", "run",
+           "format_table", "sweep_speeds"]
+
+#: Design ranges of the four Taos (Table 2a), in Mbps.
+TAO_RANGES: Dict[str, Tuple[float, float]] = {
+    "tao_2x": (22.0, 44.0),
+    "tao_10x": (10.0, 100.0),
+    "tao_100x": (3.2, 320.0),
+    "tao_1000x": (1.0, 1000.0),
+}
+
+_BASELINES = ("cubic", "cubic_sfqcodel")
+
+_RTT_MS = 150.0
+_SENDERS = 2
+
+
+@dataclass
+class SweepPoint:
+    """One (scheme, link speed) cell of Figure 2."""
+
+    scheme: str
+    speed_mbps: float
+    normalized_objective: float
+    in_training_range: bool
+
+
+@dataclass
+class LinkSpeedResult:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, scheme: str) -> List[SweepPoint]:
+        return sorted((p for p in self.points if p.scheme == scheme),
+                      key=lambda p: p.speed_mbps)
+
+    def mean_in_range(self, scheme: str) -> float:
+        values = [p.normalized_objective for p in self.points
+                  if p.scheme == scheme and p.in_training_range]
+        return sum(values) / len(values) if values else -math.inf
+
+
+def sweep_speeds(points: int) -> List[float]:
+    """Log-spaced link speeds across 1-1000 Mbps (the testing range)."""
+    if points < 2:
+        raise ValueError("need at least two sweep points")
+    return [10 ** (3.0 * k / (points - 1)) for k in range(points)]
+
+
+def _config_for(speed: float, kinds: Tuple[str, ...],
+                queue: str) -> NetworkConfig:
+    return NetworkConfig(
+        link_speeds_mbps=(speed,), rtt_ms=_RTT_MS, sender_kinds=kinds,
+        deltas=tuple(1.0 for _ in kinds), mean_on_s=1.0, mean_off_s=1.0,
+        buffer_bdp=5.0, queue=queue)
+
+
+def _omniscient_point(speed: float) -> float:
+    config = _config_for(speed, ("learner",) * _SENDERS, "droptail")
+    expected = dumbbell_expected_throughput(
+        config.link_speed_bps(0), _SENDERS, config.p_on)
+    min_delay = config.rtt_ms / 2e3
+    return normalized_objective(expected, min_delay,
+                                config.fair_share_bps(), min_delay)
+
+
+def run(scale: Scale = DEFAULT,
+        trees: Optional[Dict[str, WhiskerTree]] = None,
+        base_seed: int = 1) -> LinkSpeedResult:
+    """Sweep every scheme across the 1-1000 Mbps testing scenarios.
+
+    ``trees`` maps Tao names to rule tables, overriding shipped assets.
+    """
+    if trees is None:
+        trees = {}
+    loaded = {name: trees.get(name) or load_tree(name)
+              for name in TAO_RANGES}
+    result = LinkSpeedResult()
+    for speed in sweep_speeds(scale.sweep_points):
+        for name, (lo, hi) in TAO_RANGES.items():
+            config = _config_for(speed, ("learner",) * _SENDERS,
+                                 "droptail")
+            runs = run_seeds(config, trees={"learner": loaded[name]},
+                             scale=scale, base_seed=base_seed)
+            score = mean_normalized_score(runs, config)
+            result.points.append(SweepPoint(
+                scheme=name, speed_mbps=speed,
+                normalized_objective=score,
+                in_training_range=lo <= speed <= hi))
+        for baseline in _BASELINES:
+            queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
+                else "droptail"
+            config = _config_for(speed, ("cubic",) * _SENDERS, queue)
+            runs = run_seeds(config, scale=scale, base_seed=base_seed)
+            score = mean_normalized_score(runs, config)
+            result.points.append(SweepPoint(
+                scheme=baseline, speed_mbps=speed,
+                normalized_objective=score, in_training_range=True))
+        result.points.append(SweepPoint(
+            scheme="omniscient", speed_mbps=speed,
+            normalized_objective=_omniscient_point(speed),
+            in_training_range=True))
+    return result
+
+
+def format_table(result: LinkSpeedResult) -> str:
+    """Figure 2 as text: normalized objective per scheme and speed."""
+    schemes = list(TAO_RANGES) + list(_BASELINES) + ["omniscient"]
+    speeds = sorted({p.speed_mbps for p in result.points})
+    header = f"{'Mbps':>8} " + " ".join(f"{s:>14}" for s in schemes)
+    lines = ["Link-speed operating range (Table 2 / Figure 2)", header]
+    table = {(p.scheme, p.speed_mbps): p for p in result.points}
+    for speed in speeds:
+        cells = []
+        for scheme in schemes:
+            point = table[(scheme, speed)]
+            marker = "" if point.in_training_range else "*"
+            cells.append(f"{point.normalized_objective:>13.2f}{marker or ' '}")
+        lines.append(f"{speed:>8.1f} " + " ".join(cells))
+    lines.append("(* = outside that Tao's training range)")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Experiment E3 — knowledge of the degree of multiplexing (Table 3,
+Figure 3).
+
+Five Tao protocols trained for 1-2, 1-10, 1-20, 1-50, and 1-100 senders
+on a 15 Mbps dumbbell are tested with 1-100 senders, under two buffer
+regimes: 5 BDP of drop-tail buffer, and an infinite ("no drop") buffer.
+
+The paper's finding — unlike link speed, multiplexing knowledge
+*matters*: a wide-range Tao tracks the omniscient bound across the
+sweep but sacrifices throughput at low multiplexing, while a narrow
+(1-2) Tao collapses at high sender counts, through delay explosion on
+the no-drop buffer or loss storms on the finite one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.objective import normalized_objective
+from ..core.omniscient import dumbbell_expected_throughput
+from ..core.scenario import NetworkConfig
+from ..remy.assets import load_tree
+from ..remy.tree import WhiskerTree
+from .common import DEFAULT, Scale, mean_normalized_score, run_seeds
+
+__all__ = ["TAO_RANGES", "BUFFER_CASES", "MuxPoint", "MultiplexingResult",
+           "run", "format_table", "sweep_senders"]
+
+#: Design ranges (Table 3a): name -> max trained sender count.
+TAO_RANGES: Dict[str, int] = {
+    "tao_mux_1_2": 2,
+    "tao_mux_1_10": 10,
+    "tao_mux_1_20": 20,
+    "tao_mux_1_50": 50,
+    "tao_mux_1_100": 100,
+}
+
+#: Buffer regimes of Table 3b / Figure 3: 5 BDP and "no packet drops".
+BUFFER_CASES: Tuple[Tuple[str, Optional[float]], ...] = (
+    ("5bdp", 5.0), ("nodrop", None))
+
+_BASELINES = ("cubic", "cubic_sfqcodel")
+_LINK_MBPS = 15.0
+_RTT_MS = 150.0
+
+
+@dataclass
+class MuxPoint:
+    scheme: str
+    n_senders: int
+    buffer_case: str
+    normalized_objective: float
+    in_training_range: bool
+
+
+@dataclass
+class MultiplexingResult:
+    points: List[MuxPoint] = field(default_factory=list)
+
+    def series(self, scheme: str, buffer_case: str) -> List[MuxPoint]:
+        return sorted((p for p in self.points
+                       if p.scheme == scheme
+                       and p.buffer_case == buffer_case),
+                      key=lambda p: p.n_senders)
+
+
+def sweep_senders(points: int) -> List[int]:
+    """Sender counts covering 1-100, denser at the low end."""
+    if points < 2:
+        raise ValueError("need at least two sweep points")
+    raw = [round(100 ** (k / (points - 1))) for k in range(points)]
+    out: List[int] = []
+    for value in raw:
+        if value not in out:
+            out.append(value)
+    return out
+
+
+def _config_for(n: int, kinds_base: str, buffer_bdp: Optional[float],
+                queue: str) -> NetworkConfig:
+    return NetworkConfig(
+        link_speeds_mbps=(_LINK_MBPS,), rtt_ms=_RTT_MS,
+        sender_kinds=(kinds_base,) * n,
+        deltas=(1.0,) * n,
+        mean_on_s=1.0, mean_off_s=1.0,
+        buffer_bdp=buffer_bdp, queue=queue)
+
+
+def _omniscient_point(n: int) -> float:
+    config = _config_for(n, "learner", None, "droptail")
+    expected = dumbbell_expected_throughput(
+        config.link_speed_bps(0), n, config.p_on)
+    min_delay = config.rtt_ms / 2e3
+    return normalized_objective(expected, min_delay,
+                                config.fair_share_bps(), min_delay)
+
+
+def run(scale: Scale = DEFAULT,
+        trees: Optional[Dict[str, WhiskerTree]] = None,
+        base_seed: int = 1) -> MultiplexingResult:
+    """Sweep sender counts for every scheme and buffer case."""
+    if trees is None:
+        trees = {}
+    loaded = {name: trees.get(name) or load_tree(name)
+              for name in TAO_RANGES}
+    result = MultiplexingResult()
+    for case_name, buffer_bdp in BUFFER_CASES:
+        for n in sweep_senders(scale.sweep_points):
+            for name, top in TAO_RANGES.items():
+                config = _config_for(n, "learner", buffer_bdp,
+                                     "droptail")
+                runs = run_seeds(config,
+                                 trees={"learner": loaded[name]},
+                                 scale=scale, base_seed=base_seed)
+                result.points.append(MuxPoint(
+                    scheme=name, n_senders=n, buffer_case=case_name,
+                    normalized_objective=mean_normalized_score(
+                        runs, config),
+                    in_training_range=n <= top))
+            for baseline in _BASELINES:
+                queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
+                    else "droptail"
+                config = _config_for(n, "cubic", buffer_bdp, queue)
+                runs = run_seeds(config, scale=scale,
+                                 base_seed=base_seed)
+                result.points.append(MuxPoint(
+                    scheme=baseline, n_senders=n, buffer_case=case_name,
+                    normalized_objective=mean_normalized_score(
+                        runs, config),
+                    in_training_range=True))
+            result.points.append(MuxPoint(
+                scheme="omniscient", n_senders=n, buffer_case=case_name,
+                normalized_objective=_omniscient_point(n),
+                in_training_range=True))
+    return result
+
+
+def format_table(result: MultiplexingResult) -> str:
+    schemes = list(TAO_RANGES) + list(_BASELINES) + ["omniscient"]
+    lines = ["Degree of multiplexing (Table 3 / Figure 3)"]
+    for case_name, _ in BUFFER_CASES:
+        lines.append(f"--- buffer: {case_name} ---")
+        lines.append(f"{'senders':>8} "
+                     + " ".join(f"{s:>15}" for s in schemes))
+        counts = sorted({p.n_senders for p in result.points
+                         if p.buffer_case == case_name})
+        table = {(p.scheme, p.n_senders): p for p in result.points
+                 if p.buffer_case == case_name}
+        for n in counts:
+            cells = []
+            for scheme in schemes:
+                point = table[(scheme, n)]
+                marker = "" if point.in_training_range else "*"
+                cells.append(
+                    f"{point.normalized_objective:>14.2f}{marker or ' '}")
+            lines.append(f"{n:>8d} " + " ".join(cells))
+    lines.append("(* = outside that Tao's training range)")
+    return "\n".join(lines)

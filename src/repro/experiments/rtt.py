@@ -1,0 +1,141 @@
+"""Experiment E4 — knowledge of propagation delay (Table 4, Figure 4).
+
+Four Tao protocols trained for RTT ranges {exactly 150 ms, 145-155 ms,
+140-160 ms, 50-250 ms} on a 33 Mbps dumbbell are tested across RTTs of
+1-300 ms.
+
+The paper's finding: training for exactly one RTT produces a protocol
+that collapses below ~50 ms, but even a *little* training diversity
+(145-155 ms) yields performance across 1-300 ms commensurate with the
+much broader 50-250 ms protocol — so prior knowledge of propagation
+delay is not particularly valuable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.objective import normalized_objective
+from ..core.omniscient import dumbbell_expected_throughput
+from ..core.scenario import NetworkConfig
+from ..remy.assets import load_tree
+from ..remy.tree import WhiskerTree
+from .common import DEFAULT, Scale, mean_normalized_score, run_seeds
+
+__all__ = ["TAO_RANGES", "RttPoint", "RttResult", "run", "format_table",
+           "sweep_rtts"]
+
+#: Design ranges (Table 4a), in milliseconds.
+TAO_RANGES: Dict[str, Tuple[float, float]] = {
+    "tao_rtt_150": (150.0, 150.0),
+    "tao_rtt_145_155": (145.0, 155.0),
+    "tao_rtt_140_160": (140.0, 160.0),
+    "tao_rtt_50_250": (50.0, 250.0),
+}
+
+_BASELINES = ("cubic", "cubic_sfqcodel")
+_LINK_MBPS = 33.0
+_SENDERS = 2
+
+
+@dataclass
+class RttPoint:
+    scheme: str
+    rtt_ms: float
+    normalized_objective: float
+    in_training_range: bool
+
+
+@dataclass
+class RttResult:
+    points: List[RttPoint] = field(default_factory=list)
+
+    def series(self, scheme: str) -> List[RttPoint]:
+        return sorted((p for p in self.points if p.scheme == scheme),
+                      key=lambda p: p.rtt_ms)
+
+
+def sweep_rtts(points: int) -> List[float]:
+    """RTTs covering the 1-300 ms testing range.
+
+    Linear spacing like the paper's Table 4b ("1, 2, 3 ... 300 ms"),
+    always including 150 ms so the exactly-150 Tao has an in-range
+    point, and always including the 1 ms short-RTT extreme where
+    Figure 4's cliffs live.
+    """
+    if points < 2:
+        raise ValueError("need at least two sweep points")
+    lo, hi = 1.0, 300.0
+    sweep = [lo + (hi - lo) * k / (points - 1) for k in range(points)]
+    if not any(abs(value - 150.0) < 1e-9 for value in sweep):
+        sweep.append(150.0)
+    return sorted(sweep)
+
+
+def _config_for(rtt_ms: float, kind: str, queue: str) -> NetworkConfig:
+    return NetworkConfig(
+        link_speeds_mbps=(_LINK_MBPS,), rtt_ms=rtt_ms,
+        sender_kinds=(kind,) * _SENDERS, deltas=(1.0,) * _SENDERS,
+        mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0, queue=queue)
+
+
+def _omniscient_point(rtt_ms: float) -> float:
+    config = _config_for(rtt_ms, "learner", "droptail")
+    expected = dumbbell_expected_throughput(
+        config.link_speed_bps(0), _SENDERS, config.p_on)
+    min_delay = config.rtt_ms / 2e3
+    return normalized_objective(expected, min_delay,
+                                config.fair_share_bps(), min_delay)
+
+
+def run(scale: Scale = DEFAULT,
+        trees: Optional[Dict[str, WhiskerTree]] = None,
+        base_seed: int = 1) -> RttResult:
+    """Sweep every scheme across the 1-300 ms testing scenarios."""
+    if trees is None:
+        trees = {}
+    loaded = {name: trees.get(name) or load_tree(name)
+              for name in TAO_RANGES}
+    result = RttResult()
+    for rtt_ms in sweep_rtts(scale.sweep_points):
+        for name, (lo, hi) in TAO_RANGES.items():
+            config = _config_for(rtt_ms, "learner", "droptail")
+            runs = run_seeds(config, trees={"learner": loaded[name]},
+                             scale=scale, base_seed=base_seed)
+            result.points.append(RttPoint(
+                scheme=name, rtt_ms=rtt_ms,
+                normalized_objective=mean_normalized_score(runs, config),
+                in_training_range=lo <= rtt_ms <= hi))
+        for baseline in _BASELINES:
+            queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
+                else "droptail"
+            config = _config_for(rtt_ms, "cubic", queue)
+            runs = run_seeds(config, scale=scale, base_seed=base_seed)
+            result.points.append(RttPoint(
+                scheme=baseline, rtt_ms=rtt_ms,
+                normalized_objective=mean_normalized_score(runs, config),
+                in_training_range=True))
+        result.points.append(RttPoint(
+            scheme="omniscient", rtt_ms=rtt_ms,
+            normalized_objective=_omniscient_point(rtt_ms),
+            in_training_range=True))
+    return result
+
+
+def format_table(result: RttResult) -> str:
+    schemes = list(TAO_RANGES) + list(_BASELINES) + ["omniscient"]
+    lines = ["Propagation delay (Table 4 / Figure 4)",
+             f"{'RTT ms':>8} " + " ".join(f"{s:>16}" for s in schemes)]
+    rtts = sorted({p.rtt_ms for p in result.points})
+    table = {(p.scheme, p.rtt_ms): p for p in result.points}
+    for rtt_ms in rtts:
+        cells = []
+        for scheme in schemes:
+            point = table[(scheme, rtt_ms)]
+            marker = "" if point.in_training_range else "*"
+            cells.append(
+                f"{point.normalized_objective:>15.2f}{marker or ' '}")
+        lines.append(f"{rtt_ms:>8.1f} " + " ".join(cells))
+    lines.append("(* = outside that Tao's training range)")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Experiment E9 — the value of congestion signals (section 3.4).
+
+The paper "knocks out" each of RemyCC's four congestion signals in turn
+and retrains a protocol without it; the performance drop measures that
+signal's value.  The finding: every signal contributes, no three-signal
+subset matches all four, and ``rec_ewma`` (short-term ACK interarrival)
+is the most valuable.
+
+The knockout rule tables are trained by ``scripts/train_assets.py``
+(mask-restricted whisker trees: a knocked-out signal can never be split
+on, so the protocol cannot condition behaviour on it).  This module
+evaluates them all on the calibration scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.objective import Objective
+from ..remy.assets import load_tree
+from ..remy.memory import SIGNAL_NAMES
+from ..remy.tree import WhiskerTree
+from .calibration import CALIBRATION_CONFIG
+from .common import DEFAULT, Scale, run_seeds, scored_flows
+
+__all__ = ["SignalKnockoutResult", "run", "format_table"]
+
+
+@dataclass
+class SignalKnockoutResult:
+    """Objective per variant; drops are vs. the full four-signal Tao."""
+
+    objective_by_variant: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def full_objective(self) -> float:
+        return self.objective_by_variant["all_signals"]
+
+    def drop(self, signal: str) -> float:
+        """Objective lost by removing ``signal`` (log2 units)."""
+        return (self.full_objective
+                - self.objective_by_variant[f"knockout_{signal}"])
+
+    def ranking(self) -> List[str]:
+        """Signals ordered from most to least valuable."""
+        return sorted(SIGNAL_NAMES, key=self.drop, reverse=True)
+
+
+def _evaluate(tree: WhiskerTree, scale: Scale,
+              base_seed: int) -> float:
+    objective = Objective(delta=1.0)
+    runs = run_seeds(CALIBRATION_CONFIG, trees={"learner": tree},
+                     scale=scale, base_seed=base_seed)
+    scores = []
+    for run_result in runs:
+        total = 0.0
+        for flow in scored_flows(run_result):
+            delay = flow.mean_delay_s if flow.packets_delivered \
+                else flow.base_delay_s
+            total += objective.score(flow.throughput_bps, delay)
+        scores.append(total)
+    return sum(scores) / len(scores)
+
+
+def run(scale: Scale = DEFAULT,
+        trees: Optional[Dict[str, WhiskerTree]] = None,
+        base_seed: int = 1) -> SignalKnockoutResult:
+    """Evaluate the full Tao and each knockout on the calibration net."""
+    if trees is None:
+        trees = {}
+    result = SignalKnockoutResult()
+    full = trees.get("tao_calibration") or load_tree("tao_calibration")
+    result.objective_by_variant["all_signals"] = _evaluate(
+        full, scale, base_seed)
+    for signal in SIGNAL_NAMES:
+        asset = f"tao_knockout_{signal}"
+        tree = trees.get(asset) or load_tree(asset)
+        result.objective_by_variant[f"knockout_{signal}"] = _evaluate(
+            tree, scale, base_seed)
+    return result
+
+
+def format_table(result: SignalKnockoutResult) -> str:
+    lines = ["Value of congestion signals (section 3.4)",
+             f"{'variant':<28} {'objective':>10} {'drop':>8}"]
+    lines.append(f"{'all_signals':<28} "
+                 f"{result.full_objective:>10.2f} {'-':>8}")
+    for signal in SIGNAL_NAMES:
+        variant = f"knockout_{signal}"
+        lines.append(
+            f"{variant:<28} "
+            f"{result.objective_by_variant[variant]:>10.2f} "
+            f"{result.drop(signal):>8.2f}")
+    ranking = ", ".join(result.ranking())
+    lines.append(f"most-to-least valuable: {ranking}")
+    lines.append("(paper: rec_ewma most valuable; all four contribute)")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Experiment E6/E7 — knowledge about incumbent endpoints (Table 6,
+Figures 7 and 8).
+
+Two Taos trained on a 10 Mbps / 100 ms dumbbell with a 250 kB buffer:
+``tao_tcp_naive`` expects only its own kind; ``tao_tcp_aware`` saw AIMD
+(NewReno-like) cross-traffic in half its training scenarios.  Testing
+(Table 6b) runs each against its own kind ("homogeneous") and against
+TCP NewReno ("mixed"), plus a NewReno-only cell for reference.
+
+Figure 7's findings: in homogeneous settings TCP-awareness *costs*
+(standing queues double the delay); against real TCP the naive Tao is
+squeezed out while the aware one claims its fair share and lowers
+everyone's delay.
+
+Figure 8 inspects the time domain: cross-traffic switches on at exactly
+t=5 s and off at t=10 s while the bottleneck queue is traced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.results import EllipsePoint, summarize_ellipse
+from ..core.scenario import NetworkConfig
+from ..remy.assets import load_tree
+from ..remy.tree import WhiskerTree
+from .common import DEFAULT, Scale, build_simulation, run_seeds
+
+__all__ = ["CELLS", "AwarenessCell", "AwarenessResult", "run",
+           "QueueTraceResult", "run_queue_trace", "format_table"]
+
+#: 250 kB buffer = 200 ms of queueing at 10 Mbps (Figure 7's caption).
+_BUFFER_BYTES = 250_000.0
+
+#: The Table 6b testing cells: name -> (sender kinds, which tree).
+CELLS: Dict[str, Tuple[Tuple[str, ...], Optional[str]]] = {
+    "naive_homogeneous": (("learner", "learner"), "tao_tcp_naive"),
+    "aware_homogeneous": (("learner", "learner"), "tao_tcp_aware"),
+    "naive_vs_newreno": (("learner", "newreno"), "tao_tcp_naive"),
+    "aware_vs_newreno": (("learner", "newreno"), "tao_tcp_aware"),
+    "newreno_only": (("newreno", "newreno"), None),
+}
+
+
+def _test_config(kinds: Tuple[str, ...]) -> NetworkConfig:
+    """Table 6b: 10 Mbps, 100 ms, 5 s ON / 10 ms OFF, 250 kB buffer."""
+    return NetworkConfig(
+        link_speeds_mbps=(10.0,), rtt_ms=100.0, sender_kinds=kinds,
+        deltas=tuple(1.0 for _ in kinds),
+        mean_on_s=5.0, mean_off_s=0.01, buffer_bytes=_BUFFER_BYTES,
+        buffer_bdp=None, queue="droptail")
+
+
+@dataclass
+class AwarenessCell:
+    """Per-kind summaries for one testing cell."""
+
+    name: str
+    by_kind: Dict[str, EllipsePoint] = field(default_factory=dict)
+
+
+@dataclass
+class AwarenessResult:
+    cells: Dict[str, AwarenessCell] = field(default_factory=dict)
+
+    def tao_point(self, cell: str) -> EllipsePoint:
+        return self.cells[cell].by_kind["learner"]
+
+    def newreno_point(self, cell: str) -> EllipsePoint:
+        return self.cells[cell].by_kind["newreno"]
+
+
+def run(scale: Scale = DEFAULT,
+        trees: Optional[Dict[str, WhiskerTree]] = None,
+        base_seed: int = 1) -> AwarenessResult:
+    """Run every Table 6b cell."""
+    if trees is None:
+        trees = {}
+    loaded = {
+        "tao_tcp_naive": trees.get("tao_tcp_naive")
+        or load_tree("tao_tcp_naive"),
+        "tao_tcp_aware": trees.get("tao_tcp_aware")
+        or load_tree("tao_tcp_aware"),
+    }
+    result = AwarenessResult()
+    for cell_name, (kinds, tree_name) in CELLS.items():
+        config = _test_config(kinds)
+        tree_map = {"learner": loaded[tree_name]} if tree_name else None
+        runs = run_seeds(config, trees=tree_map, scale=scale,
+                         base_seed=base_seed)
+        cell = AwarenessCell(name=cell_name)
+        for kind in set(kinds):
+            tpts = []
+            delays = []
+            for run_result in runs:
+                for flow in run_result.flows_of_kind(kind):
+                    if flow.packets_delivered == 0:
+                        continue
+                    tpts.append(flow.throughput_bps)
+                    delays.append(flow.queueing_delay_s)
+            if tpts:
+                cell.by_kind[kind] = summarize_ellipse(tpts, delays)
+        result.cells[cell_name] = cell
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: the queue trace with scheduled cross-traffic.
+# ----------------------------------------------------------------------
+@dataclass
+class QueueTraceResult:
+    """Bottleneck queue occupancy under scheduled TCP cross-traffic."""
+
+    scheme: str                      # "tao_tcp_aware" or "tao_tcp_naive"
+    times: np.ndarray
+    queue_packets: np.ndarray
+    drop_times: List[float]
+    tcp_interval: Tuple[float, float]
+
+    def mean_queue(self, start: float, stop: float) -> float:
+        mask = (self.times >= start) & (self.times < stop)
+        if not np.any(mask):
+            return 0.0
+        return float(np.mean(self.queue_packets[mask]))
+
+
+def run_queue_trace(scheme: str = "tao_tcp_aware",
+                    tree: Optional[WhiskerTree] = None,
+                    duration_s: float = 15.0,
+                    tcp_on_at: float = 5.0,
+                    tcp_off_at: float = 10.0,
+                    seed: int = 1) -> QueueTraceResult:
+    """Figure 8: trace the bottleneck queue while a NewReno flow turns
+    on at exactly ``tcp_on_at`` and off at ``tcp_off_at``."""
+    if tree is None:
+        tree = load_tree(scheme)
+    config = _test_config(("learner", "newreno"))
+    handle = build_simulation(
+        config, trees={"learner": tree}, seed=seed, trace_queues=True,
+        workload_intervals={
+            0: [(0.0, duration_s)],                  # Tao always on
+            1: [(tcp_on_at, tcp_off_at)],            # contrived TCP
+        })
+    handle.run(duration_s)
+    trace = handle.traces["A->B"]
+    times, lengths = trace.sample(step_s=0.05, until=duration_s)
+    return QueueTraceResult(
+        scheme=scheme, times=times, queue_packets=lengths,
+        drop_times=trace.drop_times(),
+        tcp_interval=(tcp_on_at, tcp_off_at))
+
+
+def format_table(result: AwarenessResult) -> str:
+    lines = ["TCP-awareness (Table 6 / Figure 7)",
+             f"{'cell':<22} {'kind':<10} {'tpt (Mbps)':>11} "
+             f"{'qdelay (ms)':>12}"]
+    for cell_name, cell in result.cells.items():
+        for kind, point in sorted(cell.by_kind.items()):
+            lines.append(
+                f"{cell_name:<22} {kind:<10} "
+                f"{point.median_throughput_bps / 1e6:>11.2f} "
+                f"{point.median_delay_s * 1e3:>12.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Congestion-control protocols and the shared transport machinery."""
+
+from .aimd import AimdController
+from .base import AckContext, CongestionController, MAX_WINDOW_PACKETS
+from .cubic import CUBIC_BETA, CUBIC_C, CubicController
+from .newreno import NewRenoController
+from .registry import (available_schemes, make_controller,
+                       register_scheme)
+from .remycc import REMY_MAX_WINDOW, RemyCCController
+from .vegas import VegasController
+from .transport import (DATA_PACKET_BYTES, FlowReceiver, FlowSender,
+                        ReceiverStats, SenderStats)
+
+__all__ = [
+    "CongestionController", "AckContext", "MAX_WINDOW_PACKETS",
+    "AimdController", "NewRenoController",
+    "CubicController", "CUBIC_C", "CUBIC_BETA",
+    "RemyCCController", "REMY_MAX_WINDOW",
+    "VegasController",
+    "FlowSender", "FlowReceiver", "SenderStats", "ReceiverStats",
+    "DATA_PACKET_BYTES",
+    "make_controller", "register_scheme", "available_schemes",
+]

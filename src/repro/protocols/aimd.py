@@ -1,0 +1,80 @@
+"""Configurable AIMD congestion control.
+
+The paper's cross-traffic model: "Remy uses an AIMD protocol similar to
+TCP NewReno to simulate TCP cross-traffic" (section 4.5).  This module
+provides the plain additive-increase / multiplicative-decrease core with
+optional slow start; :mod:`repro.protocols.newreno` builds the full
+NewReno behaviour (fast-recovery window inflation) on top of it.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, CongestionController
+
+__all__ = ["AimdController"]
+
+
+class AimdController(CongestionController):
+    """AIMD: +``increase`` packets per RTT, x``decrease`` on loss.
+
+    Parameters
+    ----------
+    increase:
+        Additive increase per round trip, in packets (TCP uses 1).
+    decrease:
+        Multiplicative decrease factor applied on loss (TCP uses 0.5).
+    initial_window:
+        Congestion window at flow start.
+    use_slow_start:
+        Grow exponentially until ``ssthresh`` like TCP, then linearly.
+    """
+
+    name = "aimd"
+
+    def __init__(self, increase: float = 1.0, decrease: float = 0.5,
+                 initial_window: float = 2.0,
+                 use_slow_start: bool = True,
+                 reset_each_on: bool = False):
+        super().__init__()
+        if not 0.0 < decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        if increase <= 0.0:
+            raise ValueError("increase must be positive")
+        self.increase = increase
+        self.decrease = decrease
+        self.initial_window = initial_window
+        self.use_slow_start = use_slow_start
+        self.reset_each_on = reset_each_on
+        self.ssthresh = float("inf")
+        self.window = initial_window
+        self._started = False
+
+    def on_flow_start(self, now: float) -> None:
+        # Persistent-connection semantics by default (see NewReno).
+        if self._started and not self.reset_each_on:
+            return
+        self._started = True
+        self.window = self.initial_window
+        self.ssthresh = float("inf")
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.in_recovery:
+            return
+        if self.use_slow_start and self.window < self.ssthresh:
+            self.window += ctx.newly_acked
+        else:
+            self.window += self.increase * ctx.newly_acked / self.window
+        self._clamp_window()
+
+    def on_loss(self, now: float) -> None:
+        self.ssthresh = max(self.window * self.decrease, 2.0)
+        self.window = self.ssthresh
+        self._clamp_window()
+
+    def on_recovery_exit(self, ctx: AckContext) -> None:
+        self.window = self.ssthresh
+        self._clamp_window()
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(self.window * self.decrease, 2.0)
+        self.window = 1.0

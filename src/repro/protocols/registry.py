@@ -1,0 +1,62 @@
+"""Name-based registry of congestion-controller constructors.
+
+Experiments refer to schemes by short strings ("cubic", "newreno",
+"aimd", or "tao" with an attached whisker tree); the registry turns those
+names into fresh controller instances, one per sender.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..remy.tree import WhiskerTree
+from .aimd import AimdController
+from .base import CongestionController
+from .cubic import CubicController
+from .newreno import NewRenoController
+from .remycc import RemyCCController
+from .vegas import VegasController
+
+__all__ = ["ControllerFactory", "make_controller", "register_scheme",
+           "available_schemes"]
+
+ControllerFactory = Callable[[], CongestionController]
+
+_BUILTIN: Dict[str, ControllerFactory] = {
+    "cubic": CubicController,
+    "newreno": NewRenoController,
+    "aimd": AimdController,
+    "vegas": VegasController,
+}
+
+_EXTRA: Dict[str, ControllerFactory] = {}
+
+
+def register_scheme(name: str, factory: ControllerFactory) -> None:
+    """Register a custom scheme under ``name`` (overrides allowed)."""
+    _EXTRA[name] = factory
+
+
+def available_schemes() -> list[str]:
+    """Names accepted by :func:`make_controller` (besides "tao")."""
+    return sorted(set(_BUILTIN) | set(_EXTRA))
+
+
+def make_controller(name: str,
+                    tree: Optional[WhiskerTree] = None,
+                    record_usage: bool = False) -> CongestionController:
+    """Build a fresh controller for one sender.
+
+    ``name`` may be any registered scheme, or ``"tao"`` / ``"remycc"`` /
+    ``"learner"`` — the rule-table runtime, which requires ``tree``.
+    """
+    if name in ("tao", "remycc", "learner"):
+        if tree is None:
+            raise ValueError(f"scheme {name!r} requires a whisker tree")
+        return RemyCCController(tree, record_usage=record_usage)
+    if name in _EXTRA:
+        return _EXTRA[name]()
+    if name in _BUILTIN:
+        return _BUILTIN[name]()
+    raise ValueError(
+        f"unknown scheme {name!r}; available: {available_schemes()}")

@@ -1,0 +1,84 @@
+"""RemyCC: the runtime for computer-generated (Tao) congestion control.
+
+A RemyCC sender keeps the paper's four congestion signals
+(:class:`~repro.remy.memory.Memory`), and on every arriving ACK looks the
+signal vector up in a :class:`~repro.remy.tree.WhiskerTree` and applies
+the matched action (paper sections 3.3 and 3.5):
+
+* congestion window becomes ``m * cwnd + b`` (clamped to [1, cap]),
+* outgoing packets are paced at least ``tau`` seconds apart.
+
+On a retransmission timeout the memory and window reset, mirroring the
+watchdog behaviour of the authors' ns-2 RemyCC port.
+"""
+
+from __future__ import annotations
+
+from ..remy.memory import Memory
+from ..remy.tree import WhiskerTree
+from .base import AckContext, CongestionController
+
+__all__ = ["RemyCCController", "REMY_MAX_WINDOW"]
+
+#: Window cap for rule-table protocols.  Large enough for the biggest
+#: bandwidth-delay product in the study (1000 Mbps x 150 ms = 12500
+#: packets) with headroom.
+REMY_MAX_WINDOW = 20_000.0
+
+
+class RemyCCController(CongestionController):
+    """Window/pacing control driven by a whisker tree.
+
+    Parameters
+    ----------
+    tree:
+        The rule table (pre-trained asset or optimizer output).
+    record_usage:
+        When True, every lookup updates the matched whisker's usage
+        statistics — the optimizer needs this; plain evaluation runs
+        leave it off for speed.
+    """
+
+    name = "remycc"
+
+    def __init__(self, tree: WhiskerTree, record_usage: bool = False,
+                 initial_window: float = 1.0):
+        super().__init__()
+        self.tree = tree
+        self.record_usage = record_usage
+        self.initial_window = initial_window
+        self.memory = Memory()
+        self.window = initial_window
+        self._intersend = 0.0
+
+    def on_flow_start(self, now: float) -> None:
+        self.memory.reset()
+        self.window = self.initial_window
+        self._intersend = 0.0
+
+    def on_ack(self, ctx: AckContext) -> None:
+        self._update(ctx)
+
+    def on_dupack(self, ctx: AckContext) -> None:
+        # A duplicate ACK still carries timing information; RemyCC has no
+        # loss-specific rule, so it treats every ACK arrival alike.
+        self._update(ctx)
+
+    def _update(self, ctx: AckContext) -> None:
+        self.memory.on_ack(ctx.now, ctx.echo_sent_at, ctx.rtt_sample)
+        vector = self.memory.vector()
+        whisker = self.tree.lookup(vector)
+        if self.record_usage:
+            whisker.record_use(vector)
+        action = whisker.action
+        new_window = action.apply_to_window(self.window)
+        self.window = min(max(new_window, 1.0), REMY_MAX_WINDOW)
+        self._intersend = action.intersend_s
+
+    def on_timeout(self, now: float) -> None:
+        self.memory.reset()
+        self.window = self.initial_window
+        self._intersend = 0.0
+
+    def pacing_interval(self) -> float:
+        return self._intersend

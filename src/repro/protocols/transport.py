@@ -1,0 +1,400 @@
+"""Shared transport machinery: window/pacing sender and ACK-ing receiver.
+
+The sender implements the mechanics common to every scheme in the paper:
+
+* a congestion window capping packets in flight (read from the attached
+  :class:`~repro.protocols.base.CongestionController`),
+* optional pacing with a lower-bound inter-send interval (RemyCC's tau),
+* cumulative ACK processing with RTT estimation,
+* RACK-style loss detection with exact pipe accounting: a packet is
+  declared lost when a packet sent *after* it is acknowledged.  The
+  simulated network never reorders (FIFO links), so this rule is exact —
+  it is the idealization of SACK + RACK that modern TCPs converge to,
+  and what the ns-2 Linux TCP agents used in the paper effectively do.
+* a retransmission timeout with exponential backoff as the last resort
+  (e.g. tail loss with nothing left in flight to trigger RACK).
+
+The receiver delivers unique payload exactly once, records per-packet
+delay from *first* transmission to delivery (the application-level delay
+the paper's objective uses), and emits one cumulative ACK per arriving
+data packet, echoing the data packet's send timestamp (the signal
+RemyCC's ``send_ewma`` and the sender's loss detection both use).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from ..sim.engine import Event, Simulator, Timer
+from ..sim.network import Network
+from ..sim.packet import Packet
+from .base import AckContext, CongestionController
+
+__all__ = ["FlowSender", "FlowReceiver", "SenderStats", "ReceiverStats",
+           "DATA_PACKET_BYTES", "MIN_RTO", "MAX_RTO"]
+
+#: On-the-wire size of a data packet (payload + headers).
+DATA_PACKET_BYTES = 1500
+
+#: Retransmission timer bounds (seconds), per RFC 6298 but with the
+#: conventional simulator floor of 200 ms rather than 1 s.
+MIN_RTO = 0.2
+MAX_RTO = 60.0
+
+
+class SenderStats:
+    """Counters kept by the sending side."""
+
+    __slots__ = ("packets_sent", "retransmissions", "timeouts",
+                 "loss_events")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.loss_events = 0
+
+
+class ReceiverStats:
+    """Counters kept by the receiving side."""
+
+    __slots__ = ("packets_received", "unique_delivered", "delivered_bytes",
+                 "delay_sum", "max_delay")
+
+    def __init__(self) -> None:
+        self.packets_received = 0
+        self.unique_delivered = 0
+        self.delivered_bytes = 0
+        self.delay_sum = 0.0
+        self.max_delay = 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean first-send-to-delivery latency of unique packets."""
+        if self.unique_delivered == 0:
+            return 0.0
+        return self.delay_sum / self.unique_delivered
+
+
+class FlowSender:
+    """The sending endpoint of one flow.
+
+    Per-sequence state machine: a sequence number is OUTSTANDING from
+    transmission until it is either delivered (cumulative ACK or the
+    sack-equivalent per-packet ACK) or declared LOST (an ACK arrives for
+    data sent later).  LOST sequences queue for retransmission, ordered
+    by sequence number, and re-enter OUTSTANDING when resent.  ``pipe``
+    counts OUTSTANDING packets and gates transmission against the
+    congestion window.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, flow_id: int,
+                 controller: CongestionController,
+                 packet_bytes: int = DATA_PACKET_BYTES):
+        self.sim = sim
+        self.network = network
+        self.flow_id = flow_id
+        self.cc = controller
+        self.packet_bytes = packet_bytes
+        self.stats = SenderStats()
+
+        path = network.flows[flow_id]
+        self.base_rtt = path.base_delay(packet_bytes, ack_bytes=40)
+        network.attach_sender(flow_id, self._on_ack_packet)
+
+        # Reliability state.
+        self.on = False
+        self.next_seq = 0
+        self.cum_acked = 0
+        self.in_recovery = False
+        self._recover_point = -1
+        #: seq -> time of the most recent transmission (OUTSTANDING only).
+        self._sent_time: Dict[int, float] = {}
+        #: Transmissions in send order, (seq, sent_at); stale entries are
+        #: skipped by checking against _sent_time.
+        self._send_log: Deque[Tuple[int, float]] = deque()
+        #: Sequences declared lost, awaiting retransmission (sorted).
+        self._lost: list[int] = []
+        #: Delivered above the cumulative point (the sender's SACK view).
+        self._delivered_above: Set[int] = set()
+        #: seq -> first transmission time (for application-delay stamps).
+        self._first_sent: Dict[int, float] = {}
+        self.pipe = 0
+
+        # RTT estimation (seeded from the unloaded path RTT).
+        self.srtt = self.base_rtt
+        self.rttvar = self.base_rtt / 2.0
+        self._have_rtt_sample = False
+        self._rto_backoff = 1.0
+
+        # Pacing and timers.
+        self._next_send_time = 0.0
+        self._wakeup: Optional[Event] = None
+        self._rto_timer = Timer(sim, self._on_rto)
+
+    # ------------------------------------------------------------------
+    # Application control (driven by workloads)
+    # ------------------------------------------------------------------
+    def set_on(self, now: float) -> None:
+        """Application has data: reset congestion state and start sending."""
+        self.on = True
+        self.cc.on_flow_start(now)
+        self.in_recovery = False
+        self._rto_backoff = 1.0
+        self._next_send_time = now
+        if self.outstanding > 0:
+            # Re-arm with a fresh (un-backed-off) deadline: the timer may
+            # have doubled repeatedly while the application was idle.
+            self._rto_timer.restart(self.rto)
+        self._maybe_send()
+
+    def set_off(self, now: float) -> None:
+        """Application went idle: stop transmitting (in-flight data drains)."""
+        self.on = False
+        self._cancel_wakeup()
+        # The RTO stays armed so tail losses are still detected; _on_rto
+        # sends nothing while off.
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Packets in flight plus losses awaiting retransmission."""
+        return self.pipe + len(self._lost)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout with backoff applied."""
+        base = self.srtt + 4.0 * self.rttvar
+        if not self._have_rtt_sample:
+            # RFC 6298's conservative initial RTO: the true RTT may be
+            # far above the unloaded path RTT (deep standing queues).
+            base = max(base, 1.0)
+        return min(max(base, MIN_RTO) * self._rto_backoff, MAX_RTO)
+
+    # ------------------------------------------------------------------
+    # Transmission path
+    # ------------------------------------------------------------------
+    def _maybe_send(self) -> None:
+        now = self.sim.now
+        while self.on and self.pipe < self.cc.window:
+            if now < self._next_send_time:
+                self._schedule_wakeup(self._next_send_time)
+                return
+            if not self._transmit_one(now):
+                return
+            pacing = self.cc.pacing_interval()
+            if pacing > 0.0:
+                self._next_send_time = now + pacing
+
+    def _transmit_one(self, now: float) -> bool:
+        if self._lost:
+            seq = self._lost.pop(0)
+            first = self._first_sent.get(seq, now)
+            retransmission = True
+            self.stats.retransmissions += 1
+        else:
+            seq = self.next_seq
+            self.next_seq += 1
+            first = now
+            self._first_sent[seq] = now
+            retransmission = False
+        packet = Packet(self.flow_id, seq, self.packet_bytes,
+                        sent_at=now, first_sent_at=first,
+                        is_retransmission=retransmission)
+        self._sent_time[seq] = now
+        self._send_log.append((seq, now))
+        self.pipe += 1
+        self.network.send_data(packet)
+        self.stats.packets_sent += 1
+        if not self._rto_timer.pending:
+            self._rto_timer.restart(self.rto)
+        return True
+
+    def _schedule_wakeup(self, at: float) -> None:
+        if self._wakeup is not None and not self._wakeup.cancelled:
+            if self._wakeup.time <= at:
+                return
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule_at(at, self._wakeup_fired)
+
+    def _wakeup_fired(self) -> None:
+        self._wakeup = None
+        self._maybe_send()
+
+    def _cancel_wakeup(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+
+    # ------------------------------------------------------------------
+    # ACK path
+    # ------------------------------------------------------------------
+    def _on_ack_packet(self, ack: Packet) -> None:
+        now = self.sim.now
+        old_cum = self.cum_acked
+        self._register_delivery(ack.seq)
+        if ack.ack_seq > self.cum_acked:
+            self._advance_cum(ack.ack_seq)
+        new_losses = self._detect_losses(ack.echo_sent_at)
+
+        rtt_sample = now - ack.echo_sent_at
+        self._update_rtt(rtt_sample)
+
+        if new_losses and not self.in_recovery:
+            self.in_recovery = True
+            self._recover_point = self.next_seq
+            self.stats.loss_events += 1
+            self.cc.on_loss(now)
+
+        exited_recovery = False
+        if self.in_recovery and self.cum_acked >= self._recover_point:
+            self.in_recovery = False
+            exited_recovery = True
+
+        newly = self.cum_acked - old_cum
+        ctx = AckContext(now=now, rtt_sample=rtt_sample,
+                         newly_acked=newly,
+                         cum_ack=self.cum_acked,
+                         echo_sent_at=ack.echo_sent_at,
+                         receiver_time=ack.receiver_time,
+                         in_recovery=self.in_recovery,
+                         base_rtt=self.base_rtt)
+        if exited_recovery:
+            self.cc.on_recovery_exit(ctx)
+        if newly > 0:
+            self._rto_backoff = 1.0
+            self.cc.on_ack(ctx)
+        else:
+            self.cc.on_dupack(ctx)
+
+        if self.outstanding > 0:
+            self._rto_timer.restart(self.rto)
+        else:
+            self._rto_timer.cancel()
+        self._maybe_send()
+
+    def _register_delivery(self, seq: int) -> None:
+        """The ACK proves ``seq`` arrived (SACK-equivalent knowledge)."""
+        if seq < self.cum_acked or seq in self._delivered_above:
+            return
+        self._delivered_above.add(seq)
+        if self._sent_time.pop(seq, None) is not None:
+            self.pipe -= 1
+        else:
+            # Was (mistakenly or after timeout) marked lost but arrived.
+            try:
+                self._lost.remove(seq)
+            except ValueError:
+                pass
+
+    def _advance_cum(self, new_cum: int) -> None:
+        for seq in range(self.cum_acked, new_cum):
+            self._delivered_above.discard(seq)
+            self._first_sent.pop(seq, None)
+            if self._sent_time.pop(seq, None) is not None:
+                self.pipe -= 1
+            elif seq in self._lost:
+                self._lost.remove(seq)
+        self.cum_acked = new_cum
+        if self.next_seq < new_cum:  # pragma: no cover - defensive
+            self.next_seq = new_cum
+
+    def _detect_losses(self, ref_sent_time: float) -> int:
+        """RACK rule: outstanding data sent before ``ref_sent_time`` whose
+        ACK has not arrived is lost (no reordering in the simulator)."""
+        new_losses = 0
+        log = self._send_log
+        while log and log[0][1] < ref_sent_time:
+            seq, sent_at = log.popleft()
+            current = self._sent_time.get(seq)
+            if current is None or current != sent_at:
+                continue   # stale entry: delivered, cum'd, or resent
+            del self._sent_time[seq]
+            self.pipe -= 1
+            self._insert_lost(seq)
+            new_losses += 1
+        return new_losses
+
+    def _insert_lost(self, seq: int) -> None:
+        lost = self._lost
+        if not lost or seq > lost[-1]:
+            lost.append(seq)
+            return
+        index = bisect.bisect_left(lost, seq)
+        if index >= len(lost) or lost[index] != seq:
+            lost.insert(index, seq)
+
+    def _update_rtt(self, sample: float) -> None:
+        if sample <= 0:
+            return
+        if not self._have_rtt_sample:
+            # RFC 6298 initialization on the first measurement.
+            self._have_rtt_sample = True
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+            return
+        delta = sample - self.srtt
+        self.srtt += delta / 8.0
+        self.rttvar += (abs(delta) - self.rttvar) / 4.0
+
+    # ------------------------------------------------------------------
+    # Timeout path
+    # ------------------------------------------------------------------
+    def _on_rto(self) -> None:
+        if self.outstanding == 0:
+            return
+        now = self.sim.now
+        self.stats.timeouts += 1
+        if self.on:
+            self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
+        # Everything still in flight is presumed lost; data known
+        # delivered (the SACK view) is never resent.
+        while self._send_log:
+            seq, sent_at = self._send_log.popleft()
+            current = self._sent_time.get(seq)
+            if current is None or current != sent_at:
+                continue
+            del self._sent_time[seq]
+            self.pipe -= 1
+            self._insert_lost(seq)
+        self.in_recovery = True
+        self._recover_point = self.next_seq
+        self.cc.on_timeout(now)
+        self._rto_timer.restart(self.rto)
+        if self.on:
+            self._next_send_time = now
+            self._maybe_send()
+
+
+class FlowReceiver:
+    """The receiving endpoint: delivers unique data, emits cumulative ACKs."""
+
+    def __init__(self, sim: Simulator, network: Network, flow_id: int):
+        self.sim = sim
+        self.network = network
+        self.flow_id = flow_id
+        self.stats = ReceiverStats()
+        self.cum = 0
+        self._buffered: Set[int] = set()
+        network.attach_receiver(flow_id, self._on_data)
+
+    def _on_data(self, packet: Packet) -> None:
+        now = self.sim.now
+        self.stats.packets_received += 1
+        if packet.seq >= self.cum and packet.seq not in self._buffered:
+            self._buffered.add(packet.seq)
+            self.stats.unique_delivered += 1
+            self.stats.delivered_bytes += packet.size_bytes
+            delay = now - packet.first_sent_at
+            self.stats.delay_sum += delay
+            if delay > self.stats.max_delay:
+                self.stats.max_delay = delay
+            while self.cum in self._buffered:
+                self._buffered.remove(self.cum)
+                self.cum += 1
+        ack = Packet.make_ack(packet, self.cum, now)
+        self.network.send_ack(ack)

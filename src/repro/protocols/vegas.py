@@ -1,0 +1,113 @@
+"""TCP Vegas (Brakmo, O'Malley, Peterson 1994).
+
+Vegas is the paper's canonical cautionary tale (section 4.5): a
+delay-based protocol that performs beautifully against its own kind but
+is "squeezed out by the more-aggressive cross-traffic produced by
+traditional TCP", which is why delay-based designs saw little adoption
+— and exactly the fate the TCP-naive Tao meets in Figure 7.  Including
+it lets users reproduce that classic squeeze directly against this
+repository's NewReno/Cubic.
+
+Algorithm (congestion avoidance, per RTT):
+
+    diff = cwnd / base_rtt - cwnd / rtt        # packets "in the queue"
+    diff < alpha  ->  cwnd += 1
+    diff > beta   ->  cwnd -= 1
+    otherwise         hold
+
+with the classic alpha=1, beta=3 thresholds, plus a Vegas-flavoured
+slow start that doubles only every other RTT and exits once diff
+exceeds gamma.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, CongestionController
+
+__all__ = ["VegasController"]
+
+
+class VegasController(CongestionController):
+    """Delay-based TCP Vegas."""
+
+    name = "vegas"
+
+    def __init__(self, alpha: float = 1.0, beta: float = 3.0,
+                 gamma: float = 1.0, initial_window: float = 2.0,
+                 reset_each_on: bool = False):
+        super().__init__()
+        if not 0 < alpha <= beta:
+            raise ValueError("need 0 < alpha <= beta")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.initial_window = initial_window
+        self.reset_each_on = reset_each_on
+        self.window = initial_window
+        self.base_rtt = float("inf")
+        self._in_slow_start = True
+        self._grow_this_round = True
+        self._round_end = 0.0
+        self._round_min_rtt = float("inf")
+        self._started = False
+        self._in_recovery = False
+
+    def on_flow_start(self, now: float) -> None:
+        if self._started and not self.reset_each_on:
+            return
+        self._started = True
+        self.window = self.initial_window
+        self.base_rtt = float("inf")
+        self._in_slow_start = True
+        self._grow_this_round = True
+        self._round_end = 0.0
+        self._round_min_rtt = float("inf")
+        self._in_recovery = False
+
+    def on_ack(self, ctx: AckContext) -> None:
+        rtt = ctx.rtt_sample
+        if rtt <= 0:
+            return
+        if rtt < self.base_rtt:
+            self.base_rtt = rtt
+        if rtt < self._round_min_rtt:
+            self._round_min_rtt = rtt
+        if self._in_recovery and ctx.in_recovery:
+            return
+        if ctx.now >= self._round_end:
+            self._end_of_round(ctx.now)
+
+    def _end_of_round(self, now: float) -> None:
+        rtt = self._round_min_rtt if self._round_min_rtt < float("inf") \
+            else self.base_rtt
+        self._round_end = now + rtt
+        self._round_min_rtt = float("inf")
+        # Expected vs actual rate difference, in packets of queue.
+        diff = self.window * (1.0 - self.base_rtt / rtt)
+        if self._in_slow_start:
+            if diff > self.gamma:
+                self._in_slow_start = False
+                self.window -= diff   # drain the overshoot
+            elif self._grow_this_round:
+                self.window *= 2.0
+            self._grow_this_round = not self._grow_this_round
+        else:
+            if diff < self.alpha:
+                self.window += 1.0
+            elif diff > self.beta:
+                self.window -= 1.0
+        self._clamp_window(minimum=2.0)
+
+    def on_loss(self, now: float) -> None:
+        # Vegas halves less aggressively than Reno on actual loss.
+        self.window = max(self.window * 0.75, 2.0)
+        self._in_slow_start = False
+        self._in_recovery = True
+
+    def on_recovery_exit(self, ctx: AckContext) -> None:
+        self._in_recovery = False
+
+    def on_timeout(self, now: float) -> None:
+        self.window = 2.0
+        self._in_slow_start = True
+        self._in_recovery = False

@@ -1,0 +1,33 @@
+"""The Remy protocol-design tool (substrate reimplementation).
+
+Whisker-tree rule tables, the congestion-signal memory, and the
+iterative optimizer that searches for "tractable attempts at optimal"
+(Tao) protocols given a training :class:`~repro.core.scenario.ScenarioRange`.
+"""
+
+from .action import (DEFAULT_ACTION, MAX_INTERSEND_S, MAX_WINDOW_INCREMENT,
+                     MAX_WINDOW_MULTIPLE, MIN_INTERSEND_S,
+                     MIN_WINDOW_INCREMENT, MIN_WINDOW_MULTIPLE, Action)
+from .assets import (asset_dir, available_assets, load_asset_metadata,
+                     load_tree, save_asset)
+from .evaluator import EvalResult, EvalSettings, TreeEvaluator
+from .memory import (ALL_SIGNALS, NUM_SIGNALS, SIGNAL_LOWER_BOUNDS,
+                     SIGNAL_NAMES, SIGNAL_UPPER_BOUNDS, Memory, SignalMask)
+from .optimizer import (OptimizerSettings, RemyOptimizer, TrainingLog,
+                        cooptimize)
+from .tree import WhiskerTree
+from .whisker import Whisker, full_domain
+
+__all__ = [
+    "Action", "DEFAULT_ACTION",
+    "MIN_WINDOW_MULTIPLE", "MAX_WINDOW_MULTIPLE",
+    "MIN_WINDOW_INCREMENT", "MAX_WINDOW_INCREMENT",
+    "MIN_INTERSEND_S", "MAX_INTERSEND_S",
+    "Memory", "SignalMask", "ALL_SIGNALS", "SIGNAL_NAMES", "NUM_SIGNALS",
+    "SIGNAL_LOWER_BOUNDS", "SIGNAL_UPPER_BOUNDS",
+    "Whisker", "full_domain", "WhiskerTree",
+    "EvalSettings", "EvalResult", "TreeEvaluator",
+    "OptimizerSettings", "RemyOptimizer", "TrainingLog", "cooptimize",
+    "asset_dir", "available_assets", "load_tree", "save_asset",
+    "load_asset_metadata",
+]

@@ -1,0 +1,115 @@
+"""RemyCC actions.
+
+An action is the triplet the paper describes in section 3.5:
+
+* ``window_multiple`` (m) — multiplier applied to the congestion window,
+* ``window_increment`` (b) — additive term,
+* ``intersend_s`` (tau) — lower bound on the pacing interval between
+  transmissions, in seconds.
+
+On every ACK the sender sets ``cwnd = m * cwnd + b`` and paces outgoing
+packets at least ``tau`` apart.  With a stable whisker (m < 1) the window
+converges to the fixed point ``b / (1 - m)``, which is how a piecewise-
+constant rule table expresses a target window per congestion regime.
+
+The optimizer explores neighbouring actions; :meth:`Action.neighbors`
+generates the moves (additive in m and b, multiplicative in tau, with a
+geometrically growing step for the expanding-search refinement Remy
+uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Action", "DEFAULT_ACTION",
+           "MIN_WINDOW_MULTIPLE", "MAX_WINDOW_MULTIPLE",
+           "MIN_WINDOW_INCREMENT", "MAX_WINDOW_INCREMENT",
+           "MIN_INTERSEND_S", "MAX_INTERSEND_S"]
+
+MIN_WINDOW_MULTIPLE = 0.0
+MAX_WINDOW_MULTIPLE = 2.0
+MIN_WINDOW_INCREMENT = -32.0
+MAX_WINDOW_INCREMENT = 64.0
+MIN_INTERSEND_S = 2e-5
+MAX_INTERSEND_S = 1.0
+
+#: Base step sizes for the optimizer's neighbourhood moves.
+_MULTIPLE_STEP = 0.05
+_INCREMENT_STEP = 1.0
+_INTERSEND_FACTOR = 1.6
+
+
+@dataclass(frozen=True)
+class Action:
+    """One (m, b, tau) triplet, always stored clamped to legal bounds."""
+
+    window_multiple: float
+    window_increment: float
+    intersend_s: float
+
+    def clamped(self) -> "Action":
+        """Return a copy with every component inside its legal range."""
+        return Action(
+            min(max(self.window_multiple, MIN_WINDOW_MULTIPLE),
+                MAX_WINDOW_MULTIPLE),
+            min(max(self.window_increment, MIN_WINDOW_INCREMENT),
+                MAX_WINDOW_INCREMENT),
+            min(max(self.intersend_s, MIN_INTERSEND_S), MAX_INTERSEND_S),
+        )
+
+    def apply_to_window(self, window: float) -> float:
+        """The per-ACK window map: ``m * w + b`` (uncapped)."""
+        return self.window_multiple * window + self.window_increment
+
+    def neighbors(self, scale: float = 1.0) -> List["Action"]:
+        """The six single-dimension moves at step size ``scale``.
+
+        Moves that fall outside the legal bounds are clamped; moves that
+        collapse onto the current action are dropped.
+        """
+        m_step = _MULTIPLE_STEP * scale
+        b_step = _INCREMENT_STEP * scale
+        t_factor = _INTERSEND_FACTOR ** scale
+        raw = [
+            Action(self.window_multiple + m_step, self.window_increment,
+                   self.intersend_s),
+            Action(self.window_multiple - m_step, self.window_increment,
+                   self.intersend_s),
+            Action(self.window_multiple, self.window_increment + b_step,
+                   self.intersend_s),
+            Action(self.window_multiple, self.window_increment - b_step,
+                   self.intersend_s),
+            Action(self.window_multiple, self.window_increment,
+                   self.intersend_s * t_factor),
+            Action(self.window_multiple, self.window_increment,
+                   self.intersend_s / t_factor),
+        ]
+        out: List[Action] = []
+        for candidate in raw:
+            clamped = candidate.clamped()
+            if clamped != self and clamped not in out:
+                out.append(clamped)
+        return out
+
+    def to_dict(self) -> dict:
+        return {"m": self.window_multiple, "b": self.window_increment,
+                "tau": self.intersend_s}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Action":
+        return cls(float(data["m"]), float(data["b"]),
+                   float(data["tau"])).clamped()
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.window_multiple
+        yield self.window_increment
+        yield self.intersend_s
+
+
+#: The optimizer's starting point: hold the window (m=1, b=1 grows it by
+#: one packet per ACK, i.e. slow-start-fast) with light pacing.  Training
+#: immediately tunes this; it only needs to produce *some* ACK clock.
+DEFAULT_ACTION = Action(window_multiple=1.0, window_increment=1.0,
+                        intersend_s=1e-4)

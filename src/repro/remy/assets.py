@@ -1,0 +1,81 @@
+"""Pre-trained whisker trees shipped with the package.
+
+Training a Tao protocol takes minutes-to-hours even at this
+reproduction's reduced scale, so the benchmark harness loads rule tables
+trained ahead of time by ``scripts/train_assets.py`` and stored as JSON
+under ``repro/data/assets/``.  Each asset file records the tree, the
+training scenario range, and the training log, so every shipped
+protocol is reproducible from the committed code.
+
+Asset names mirror the paper's protocol names (Table 2a etc.):
+``tao_2x`` ... ``tao_1000x``, ``tao_mux_1_2`` ... ``tao_mux_1_100``,
+``tao_rtt_150`` ..., ``tao_structure_one`` / ``tao_structure_two``,
+``tao_tcp_naive`` / ``tao_tcp_aware``, ``tao_delta_*``, and the signal
+knockout variants ``tao_knockout_<signal>``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .tree import WhiskerTree
+
+__all__ = ["asset_dir", "available_assets", "load_tree", "save_asset",
+           "load_asset_metadata"]
+
+
+def asset_dir() -> Path:
+    """Directory holding the shipped rule tables."""
+    return Path(__file__).resolve().parent.parent / "data" / "assets"
+
+
+def available_assets() -> List[str]:
+    """Names of all shipped rule tables."""
+    directory = asset_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(path.stem for path in directory.glob("*.json"))
+
+
+def _asset_path(name: str) -> Path:
+    return asset_dir() / f"{name}.json"
+
+
+def load_tree(name: str) -> WhiskerTree:
+    """Load a shipped rule table by name (e.g. ``"tao_2x"``)."""
+    path = _asset_path(name)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no asset named {name!r}; available: {available_assets()}")
+    with open(path) as handle:
+        data = json.load(handle)
+    return WhiskerTree.from_dict(data["tree"])
+
+
+def load_asset_metadata(name: str) -> dict:
+    """Everything recorded about an asset except the tree itself."""
+    path = _asset_path(name)
+    with open(path) as handle:
+        data = json.load(handle)
+    return {key: value for key, value in data.items() if key != "tree"}
+
+
+def save_asset(name: str, tree: WhiskerTree,
+               training_range: Optional[dict] = None,
+               log: Optional[Dict[str, object]] = None,
+               directory: Optional[Path] = None) -> Path:
+    """Persist a trained tree (used by ``scripts/train_assets.py``)."""
+    directory = directory if directory is not None else asset_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    payload = {
+        "name": name,
+        "tree": tree.to_dict(),
+        "training_range": training_range or {},
+        "log": log or {},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return path

@@ -1,0 +1,203 @@
+"""The catalog of Tao protocols trained for the paper's experiments.
+
+Each entry transcribes one row of the paper's training-scenario tables
+(Tables 2a, 3a, 4a, 5, 6a, 7a, plus the section 3.4 signal knockouts)
+into a :class:`~repro.core.scenario.ScenarioRange`.  The
+``scripts/train_assets.py`` script trains every entry and stores the
+resulting rule tables under ``repro/data/assets/``; experiments load
+them by catalog name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.scenario import ScenarioRange
+from .memory import SIGNAL_NAMES, SignalMask
+
+__all__ = ["TaoSpec", "CATALOG", "COOPT_PAIRS", "knockout_mask"]
+
+_LEARNER2 = (("learner", "learner"),)
+
+
+def knockout_mask(signal: str) -> SignalMask:
+    """All signals active except ``signal`` (section 3.4 knockouts)."""
+    if signal not in SIGNAL_NAMES:
+        raise ValueError(f"unknown signal {signal!r}; "
+                         f"choose from {SIGNAL_NAMES}")
+    return tuple(name != signal for name in SIGNAL_NAMES)
+
+
+@dataclass(frozen=True)
+class TaoSpec:
+    """One protocol to synthesize: its training model and signal mask."""
+
+    name: str
+    training: ScenarioRange
+    mask: SignalMask = (True, True, True, True)
+    paper_table: str = ""
+    #: Name of the co-optimization partner spec, if trained jointly.
+    coopt_partner: Optional[str] = None
+
+
+def _speed_taos() -> Dict[str, TaoSpec]:
+    """Table 2a: operating ranges in link speed, centered on 32 Mbps."""
+    ranges = {
+        "tao_1000x": (1.0, 1000.0),
+        "tao_100x": (3.2, 320.0),
+        "tao_10x": (10.0, 100.0),
+        "tao_2x": (22.0, 44.0),
+    }
+    return {
+        name: TaoSpec(name, ScenarioRange(
+            link_speed_mbps=span, rtt_ms=(150.0, 150.0),
+            num_senders=(2, 2), buffer_bdp=5.0),
+            paper_table="Table 2a")
+        for name, span in ranges.items()
+    }
+
+
+def _mux_taos() -> Dict[str, TaoSpec]:
+    """Table 3a: degrees of multiplexing on a 15 Mbps dumbbell."""
+    tops = {"tao_mux_1_2": 2, "tao_mux_1_10": 10, "tao_mux_1_20": 20,
+            "tao_mux_1_50": 50, "tao_mux_1_100": 100}
+    return {
+        name: TaoSpec(name, ScenarioRange(
+            link_speed_mbps=(15.0, 15.0), rtt_ms=(150.0, 150.0),
+            num_senders=(1, top), buffer_bdp=5.0),
+            paper_table="Table 3a")
+        for name, top in tops.items()
+    }
+
+
+def _rtt_taos() -> Dict[str, TaoSpec]:
+    """Table 4a: operating ranges in propagation delay, 33 Mbps."""
+    spans = {
+        "tao_rtt_150": (150.0, 150.0),
+        "tao_rtt_145_155": (145.0, 155.0),
+        "tao_rtt_140_160": (140.0, 160.0),
+        "tao_rtt_50_250": (50.0, 250.0),
+    }
+    return {
+        name: TaoSpec(name, ScenarioRange(
+            link_speed_mbps=(33.0, 33.0), rtt_ms=span,
+            num_senders=(2, 2), buffer_bdp=5.0),
+            paper_table="Table 4a")
+        for name, span in spans.items()
+    }
+
+
+def _structure_taos() -> Dict[str, TaoSpec]:
+    """Table 5: simplified one-bottleneck vs. full two-bottleneck model.
+
+    The simplified model collapses the parking lot into one 150 ms-delay
+    bottleneck shared by two senders; the full model trains directly on
+    the three-flow parking lot with 75 ms per hop.  Both sample link
+    speeds log-uniformly over 10-100 Mbps.
+    """
+    one = TaoSpec("tao_structure_one", ScenarioRange(
+        link_speed_mbps=(10.0, 100.0), rtt_ms=(300.0, 300.0),
+        num_senders=(2, 2), buffer_bdp=5.0),
+        paper_table="Table 5")
+    two = TaoSpec("tao_structure_two", ScenarioRange(
+        topology="parking_lot", link_speed_mbps=(10.0, 100.0),
+        rtt_ms=(150.0, 150.0),
+        sender_mixes=(("learner", "learner", "learner"),),
+        buffer_bdp=5.0),
+        paper_table="Table 5")
+    return {"tao_structure_one": one, "tao_structure_two": two}
+
+
+def _tcp_awareness_taos() -> Dict[str, TaoSpec]:
+    """Table 6a: TCP-naive vs. TCP-aware training.
+
+    The aware variant sees AIMD (NewReno-like) cross-traffic in half of
+    its training scenarios; both train on 9-11 Mbps, 100 ms, 2 BDP
+    buffers, with nearly-continuous and 5 s on/off workloads.
+    """
+    onoff = ((5.0, 5.0), (5.0, 0.01))
+    naive = TaoSpec("tao_tcp_naive", ScenarioRange(
+        link_speed_mbps=(9.0, 11.0), rtt_ms=(100.0, 100.0),
+        sender_mixes=_LEARNER2, onoff_options=onoff, buffer_bdp=2.0),
+        paper_table="Table 6a")
+    aware = TaoSpec("tao_tcp_aware", ScenarioRange(
+        link_speed_mbps=(9.0, 11.0), rtt_ms=(100.0, 100.0),
+        sender_mixes=(("learner", "learner"), ("learner", "aimd")),
+        onoff_options=onoff, buffer_bdp=2.0),
+        paper_table="Table 6a")
+    return {"tao_tcp_naive": naive, "tao_tcp_aware": aware}
+
+
+def _diversity_taos() -> Dict[str, TaoSpec]:
+    """Table 7a: throughput-sensitive (delta=0.1) and delay-sensitive
+    (delta=10) senders, naive (trained alone) and co-optimized."""
+    base = dict(link_speed_mbps=(10.0, 10.0), rtt_ms=(100.0, 100.0),
+                buffer_bdp=None)
+    alone = (("learner",), ("learner", "learner"))
+    mixed = (("learner",), ("learner", "learner"),
+             ("learner", "peer"), ("learner", "peer", "peer"),
+             ("learner", "learner", "peer"),
+             ("learner", "learner", "peer", "peer"))
+    return {
+        "tao_delta_tpt_naive": TaoSpec(
+            "tao_delta_tpt_naive", ScenarioRange(
+                sender_mixes=alone, learner_delta=0.1, **base),
+            paper_table="Table 7a"),
+        "tao_delta_del_naive": TaoSpec(
+            "tao_delta_del_naive", ScenarioRange(
+                sender_mixes=alone, learner_delta=10.0, **base),
+            paper_table="Table 7a"),
+        "tao_delta_tpt_coopt": TaoSpec(
+            "tao_delta_tpt_coopt", ScenarioRange(
+                sender_mixes=mixed, learner_delta=0.1, peer_delta=10.0,
+                **base),
+            paper_table="Table 7a",
+            coopt_partner="tao_delta_del_coopt"),
+        "tao_delta_del_coopt": TaoSpec(
+            "tao_delta_del_coopt", ScenarioRange(
+                sender_mixes=mixed, learner_delta=10.0, peer_delta=0.1,
+                **base),
+            paper_table="Table 7a",
+            coopt_partner="tao_delta_tpt_coopt"),
+    }
+
+
+def _knockout_taos() -> Dict[str, TaoSpec]:
+    """Section 3.4: retrain with each congestion signal removed."""
+    calibration = ScenarioRange(
+        link_speed_mbps=(32.0, 32.0), rtt_ms=(150.0, 150.0),
+        num_senders=(2, 2), buffer_bdp=5.0)
+    specs = {}
+    for signal in SIGNAL_NAMES:
+        name = f"tao_knockout_{signal}"
+        specs[name] = TaoSpec(name, calibration,
+                              mask=knockout_mask(signal),
+                              paper_table="Section 3.4")
+    return specs
+
+
+def _calibration_tao() -> Dict[str, TaoSpec]:
+    """Table 1: the calibration experiment's protocol."""
+    return {"tao_calibration": TaoSpec("tao_calibration", ScenarioRange(
+        link_speed_mbps=(32.0, 32.0), rtt_ms=(150.0, 150.0),
+        num_senders=(2, 2), buffer_bdp=5.0),
+        paper_table="Table 1")}
+
+
+def _build_catalog() -> Dict[str, TaoSpec]:
+    catalog: Dict[str, TaoSpec] = {}
+    for group in (_calibration_tao(), _speed_taos(), _mux_taos(),
+                  _rtt_taos(), _structure_taos(), _tcp_awareness_taos(),
+                  _diversity_taos(), _knockout_taos()):
+        catalog.update(group)
+    return catalog
+
+
+#: Every Tao protocol in the study, keyed by asset name.
+CATALOG: Dict[str, TaoSpec] = _build_catalog()
+
+#: Pairs trained by alternating co-optimization (section 4.6).
+COOPT_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("tao_delta_tpt_coopt", "tao_delta_del_coopt"),
+)

@@ -1,0 +1,185 @@
+"""Evaluating whisker trees over training scenarios.
+
+The optimizer's inner loop asks one question, thousands of times: *what
+is the mean objective of this rule table over the training
+distribution?*  This module answers it, with
+
+* deterministic scenario sampling (common random numbers: every
+  candidate tree sees exactly the same drawn configs and seeds, so score
+  differences reflect the trees, not the luck of the draw),
+* per-whisker usage accounting (the optimizer refines the busiest
+  whisker and splits at its observed mean signals), and
+* optional multiprocessing across (tree, config, seed) tasks — training
+  is embarrassingly parallel and pure Python is slow, so this is what
+  makes the reproduction practical (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.objective import Objective
+from ..core.scale import Scale
+from ..core.scenario import NetworkConfig, ScenarioRange
+from .tree import WhiskerTree
+
+__all__ = ["EvalSettings", "EvalResult", "TreeEvaluator", "run_training_task"]
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Budget for one tree evaluation."""
+
+    n_configs: int = 8
+    config_seed: int = 4242
+    sim_seeds: Tuple[int, ...] = (1,)
+    scale: Scale = field(default_factory=lambda: Scale(
+        duration_s=16.0, packet_budget=30_000, min_duration_s=4.0))
+
+
+@dataclass
+class EvalResult:
+    """Mean objective plus merged per-whisker usage statistics."""
+
+    score: float
+    usage_counts: List[int]
+    usage_sums: List[List[float]]
+    per_config_scores: List[float]
+
+
+def run_training_task(tree_json: str, peer_json: Optional[str],
+                      config_dict: dict, seed: int, duration: float,
+                      record_usage: bool) -> Tuple[float, list, list]:
+    """One simulation of one tree on one config (module-level for pickling).
+
+    Returns ``(objective_sum, usage_counts, usage_sums)``; usage lists
+    are empty when ``record_usage`` is off.
+    """
+    # Imported here, not at module top: experiments.common imports the
+    # protocols package, which imports repro.remy — a cycle at import
+    # time but not at call time.
+    from ..experiments.common import build_simulation, scored_flows
+
+    tree = WhiskerTree.from_json(tree_json)
+    trees = {"learner": tree}
+    if peer_json is not None:
+        trees["peer"] = WhiskerTree.from_json(peer_json)
+    config = NetworkConfig.from_dict(config_dict)
+    handle = build_simulation(config, trees=trees, seed=seed,
+                              record_usage=record_usage)
+    result = handle.run(duration)
+
+    score = 0.0
+    for flow in scored_flows(result):
+        if flow.kind != "learner":
+            continue
+        objective = Objective(delta=flow.delta)
+        delay = flow.mean_delay_s if flow.packets_delivered \
+            else flow.base_delay_s
+        score += objective.score(flow.throughput_bps, delay)
+    if record_usage:
+        counts, sums = tree.extract_stats()
+        return score, counts, sums
+    return score, [], []
+
+
+class TreeEvaluator:
+    """Scores whisker trees over a :class:`ScenarioRange`.
+
+    Parameters
+    ----------
+    pool:
+        An object with a ``starmap(fn, iterable)`` method (e.g.
+        ``multiprocessing.Pool``); ``None`` runs tasks serially.
+    """
+
+    def __init__(self, scenario_range: ScenarioRange,
+                 settings: EvalSettings = EvalSettings(),
+                 pool=None):
+        self.scenario_range = scenario_range
+        self.settings = settings
+        self.pool = pool
+        self.configs = scenario_range.sample_many(
+            settings.n_configs, settings.config_seed)
+        self._cache: Dict[str, float] = {}
+        self.evaluations = 0
+
+    def _tasks_for(self, tree: WhiskerTree,
+                   peer: Optional[WhiskerTree],
+                   record_usage: bool) -> List[tuple]:
+        tree_json = tree.to_json()
+        peer_json = peer.to_json() if peer is not None else None
+        tasks = []
+        for config in self.configs:
+            duration = self.settings.scale.duration_for(config)
+            for seed in self.settings.sim_seeds:
+                tasks.append((tree_json, peer_json, config.to_dict(),
+                              seed, duration, record_usage))
+        return tasks
+
+    def _run_tasks(self, tasks: List[tuple]) -> List[tuple]:
+        if self.pool is not None:
+            return self.pool.starmap(run_training_task, tasks)
+        return [run_training_task(*task) for task in tasks]
+
+    def _cache_key(self, tree: WhiskerTree,
+                   peer: Optional[WhiskerTree]) -> str:
+        key = tree.fingerprint()
+        if peer is not None:
+            key += ":" + peer.fingerprint()
+        return key
+
+    def evaluate(self, tree: WhiskerTree,
+                 peer: Optional[WhiskerTree] = None,
+                 record_usage: bool = False) -> EvalResult:
+        """Mean objective of ``tree``; merges usage stats into ``tree``."""
+        tasks = self._tasks_for(tree, peer, record_usage)
+        outputs = self._run_tasks(tasks)
+        self.evaluations += len(tasks)
+        scores = [out[0] for out in outputs]
+        mean = sum(scores) / len(scores)
+        self._cache[self._cache_key(tree, peer)] = mean
+
+        n_whiskers = len(tree)
+        counts = [0] * n_whiskers
+        sums = [[0.0] * 4 for _ in range(n_whiskers)]
+        if record_usage:
+            for _, task_counts, task_sums in outputs:
+                for i, count in enumerate(task_counts):
+                    counts[i] += count
+                    for dim in range(4):
+                        sums[i][dim] += task_sums[i][dim]
+            tree.merge_stats(counts, sums)
+        return EvalResult(score=mean, usage_counts=counts,
+                          usage_sums=sums, per_config_scores=scores)
+
+    def evaluate_batch(self, trees: Sequence[WhiskerTree],
+                       peer: Optional[WhiskerTree] = None) -> List[float]:
+        """Scores for many candidate trees, one flat task batch.
+
+        Caches by fingerprint so re-testing the incumbent is free.
+        """
+        pending: List[tuple] = []
+        pending_index: List[int] = []
+        scores: List[Optional[float]] = []
+        tasks_per_tree = (len(self.configs)
+                          * len(self.settings.sim_seeds))
+        for i, tree in enumerate(trees):
+            key = self._cache_key(tree, peer)
+            if key in self._cache:
+                scores.append(self._cache[key])
+                continue
+            scores.append(None)
+            pending.extend(self._tasks_for(tree, peer, False))
+            pending_index.append(i)
+        if pending:
+            outputs = self._run_tasks(pending)
+            self.evaluations += len(pending)
+            for slot, tree_index in enumerate(pending_index):
+                chunk = outputs[slot * tasks_per_tree:
+                                (slot + 1) * tasks_per_tree]
+                mean = sum(out[0] for out in chunk) / len(chunk)
+                scores[tree_index] = mean
+                self._cache[self._cache_key(trees[tree_index], peer)] = mean
+        return [float(s) for s in scores]

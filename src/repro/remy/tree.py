@@ -1,0 +1,230 @@
+"""The whisker tree: RemyCC's piecewise-constant rule table.
+
+The tree partitions the four-dimensional congestion-signal space into
+axis-aligned boxes (whiskers), each carrying one action.  Lookup walks a
+binary k-d structure; splitting replaces the busiest leaf with ``2^k``
+children (one binary split per *active* signal dimension, at the mean of
+the signals observed in that leaf), exactly Remy's structural move when
+action refinement stops paying.
+
+Signal knockout (paper section 3.4) is expressed through the tree's
+``mask``: a knocked-out signal is never split on, so the protocol cannot
+condition behaviour on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Optional, Sequence, Union
+
+from .action import DEFAULT_ACTION, Action
+from .memory import ALL_SIGNALS, NUM_SIGNALS, SignalMask
+from .whisker import Whisker, full_domain
+
+__all__ = ["WhiskerTree"]
+
+
+class _Leaf:
+    __slots__ = ("whisker",)
+
+    def __init__(self, whisker: Whisker):
+        self.whisker = whisker
+
+
+class _Split:
+    __slots__ = ("dim", "value", "left", "right")
+
+    def __init__(self, dim: int, value: float,
+                 left: "_Node", right: "_Node"):
+        self.dim = dim
+        self.value = value
+        self.left = left
+        self.right = right
+
+
+_Node = Union[_Leaf, _Split]
+
+
+class WhiskerTree:
+    """A rule table mapping signal vectors to actions."""
+
+    def __init__(self, default_action: Action = DEFAULT_ACTION,
+                 mask: SignalMask = ALL_SIGNALS):
+        if len(mask) != NUM_SIGNALS:
+            raise ValueError(f"mask must have {NUM_SIGNALS} entries")
+        if not any(mask):
+            raise ValueError("at least one signal must stay active")
+        lower, upper = full_domain()
+        self.mask = tuple(mask)
+        self._root: _Node = _Leaf(Whisker(lower, upper, default_action))
+
+    # ------------------------------------------------------------------
+    # Lookup and traversal
+    # ------------------------------------------------------------------
+    def lookup(self, vector: Sequence[float]) -> Whisker:
+        """The unique whisker whose box contains ``vector``."""
+        node = self._root
+        while isinstance(node, _Split):
+            if vector[node.dim] < node.value:
+                node = node.left
+            else:
+                node = node.right
+        return node.whisker
+
+    def whiskers(self) -> List[Whisker]:
+        """All leaves in deterministic (depth-first, left-first) order."""
+        out: List[Whisker] = []
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                out.append(node.whisker)
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.whiskers())
+
+    # ------------------------------------------------------------------
+    # Statistics plumbing (used by the optimizer)
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        for whisker in self.whiskers():
+            whisker.reset_stats()
+
+    def reset_optimized_flags(self) -> None:
+        for whisker in self.whiskers():
+            whisker.optimized = False
+
+    def merge_stats(self, counts: Sequence[int],
+                    signal_sums: Sequence[Sequence[float]]) -> None:
+        """Fold usage stats gathered in a worker process back in."""
+        leaves = self.whiskers()
+        if len(counts) != len(leaves):
+            raise ValueError("stats length does not match tree size")
+        for whisker, count, sums in zip(leaves, counts, signal_sums):
+            whisker.use_count += count
+            for dim in range(NUM_SIGNALS):
+                whisker.signal_sums[dim] += sums[dim]
+
+    def extract_stats(self) -> tuple[list[int], list[list[float]]]:
+        leaves = self.whiskers()
+        return ([w.use_count for w in leaves],
+                [list(w.signal_sums) for w in leaves])
+
+    def most_used_whisker(self,
+                          only_unoptimized: bool = False
+                          ) -> Optional[Whisker]:
+        """The busiest leaf, optionally restricted to unoptimized ones.
+
+        With ``only_unoptimized`` the search also skips whiskers that
+        never fired — optimizing the action of a rule no signal vector
+        reaches is wasted simulation time (most children of a fresh
+        split are empty).
+        """
+        candidates = [w for w in self.whiskers()
+                      if not (only_unoptimized and w.optimized)]
+        if only_unoptimized:
+            candidates = [w for w in candidates if w.use_count > 0]
+        elif not any(w.use_count > 0 for w in candidates):
+            return candidates[0] if candidates else None
+        else:
+            candidates = [w for w in candidates if w.use_count > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda w: w.use_count)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set_action(self, index: int, action: Action) -> None:
+        """Replace the action of the ``index``-th whisker in-place."""
+        self.whiskers()[index].action = action.clamped()
+
+    def split(self, whisker: Whisker) -> int:
+        """Split ``whisker`` into one child per half-space of every
+        active dimension (2^k children).  Returns the number of children
+        created.  The children inherit the parent's action.
+        """
+        dims = [d for d in range(NUM_SIGNALS) if self.mask[d]]
+        subtree = self._build_split(whisker, dims)
+        self._root = self._replace(self._root, whisker, subtree)
+        return 2 ** len(dims)
+
+    def _build_split(self, whisker: Whisker, dims: List[int]) -> _Node:
+        if not dims:
+            child = Whisker(whisker.lower, whisker.upper, whisker.action)
+            return _Leaf(child)
+        dim, rest = dims[0], dims[1:]
+        point = whisker.split_point(dim)
+        lower_box = Whisker(
+            whisker.lower,
+            tuple(point if d == dim else whisker.upper[d]
+                  for d in range(NUM_SIGNALS)),
+            whisker.action)
+        upper_box = Whisker(
+            tuple(point if d == dim else whisker.lower[d]
+                  for d in range(NUM_SIGNALS)),
+            whisker.upper,
+            whisker.action)
+        # Children keep the parent's observed-signal means so deeper
+        # splits in the same round still have sensible split points.
+        return _Split(dim, point,
+                      self._build_split(lower_box, rest),
+                      self._build_split(upper_box, rest))
+
+    def _replace(self, node: _Node, target: Whisker,
+                 replacement: _Node) -> _Node:
+        if isinstance(node, _Leaf):
+            if node.whisker is target:
+                return replacement
+            return node
+        node.left = self._replace(node.left, target, replacement)
+        node.right = self._replace(node.right, target, replacement)
+        return node
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"mask": list(self.mask), "root": _node_to_dict(self._root)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WhiskerTree":
+        tree = cls(mask=tuple(bool(x) for x in data["mask"]))
+        tree._root = _node_from_dict(data["root"])
+        return tree
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WhiskerTree":
+        return cls.from_dict(json.loads(text))
+
+    def clone(self) -> "WhiskerTree":
+        """Deep copy (via serialization; stats are not copied)."""
+        return WhiskerTree.from_dict(self.to_dict())
+
+    def fingerprint(self) -> str:
+        """Stable digest of the structure + actions (for eval caching)."""
+        return hashlib.sha1(self.to_json().encode()).hexdigest()
+
+
+def _node_to_dict(node: _Node) -> dict:
+    if isinstance(node, _Leaf):
+        return {"leaf": node.whisker.to_dict()}
+    return {"dim": node.dim, "value": node.value,
+            "left": _node_to_dict(node.left),
+            "right": _node_to_dict(node.right)}
+
+
+def _node_from_dict(data: dict) -> _Node:
+    if "leaf" in data:
+        return _Leaf(Whisker.from_dict(data["leaf"]))
+    return _Split(int(data["dim"]), float(data["value"]),
+                  _node_from_dict(data["left"]),
+                  _node_from_dict(data["right"]))

@@ -1,0 +1,108 @@
+"""Whiskers: piecewise-constant rules in congestion-signal space.
+
+A whisker is an axis-aligned box over the four-signal domain plus the
+:class:`~repro.remy.action.Action` executed whenever the sender's signal
+vector falls inside the box (paper section 3.3: "Remy assumes a
+piecewise-constant mapping").
+
+Whiskers also accumulate usage statistics during simulation — how often
+they fired, and the running mean of the signal vectors that hit them.
+The optimizer uses the counts to pick which whisker to refine next and
+the means as split points when subdividing (Remy splits the busiest
+whisker "at the median of observed memory values"; we track the mean,
+which is cheaper to maintain online and serves the same purpose).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .action import Action
+from .memory import NUM_SIGNALS, SIGNAL_LOWER_BOUNDS, SIGNAL_UPPER_BOUNDS
+
+__all__ = ["Whisker", "full_domain"]
+
+
+def full_domain() -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """The (lower, upper) corners covering the whole signal space."""
+    return SIGNAL_LOWER_BOUNDS, SIGNAL_UPPER_BOUNDS
+
+
+class Whisker:
+    """One box-shaped rule: signal bounds, an action, and usage stats."""
+
+    __slots__ = ("lower", "upper", "action", "use_count",
+                 "signal_sums", "optimized")
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float],
+                 action: Action):
+        lower = tuple(lower)
+        upper = tuple(upper)
+        if len(lower) != NUM_SIGNALS or len(upper) != NUM_SIGNALS:
+            raise ValueError(f"bounds must have {NUM_SIGNALS} dimensions")
+        for dim, (lo, hi) in enumerate(zip(lower, upper)):
+            if not lo < hi:
+                raise ValueError(
+                    f"degenerate box on dim {dim}: [{lo}, {hi})")
+        self.lower = lower
+        self.upper = upper
+        self.action = action
+        self.use_count = 0
+        self.signal_sums = [0.0] * NUM_SIGNALS
+        self.optimized = False
+
+    def contains(self, vector: Sequence[float]) -> bool:
+        """Half-open box membership: lower <= v < upper on every dim."""
+        for value, lo, hi in zip(vector, self.lower, self.upper):
+            if value < lo or value >= hi:
+                return False
+        return True
+
+    def record_use(self, vector: Sequence[float]) -> None:
+        """Update usage statistics after this whisker fired."""
+        self.use_count += 1
+        sums = self.signal_sums
+        for dim in range(NUM_SIGNALS):
+            sums[dim] += vector[dim]
+
+    def reset_stats(self) -> None:
+        self.use_count = 0
+        self.signal_sums = [0.0] * NUM_SIGNALS
+
+    def mean_signals(self) -> List[float]:
+        """Mean observed signal vector (box centre if never used)."""
+        if self.use_count == 0:
+            return [(lo + hi) / 2.0
+                    for lo, hi in zip(self.lower, self.upper)]
+        return [s / self.use_count for s in self.signal_sums]
+
+    def split_point(self, dim: int) -> float:
+        """Where to split this box on ``dim``: the mean observed signal,
+        nudged inside the box if degenerate."""
+        lo, hi = self.lower[dim], self.upper[dim]
+        point = self.mean_signals()[dim]
+        if not lo < point < hi:
+            point = (lo + hi) / 2.0
+        # Guard against splits indistinguishable from a box edge.
+        width = hi - lo
+        point = min(max(point, lo + 1e-6 * width), hi - 1e-6 * width)
+        return point
+
+    def with_action(self, action: Action) -> "Whisker":
+        """A copy of this box carrying a different action (stats reset)."""
+        return Whisker(self.lower, self.upper, action)
+
+    def to_dict(self) -> dict:
+        return {"lower": list(self.lower), "upper": list(self.upper),
+                "action": self.action.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Whisker":
+        return cls(data["lower"], data["upper"],
+                   Action.from_dict(data["action"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Whisker(action=(m={self.action.window_multiple:.3g}, "
+                f"b={self.action.window_increment:.3g}, "
+                f"tau={self.action.intersend_s:.3g}), "
+                f"uses={self.use_count})")

@@ -1,0 +1,157 @@
+"""The CoDel active queue management algorithm.
+
+CoDel ("controlled delay", Nichols & Jacobson 2012, RFC 8289) bounds the
+*standing* queueing delay at a bottleneck by measuring each packet's
+sojourn time and entering a drop state when the sojourn time stays above
+``target`` for at least one ``interval``.  While dropping, the interval
+between drops shrinks with the square root of the drop count (the
+control-law schedule), which drives loss-triggered senders such as Cubic
+towards the target delay.
+
+This module implements the drop *state machine* separated from packet
+storage (:class:`CoDelState`) so the same logic can run both on a plain
+FIFO (:class:`CoDelQueue`) and per-bucket inside sfqCoDel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .packet import Packet
+from .queues import DropTailQueue, QueueDiscipline
+
+__all__ = ["CoDelState", "CoDelQueue",
+           "CODEL_TARGET", "CODEL_INTERVAL"]
+
+#: Default target sojourn time, 5 ms (RFC 8289 section 4.2).
+CODEL_TARGET = 0.005
+
+#: Default sliding-minimum interval, 100 ms.
+CODEL_INTERVAL = 0.100
+
+
+class CoDelState:
+    """The per-queue CoDel drop state machine.
+
+    Usage: the owning queue calls :meth:`should_drop` on every dequeued
+    packet.  ``True`` means the packet must be dropped and the next one
+    examined; ``False`` means the packet may be transmitted.
+    """
+
+    __slots__ = ("target", "interval", "first_above_time", "drop_next",
+                 "count", "last_count", "dropping")
+
+    def __init__(self, target: float = CODEL_TARGET,
+                 interval: float = CODEL_INTERVAL):
+        self.target = target
+        self.interval = interval
+        self.first_above_time = 0.0
+        self.drop_next = 0.0
+        self.count = 0
+        self.last_count = 0
+        self.dropping = False
+
+    def _control_law(self, t: float) -> float:
+        """Next drop time: the interval shrinks as 1/sqrt(count)."""
+        return t + self.interval / math.sqrt(max(self.count, 1))
+
+    def _ok_to_drop(self, sojourn_time: float, now: float) -> bool:
+        """RFC 8289 dodequeue logic: has delay been above target long enough?"""
+        if sojourn_time < self.target:
+            self.first_above_time = 0.0
+            return False
+        if self.first_above_time == 0.0:
+            self.first_above_time = now + self.interval
+            return False
+        return now >= self.first_above_time
+
+    def should_drop(self, packet: Packet, now: float,
+                    queue_empty_after: bool) -> bool:
+        """Decide the fate of ``packet`` at dequeue time.
+
+        ``queue_empty_after`` is True when this packet is the last one in
+        the queue; draining a queue always exits the drop state (a short
+        queue cannot have standing delay).
+        """
+        sojourn = now - packet.enqueued_at
+        if queue_empty_after and sojourn < self.target:
+            self.first_above_time = 0.0
+        ok = self._ok_to_drop(sojourn, now)
+
+        if self.dropping:
+            if not ok:
+                self.dropping = False
+                return False
+            if now >= self.drop_next:
+                self.count += 1
+                self.drop_next = self._control_law(self.drop_next)
+                return True
+            return False
+
+        if ok and (now - self.drop_next < self.interval
+                   or now - self.first_above_time >= self.interval):
+            self.dropping = True
+            # Restart near the last drop rate if we were dropping recently
+            # (RFC 8289 section 5.4: this is the key to good behaviour with
+            # bursty senders).
+            if now - self.drop_next < self.interval:
+                self.count = max(self.count - 2, 1) \
+                    if self.count > 2 else 1
+            else:
+                self.count = 1
+            self.last_count = self.count
+            self.drop_next = self._control_law(now)
+            return True
+        return False
+
+
+class CoDelQueue(QueueDiscipline):
+    """A FIFO queue managed by CoDel.
+
+    Arriving packets are tail-dropped only when the (generous) physical
+    buffer overflows; the AQM drops happen at dequeue based on sojourn
+    time.
+    """
+
+    def __init__(self, capacity_packets: float = math.inf,
+                 target: float = CODEL_TARGET,
+                 interval: float = CODEL_INTERVAL):
+        super().__init__()
+        self._fifo = DropTailQueue(capacity_packets=capacity_packets)
+        self.codel = CoDelState(target=target, interval=interval)
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def byte_length(self) -> int:
+        return self._fifo.byte_length
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        admitted = self._fifo.enqueue(packet, now)
+        if admitted:
+            self.stats.enqueued += 1
+            self.stats.bytes_enqueued += packet.size_bytes
+        else:
+            self.stats.dropped += 1
+            self.stats.dropped_at_arrival += 1
+            self.stats.bytes_dropped += packet.size_bytes
+        self._notify(now)
+        return admitted
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        while True:
+            packet = self._fifo.dequeue(now)
+            if packet is None:
+                self._notify(now)
+                return None
+            empty_after = len(self._fifo) == 0
+            if self.codel.should_drop(packet, now, empty_after):
+                self.stats.dropped += 1
+                self.stats.bytes_dropped += packet.size_bytes
+                continue
+            self.stats.dequeued += 1
+            self.stats.bytes_dequeued += packet.size_bytes
+            self._notify(now)
+            return packet

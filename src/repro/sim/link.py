@@ -1,0 +1,128 @@
+"""Point-to-point links with finite rate and propagation delay.
+
+A :class:`Link` models the canonical store-and-forward pipe: packets are
+held in an attached :class:`~repro.sim.queues.QueueDiscipline`, serialized
+one at a time at ``rate_bps``, then delivered ``delay_s`` seconds later.
+Links are unidirectional; full-duplex paths are built from two links.
+
+The link does not know the topology.  When a packet finishes propagating
+the link hands it to ``deliver`` — a callback installed by
+:class:`~repro.sim.network.Network` that advances the packet along its
+source route.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue, QueueDiscipline
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Per-link forwarding counters (utilization reporting)."""
+
+    __slots__ = ("packets_forwarded", "bytes_forwarded", "busy_time")
+
+    def __init__(self) -> None:
+        self.packets_forwarded = 0
+        self.bytes_forwarded = 0
+        self.busy_time = 0.0
+
+    def utilization(self, rate_bps: float, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the link spent transmitting."""
+        if elapsed <= 0 or math.isinf(rate_bps):
+            return 0.0
+        return min(self.busy_time / elapsed, 1.0)
+
+
+class Link:
+    """A unidirectional link: queue -> serializer -> propagation.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator driving the link.
+    rate_bps:
+        Transmission rate in bits/second.  ``float('inf')`` models an
+        instantaneous (access) link.
+    delay_s:
+        One-way propagation delay in seconds.
+    queue:
+        Queue discipline holding packets awaiting transmission.  Defaults
+        to an unbounded drop-tail FIFO.
+    name:
+        Label used in traces and error messages.
+    """
+
+    __slots__ = ("sim", "rate_bps", "delay_s", "queue", "name",
+                 "deliver", "stats", "_busy")
+
+    def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
+                 queue: Optional[QueueDiscipline] = None,
+                 name: str = "link"):
+        if rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.name = name
+        #: Set by the Network; called with each packet that crosses the link.
+        self.deliver: Callable[[Packet], None] = _unconnected
+        self.stats = LinkStats()
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Seconds to serialize ``size_bytes`` at this link's rate."""
+        if math.isinf(self.rate_bps):
+            return 0.0
+        return size_bytes * 8.0 / self.rate_bps
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link.  Returns False if the queue drops it."""
+        admitted = self.queue.enqueue(packet, self.sim.now)
+        if admitted and not self._busy:
+            self._start_next()
+        return admitted
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = self.transmission_time(packet.size_bytes)
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._transmission_done, packet)
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.stats.packets_forwarded += 1
+        self.stats.bytes_forwarded += packet.size_bytes
+        if self.delay_s > 0:
+            self.sim.schedule(self.delay_s, self.deliver, packet)
+        else:
+            self.deliver(packet)
+        self._start_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rate = "inf" if math.isinf(self.rate_bps) \
+            else f"{self.rate_bps / 1e6:g}Mbps"
+        return f"Link({self.name}, {rate}, {self.delay_s * 1e3:g}ms)"
+
+
+def _unconnected(packet: Packet) -> None:
+    raise RuntimeError(
+        "link delivered a packet but no network is attached; "
+        "add the link to a Network before sending")

@@ -1,0 +1,84 @@
+"""Packet representation.
+
+Packets carry the fields needed by the congestion-control protocols in
+this study:
+
+* ``sent_at`` — the sender's transmission timestamp.  The receiver echoes
+  it back in the ACK (``echo_sent_at``) so the sender can compute the
+  ``send_ewma`` congestion signal (paper section 3.3, signal 3).
+* ``first_sent_at`` — the transmission time of the *first* copy of this
+  sequence number; retransmissions keep it so that per-packet delay
+  measures the full delivery latency experienced by the application.
+* ``route`` / ``hop`` — source routing.  The network precomputes the list
+  of links for each flow; packets step through it, which keeps routers
+  trivially simple and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Packet", "DATA_HEADER_BYTES", "ACK_SIZE_BYTES"]
+
+#: Bytes of header overhead on a data packet (IP + TCP, uncounted as goodput).
+DATA_HEADER_BYTES = 40
+
+#: Total size of a pure ACK.
+ACK_SIZE_BYTES = 40
+
+
+class Packet:
+    """A data packet or an ACK traveling through the simulated network."""
+
+    __slots__ = (
+        "flow_id", "seq", "size_bytes", "is_ack",
+        "sent_at", "first_sent_at", "is_retransmission",
+        "ack_seq", "echo_sent_at", "echo_first_sent_at", "receiver_time",
+        "route", "hop", "enqueued_at", "sfq_deficit",
+    )
+
+    def __init__(self, flow_id: int, seq: int, size_bytes: int,
+                 sent_at: float, first_sent_at: Optional[float] = None,
+                 is_retransmission: bool = False):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size_bytes = size_bytes
+        self.is_ack = False
+        self.sent_at = sent_at
+        self.first_sent_at = sent_at if first_sent_at is None else first_sent_at
+        self.is_retransmission = is_retransmission
+        # ACK-only fields.
+        self.ack_seq = -1
+        self.echo_sent_at = 0.0
+        self.echo_first_sent_at = 0.0
+        self.receiver_time = 0.0
+        # Routing state, filled in by the network when the packet is sent.
+        self.route = ()
+        self.hop = 0
+        # Queue bookkeeping (CoDel sojourn-time measurement).
+        self.enqueued_at = 0.0
+        self.sfq_deficit = 0
+
+    @classmethod
+    def make_ack(cls, data_packet: "Packet", ack_seq: int,
+                 now: float) -> "Packet":
+        """Build the ACK acknowledging ``data_packet``.
+
+        ``ack_seq`` is cumulative: it acknowledges every sequence number
+        strictly below it.  The ACK echoes the data packet's sender
+        timestamps and carries the receiver's own clock (``receiver_time``)
+        so protocols can observe receiver-side pacing if desired.
+        """
+        ack = cls(flow_id=data_packet.flow_id, seq=data_packet.seq,
+                  size_bytes=ACK_SIZE_BYTES, sent_at=now)
+        ack.is_ack = True
+        ack.ack_seq = ack_seq
+        ack.echo_sent_at = data_packet.sent_at
+        ack.echo_first_sent_at = data_packet.first_sent_at
+        ack.receiver_time = now
+        return ack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        return (f"Packet({kind} flow={self.flow_id} seq={self.seq} "
+                f"size={self.size_bytes})")

@@ -1,0 +1,157 @@
+"""Queueing disciplines: the base interface and drop-tail FIFO.
+
+Every bottleneck gateway in the paper's training scenarios uses a FIFO
+queue (paper section 3.1).  Buffer sizes appear in three flavours across
+the experiments:
+
+* a multiple of the bandwidth-delay product (e.g. "5 BDP", Table 1),
+* a byte cap (e.g. 250 kB in Figure 7),
+* "no drop" — an infinite buffer (Table 3b, Table 7).
+
+:class:`DropTailQueue` covers all three via packet or byte capacities of
+``float('inf')``.  AQM variants (CoDel, sfqCoDel) subclass
+:class:`QueueDiscipline` in their own modules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from .packet import Packet
+
+__all__ = ["QueueStats", "QueueDiscipline", "DropTailQueue"]
+
+
+class QueueStats:
+    """Counters shared by every queue discipline.
+
+    ``dropped`` counts every lost packet; ``dropped_at_arrival`` is the
+    subset rejected before admission (tail drops).  The difference is
+    packets dropped *after* admission (AQM dequeue drops, SFQ overflow
+    evictions), which is what makes :attr:`resident` exact for every
+    discipline.
+    """
+
+    __slots__ = ("enqueued", "dequeued", "dropped", "dropped_at_arrival",
+                 "bytes_enqueued", "bytes_dequeued", "bytes_dropped")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.dropped_at_arrival = 0
+        self.bytes_enqueued = 0
+        self.bytes_dequeued = 0
+        self.bytes_dropped = 0
+
+    @property
+    def resident(self) -> int:
+        """Packets currently in the queue implied by the counters."""
+        dropped_after_admission = self.dropped - self.dropped_at_arrival
+        return self.enqueued - self.dequeued - dropped_after_admission
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueueStats(enq={self.enqueued} deq={self.dequeued} "
+                f"drop={self.dropped})")
+
+
+class QueueDiscipline:
+    """Interface implemented by all queueing disciplines.
+
+    ``enqueue`` returns ``True`` if the packet was admitted and ``False``
+    if it was dropped.  ``dequeue`` returns the next packet to transmit or
+    ``None``; AQM disciplines may silently drop packets inside ``dequeue``
+    (the counters record this).  ``occupancy_listener``, when set, is
+    called as ``listener(now, packets_in_queue)`` after every enqueue,
+    dequeue, and drop — the queue-trace experiment (Figure 8) uses it.
+    """
+
+    def __init__(self) -> None:
+        self.stats = QueueStats()
+        self.occupancy_listener: Optional[Callable[[float, int], None]] = None
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def byte_length(self) -> int:
+        raise NotImplementedError
+
+    def _notify(self, now: float) -> None:
+        if self.occupancy_listener is not None:
+            self.occupancy_listener(now, len(self))
+
+
+class DropTailQueue(QueueDiscipline):
+    """A FIFO queue that drops arriving packets once full.
+
+    Parameters
+    ----------
+    capacity_packets:
+        Maximum number of queued packets.  ``float('inf')`` for the
+        paper's "no drop" buffers.
+    capacity_bytes:
+        Optional byte cap (used by the 250 kB buffer of Figure 7).  The
+        queue drops an arriving packet if admitting it would exceed
+        *either* limit.
+    """
+
+    def __init__(self, capacity_packets: float = math.inf,
+                 capacity_bytes: float = math.inf):
+        super().__init__()
+        if capacity_packets < 1 and capacity_packets != 0:
+            raise ValueError("capacity_packets must be >= 1 (or 0 to drop all)")
+        self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
+        self._queue: List[Packet] = []
+        self._head = 0            # index of the logical front (amortized pop)
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue) - self._head
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        would_overflow = (
+            len(self) + 1 > self.capacity_packets
+            or self._bytes + packet.size_bytes > self.capacity_bytes
+        )
+        if would_overflow:
+            self.stats.dropped += 1
+            self.stats.dropped_at_arrival += 1
+            self.stats.bytes_dropped += packet.size_bytes
+            self._notify(now)
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size_bytes
+        self._notify(now)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if self._head >= len(self._queue):
+            return None
+        packet = self._queue[self._head]
+        self._queue[self._head] = None  # allow the packet to be collected
+        self._head += 1
+        if self._head > 64 and self._head * 2 > len(self._queue):
+            # Compact the backing list once the dead prefix dominates.
+            self._queue = self._queue[self._head:]
+            self._head = 0
+        self._bytes -= packet.size_bytes
+        self.stats.dequeued += 1
+        self.stats.bytes_dequeued += packet.size_bytes
+        self._notify(now)
+        return packet

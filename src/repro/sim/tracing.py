@@ -1,0 +1,96 @@
+"""Simulation traces.
+
+:class:`QueueTrace` records the occupancy of a queue over time together
+with its cumulative drop count — exactly the data plotted in the paper's
+Figure 8 (queue size in packets vs. time, with packet-drop markers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .queues import QueueDiscipline
+
+__all__ = ["QueueTrace"]
+
+
+class QueueTrace:
+    """Record (time, queue length, cumulative drops) on every queue event.
+
+    Attach at construction time; the trace hooks the queue's
+    ``occupancy_listener``, which every discipline fires after each
+    enqueue, dequeue, and drop.
+    """
+
+    def __init__(self, queue: QueueDiscipline):
+        if queue.occupancy_listener is not None:
+            raise ValueError("queue already has an occupancy listener")
+        self.queue = queue
+        self.times: List[float] = []
+        self.lengths: List[int] = []
+        self.drops: List[int] = []
+        queue.occupancy_listener = self._record
+
+    def _record(self, now: float, length: int) -> None:
+        self.times.append(now)
+        self.lengths.append(length)
+        self.drops.append(self.queue.stats.dropped)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def drop_times(self) -> List[float]:
+        """Times at which packets were dropped (one entry per drop)."""
+        out: List[float] = []
+        previous = 0
+        for time, total in zip(self.times, self.drops):
+            for _ in range(total - previous):
+                out.append(time)
+            previous = total
+        return out
+
+    def sample(self, step_s: float,
+               until: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Resample the trace onto a regular time grid.
+
+        Returns ``(grid_times, queue_lengths)`` where each grid point
+        holds the last observed occupancy at or before that time (a
+        zero-order hold) — convenient for plotting and for asserting on
+        queue behaviour in tests.
+        """
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        grid = np.arange(0.0, until + step_s / 2, step_s)
+        if not self.times:
+            return grid, np.zeros_like(grid)
+        times = np.asarray(self.times)
+        lengths = np.asarray(self.lengths, dtype=float)
+        indices = np.searchsorted(times, grid, side="right") - 1
+        sampled = np.where(indices >= 0, lengths[np.clip(indices, 0, None)],
+                           0.0)
+        return grid, sampled
+
+    def max_length(self) -> int:
+        """Peak queue occupancy observed."""
+        return max(self.lengths, default=0)
+
+    def mean_length(self, until: float) -> float:
+        """Time-average queue occupancy over [0, until]."""
+        if not self.times:
+            return 0.0
+        total_area = 0.0
+        last_time = 0.0
+        last_length = 0.0
+        for time, length in zip(self.times, self.lengths):
+            clipped = min(time, until)
+            if clipped > last_time:
+                total_area += last_length * (clipped - last_time)
+                last_time = clipped
+            last_length = length
+            if time >= until:
+                break
+        if last_time < until:
+            total_area += last_length * (until - last_time)
+        return total_area / until if until > 0 else 0.0

@@ -1,0 +1,155 @@
+"""Application workload models.
+
+The paper models each endpoint's application as an on/off source
+(section 3.1): the sender is "on" (infinite backlog) for a duration drawn
+from an exponential distribution, then "off" for another exponential
+duration, repeating.  Table 6 additionally uses nearly-continuous load
+("5 s ON, 10 ms OFF"), and Figure 8 uses a *deterministic* schedule
+(cross-traffic on exactly from t=5 s to t=10 s) — both are covered here.
+
+A workload drives any object exposing ``set_on(now)`` / ``set_off(now)``
+(the transport's :class:`~repro.protocols.transport.FlowSender` does).
+The workload also owns the "on time" accounting used as the denominator
+of the paper's throughput definition (section 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from .engine import Simulator
+
+__all__ = ["Switchable", "OnOffWorkload", "ScheduledWorkload",
+           "AlwaysOnWorkload"]
+
+
+class Switchable(Protocol):
+    """Anything an application workload can switch on and off."""
+
+    def set_on(self, now: float) -> None: ...
+
+    def set_off(self, now: float) -> None: ...
+
+
+class _WorkloadBase:
+    """Shared on-time bookkeeping."""
+
+    def __init__(self, sim: Simulator, sender: Switchable):
+        self.sim = sim
+        self.sender = sender
+        self._on = False
+        self._on_since = 0.0
+        self._accumulated_on = 0.0
+
+    @property
+    def is_on(self) -> bool:
+        return self._on
+
+    def on_time(self, now: Optional[float] = None) -> float:
+        """Total seconds spent "on" up to ``now`` (default: current time)."""
+        if now is None:
+            now = self.sim.now
+        total = self._accumulated_on
+        if self._on:
+            total += now - self._on_since
+        return total
+
+    def _switch_on(self) -> None:
+        if self._on:
+            return
+        self._on = True
+        self._on_since = self.sim.now
+        self.sender.set_on(self.sim.now)
+
+    def _switch_off(self) -> None:
+        if not self._on:
+            return
+        self._on = False
+        self._accumulated_on += self.sim.now - self._on_since
+        self.sender.set_off(self.sim.now)
+
+
+class OnOffWorkload(_WorkloadBase):
+    """Exponential on/off source (the paper's workload model).
+
+    Parameters
+    ----------
+    mean_on_s, mean_off_s:
+        Means of the exponential on/off durations.
+    rng:
+        Dedicated random stream; pass a seeded ``random.Random`` for
+        reproducibility.
+    start_in_equilibrium:
+        If True (default), the initial state is drawn from the stationary
+        distribution ``P(on) = mean_on / (mean_on + mean_off)`` so short
+        simulations are not biased by everyone starting "off".
+    """
+
+    def __init__(self, sim: Simulator, sender: Switchable,
+                 mean_on_s: float, mean_off_s: float,
+                 rng: random.Random,
+                 start_in_equilibrium: bool = True):
+        super().__init__(sim, sender)
+        if mean_on_s <= 0 or mean_off_s < 0:
+            raise ValueError("mean_on_s must be > 0 and mean_off_s >= 0")
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self.rng = rng
+        self._start_in_equilibrium = start_in_equilibrium
+
+    def start(self) -> None:
+        """Schedule the first transition.  Call once before ``sim.run``."""
+        p_on = self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+        if self._start_in_equilibrium and self.rng.random() < p_on:
+            self.sim.schedule(0.0, self._begin_on)
+        else:
+            delay = 0.0 if self.mean_off_s == 0 \
+                else self.rng.expovariate(1.0 / self.mean_off_s)
+            self.sim.schedule(delay, self._begin_on)
+
+    def _begin_on(self) -> None:
+        self._switch_on()
+        duration = self.rng.expovariate(1.0 / self.mean_on_s)
+        self.sim.schedule(duration, self._begin_off)
+
+    def _begin_off(self) -> None:
+        self._switch_off()
+        if self.mean_off_s == 0:
+            self.sim.schedule(0.0, self._begin_on)
+            return
+        duration = self.rng.expovariate(1.0 / self.mean_off_s)
+        self.sim.schedule(duration, self._begin_on)
+
+
+class ScheduledWorkload(_WorkloadBase):
+    """Deterministic on intervals (Figure 8's contrived cross-traffic).
+
+    ``intervals`` is a sequence of ``(start, stop)`` pairs in seconds.
+    """
+
+    def __init__(self, sim: Simulator, sender: Switchable,
+                 intervals: Sequence[Tuple[float, float]]):
+        super().__init__(sim, sender)
+        cleaned: List[Tuple[float, float]] = []
+        last_stop = -1.0
+        for start, stop in intervals:
+            if stop <= start:
+                raise ValueError(f"empty interval ({start}, {stop})")
+            if start < last_stop:
+                raise ValueError("intervals must be sorted and disjoint")
+            cleaned.append((start, stop))
+            last_stop = stop
+        self.intervals = tuple(cleaned)
+
+    def start(self) -> None:
+        for start, stop in self.intervals:
+            self.sim.schedule_at(start, self._switch_on)
+            self.sim.schedule_at(stop, self._switch_off)
+
+
+class AlwaysOnWorkload(_WorkloadBase):
+    """A source with permanent backlog (long-running bulk transfer)."""
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._switch_on)

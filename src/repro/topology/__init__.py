@@ -1,0 +1,11 @@
+"""Topology factories for the paper's network models."""
+
+from .dumbbell import bdp_packets, dumbbell
+from .graph import BuiltTopology, FlowSpec, LinkSpec, Topology
+from .parking_lot import FLOW_BOTH, FLOW_LINK1, FLOW_LINK2, parking_lot
+
+__all__ = [
+    "Topology", "LinkSpec", "FlowSpec", "BuiltTopology",
+    "dumbbell", "bdp_packets",
+    "parking_lot", "FLOW_BOTH", "FLOW_LINK1", "FLOW_LINK2",
+]

@@ -1,0 +1,173 @@
+"""Topology descriptions and their compilation into simulations.
+
+A :class:`Topology` is a declarative picture of a network: a directed
+multigraph of :class:`LinkSpec` edges plus a list of :class:`FlowSpec`
+endpoints.  :meth:`Topology.build` compiles it into a live
+:class:`~repro.sim.network.Network` — instantiating one
+:class:`~repro.sim.link.Link` per edge and computing each flow's forward
+and reverse source routes (shortest path by propagation delay, via
+networkx).
+
+Factories for the paper's two topologies live in
+:mod:`repro.topology.dumbbell` and :mod:`repro.topology.parking_lot`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..sim.engine import Simulator
+from ..sim.link import Link
+from ..sim.network import FlowPath, Network
+from ..sim.queues import DropTailQueue, QueueDiscipline
+
+__all__ = ["LinkSpec", "FlowSpec", "Topology", "BuiltTopology"]
+
+QueueFactory = Callable[[], QueueDiscipline]
+
+
+def _default_queue_factory() -> QueueDiscipline:
+    return DropTailQueue()
+
+
+@dataclass
+class LinkSpec:
+    """Parameters of one directed link in a topology."""
+
+    rate_bps: float
+    delay_s: float
+    queue_factory: QueueFactory = field(default=_default_queue_factory)
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One sender-receiver pair and where they attach."""
+
+    flow_id: int
+    src: str
+    dst: str
+
+
+class BuiltTopology:
+    """The result of compiling a :class:`Topology` against a simulator."""
+
+    def __init__(self, network: Network,
+                 links: Dict[Tuple[str, str], Link],
+                 paths: Dict[int, FlowPath]):
+        self.network = network
+        self.links = links
+        self.paths = paths
+
+    def link(self, src: str, dst: str) -> Link:
+        """Look up the live link for the directed edge ``src -> dst``."""
+        return self.links[(src, dst)]
+
+
+class Topology:
+    """A declarative network description.
+
+    Example — a two-node link with a flow across it:
+
+    >>> topo = Topology()
+    >>> topo.add_link("a", "b", LinkSpec(rate_bps=1e6, delay_s=0.01))
+    >>> topo.add_link("b", "a", LinkSpec(rate_bps=1e6, delay_s=0.01))
+    >>> _ = topo.add_flow("a", "b")
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._flows: List[FlowSpec] = []
+        self._next_flow_id = 0
+
+    @property
+    def flows(self) -> Tuple[FlowSpec, ...]:
+        return tuple(self._flows)
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._graph
+
+    def add_link(self, src: str, dst: str, spec: LinkSpec) -> None:
+        """Add a directed link.  Adding the same edge twice is an error."""
+        if self._graph.has_edge(src, dst):
+            raise ValueError(f"edge {src}->{dst} already present")
+        self._graph.add_edge(src, dst, spec=spec)
+
+    def add_duplex_link(self, a: str, b: str, spec: LinkSpec,
+                        reverse_spec: Optional[LinkSpec] = None) -> None:
+        """Add both directions; the reverse defaults to a mirror of ``spec``."""
+        self.add_link(a, b, spec)
+        self.add_link(b, a, reverse_spec if reverse_spec is not None
+                      else LinkSpec(spec.rate_bps, spec.delay_s,
+                                    spec.queue_factory))
+
+    def add_flow(self, src: str, dst: str,
+                 flow_id: Optional[int] = None) -> FlowSpec:
+        """Declare a flow from ``src`` to ``dst`` (ids auto-assigned)."""
+        if flow_id is None:
+            flow_id = self._next_flow_id
+        if any(f.flow_id == flow_id for f in self._flows):
+            raise ValueError(f"duplicate flow id {flow_id}")
+        self._next_flow_id = max(self._next_flow_id, flow_id + 1)
+        flow = FlowSpec(flow_id, src, dst)
+        self._flows.append(flow)
+        return flow
+
+    def _route_nodes(self, src: str, dst: str) -> List[str]:
+        """Shortest path by propagation delay (ties broken by hop count)."""
+        def weight(u: str, v: str, data: dict) -> float:
+            spec: LinkSpec = data["spec"]
+            # A small constant per hop breaks zero-delay ties determinately.
+            return spec.delay_s + 1e-9
+        try:
+            return nx.shortest_path(self._graph, src, dst, weight=weight)
+        except nx.NetworkXNoPath as exc:
+            raise ValueError(f"no path from {src!r} to {dst!r}") from exc
+
+    def build(self, sim: Simulator) -> BuiltTopology:
+        """Instantiate links, wire flows, and return the live network."""
+        network = Network(sim)
+        links: Dict[Tuple[str, str], Link] = {}
+        for src, dst, data in self._graph.edges(data=True):
+            spec: LinkSpec = data["spec"]
+            link = Link(sim, spec.rate_bps, spec.delay_s,
+                        queue=spec.queue_factory(),
+                        name=f"{src}->{dst}")
+            network.add_link(link)
+            links[(src, dst)] = link
+
+        paths: Dict[int, FlowPath] = {}
+        for flow in self._flows:
+            forward_nodes = self._route_nodes(flow.src, flow.dst)
+            reverse_nodes = self._route_nodes(flow.dst, flow.src)
+            data_route = [links[(u, v)] for u, v in
+                          zip(forward_nodes, forward_nodes[1:])]
+            ack_route = [links[(u, v)] for u, v in
+                         zip(reverse_nodes, reverse_nodes[1:])]
+            paths[flow.flow_id] = network.add_flow(
+                flow.flow_id, data_route, ack_route)
+        return BuiltTopology(network, links, paths)
+
+    def min_rtt(self, flow: FlowSpec, data_bytes: int = 1500,
+                ack_bytes: int = 40) -> float:
+        """Unloaded RTT of a flow, without building the simulation."""
+        forward = self._route_nodes(flow.src, flow.dst)
+        reverse = self._route_nodes(flow.dst, flow.src)
+        total = 0.0
+        for nodes, size in ((forward, data_bytes), (reverse, ack_bytes)):
+            for u, v in zip(nodes, nodes[1:]):
+                spec: LinkSpec = self._graph.edges[u, v]["spec"]
+                tx = 0.0 if math.isinf(spec.rate_bps) \
+                    else size * 8.0 / spec.rate_bps
+                total += spec.delay_s + tx
+        return total

@@ -1,0 +1,122 @@
+"""Tests for the CoDel AQM state machine and queue."""
+
+import pytest
+
+from repro.sim.codel import CODEL_INTERVAL, CODEL_TARGET, CoDelQueue, CoDelState
+from repro.sim.packet import Packet
+
+
+def make_packet(seq=0, size=1500):
+    return Packet(flow_id=0, seq=seq, size_bytes=size, sent_at=0.0)
+
+
+class TestCoDelState:
+    def test_below_target_never_drops(self):
+        state = CoDelState()
+        for k in range(100):
+            packet = make_packet(k)
+            packet.enqueued_at = k * 0.01
+            now = k * 0.01 + CODEL_TARGET / 2
+            assert not state.should_drop(packet, now, False)
+        assert not state.dropping
+
+    def test_short_excursion_above_target_tolerated(self):
+        # Sojourn above target for less than one interval: no drops.
+        state = CoDelState()
+        packet = make_packet(0)
+        packet.enqueued_at = 0.0
+        assert not state.should_drop(packet, 0.02, False)
+        packet2 = make_packet(1)
+        packet2.enqueued_at = 0.0
+        # Still inside the first interval window.
+        assert not state.should_drop(packet2, 0.05, False)
+
+    def test_standing_queue_enters_drop_state(self):
+        state = CoDelState()
+        dropped = 0
+        # Sojourn time persistently 50 ms (10x target).
+        time = 0.0
+        for k in range(400):
+            packet = make_packet(k)
+            packet.enqueued_at = time - 0.050
+            if state.should_drop(packet, time, False):
+                dropped += 1
+            time += 0.005
+        assert dropped > 0
+        assert state.dropping
+
+    def test_drop_rate_accelerates(self):
+        state = CoDelState()
+        drop_times = []
+        time = 0.0
+        for k in range(2000):
+            packet = make_packet(k)
+            packet.enqueued_at = time - 0.050
+            if state.should_drop(packet, time, False):
+                drop_times.append(time)
+            time += 0.002
+        assert len(drop_times) >= 3
+        gaps = [b - a for a, b in zip(drop_times, drop_times[1:])]
+        # The control law sqrt schedule shrinks successive gaps.
+        assert gaps[-1] < gaps[0]
+
+    def test_draining_queue_exits_drop_state(self):
+        state = CoDelState()
+        time = 0.0
+        for k in range(300):
+            packet = make_packet(k)
+            packet.enqueued_at = time - 0.050
+            state.should_drop(packet, time, False)
+            time += 0.005
+        assert state.dropping
+        # Low-sojourn packet exits dropping.
+        packet = make_packet(999)
+        packet.enqueued_at = time - 0.001
+        assert not state.should_drop(packet, time, True)
+        assert not state.dropping
+
+
+class TestCoDelQueue:
+    def test_light_load_passes_through(self):
+        queue = CoDelQueue()
+        for seq in range(10):
+            queue.enqueue(make_packet(seq), now=seq * 0.1)
+        out = []
+        for seq in range(10):
+            packet = queue.dequeue(now=seq * 0.1 + 0.001)
+            out.append(packet.seq)
+        assert out == list(range(10))
+        assert queue.stats.dropped == 0
+
+    def test_persistent_queue_is_controlled(self):
+        queue = CoDelQueue()
+        # Feed faster than drain for a sustained period.
+        now = 0.0
+        seq = 0
+        drained = 0
+        for step in range(4000):
+            now = step * 0.001
+            queue.enqueue(make_packet(seq), now)
+            seq += 1
+            if step % 2 == 0:   # drain at half the arrival rate
+                if queue.dequeue(now) is not None:
+                    drained += 1
+        assert queue.stats.dropped > 0
+        stats = queue.stats
+        assert stats.enqueued == stats.dequeued + stats.dropped + len(queue)
+
+    def test_capacity_overflow_counts_drops(self):
+        queue = CoDelQueue(capacity_packets=2)
+        assert queue.enqueue(make_packet(0), 0.0)
+        assert queue.enqueue(make_packet(1), 0.0)
+        assert not queue.enqueue(make_packet(2), 0.0)
+        assert queue.stats.dropped == 1
+
+    def test_custom_target_and_interval(self):
+        queue = CoDelQueue(target=0.001, interval=0.01)
+        assert queue.codel.target == pytest.approx(0.001)
+        assert queue.codel.interval == pytest.approx(0.01)
+
+    def test_dequeue_empty(self):
+        queue = CoDelQueue()
+        assert queue.dequeue(1.0) is None

@@ -1,0 +1,218 @@
+"""Window-dynamics tests for AIMD, NewReno, and Cubic controllers.
+
+These drive controllers with synthetic ACK contexts — no network — so
+each assertion isolates one rule of the algorithm.
+"""
+
+import pytest
+
+from repro.protocols.aimd import AimdController
+from repro.protocols.base import AckContext
+from repro.protocols.cubic import CubicController
+from repro.protocols.newreno import NewRenoController
+
+
+def ack(now=1.0, rtt=0.1, newly=1, in_recovery=False, base_rtt=0.1):
+    return AckContext(now=now, rtt_sample=rtt, newly_acked=newly,
+                      cum_ack=0, echo_sent_at=now - rtt,
+                      receiver_time=now, in_recovery=in_recovery,
+                      base_rtt=base_rtt)
+
+
+class TestAimd:
+    def test_slow_start_doubles_per_rtt(self):
+        cc = AimdController(initial_window=2.0)
+        cc.on_flow_start(0.0)
+        cc.on_ack(ack(newly=2))
+        assert cc.window == pytest.approx(4.0)
+
+    def test_congestion_avoidance_linear(self):
+        cc = AimdController(initial_window=10.0, use_slow_start=False)
+        cc.on_flow_start(0.0)
+        window = cc.window
+        # One full window of ACKs ~= +increase packets.
+        for _ in range(10):
+            cc.on_ack(ack(newly=1))
+        assert cc.window == pytest.approx(window + 1.0, rel=0.02)
+
+    def test_loss_halves_window(self):
+        cc = AimdController(initial_window=16.0, use_slow_start=False)
+        cc.on_flow_start(0.0)
+        cc.on_loss(1.0)
+        assert cc.window == pytest.approx(8.0)
+
+    def test_custom_decrease_factor(self):
+        cc = AimdController(decrease=0.8, initial_window=10.0,
+                            use_slow_start=False)
+        cc.on_flow_start(0.0)
+        cc.on_loss(1.0)
+        assert cc.window == pytest.approx(8.0)
+
+    def test_timeout_resets_to_one(self):
+        cc = AimdController(initial_window=20.0)
+        cc.on_flow_start(0.0)
+        cc.on_timeout(1.0)
+        assert cc.window == 1.0
+        assert cc.ssthresh == pytest.approx(10.0)
+
+    def test_no_growth_during_recovery(self):
+        cc = AimdController(initial_window=10.0, use_slow_start=False)
+        cc.on_flow_start(0.0)
+        cc.on_loss(1.0)
+        window = cc.window
+        cc.on_ack(ack(in_recovery=True))
+        assert cc.window == window
+
+    def test_window_floor(self):
+        cc = AimdController(initial_window=2.0, use_slow_start=False)
+        cc.on_flow_start(0.0)
+        for _ in range(10):
+            cc.on_loss(1.0)
+        assert cc.window >= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AimdController(decrease=1.5)
+        with pytest.raises(ValueError):
+            AimdController(increase=0.0)
+
+    def test_persistent_across_on_periods(self):
+        cc = AimdController(initial_window=2.0)
+        cc.on_flow_start(0.0)
+        cc.on_ack(ack(newly=10))
+        grown = cc.window
+        cc.on_flow_start(5.0)      # second on-period: state persists
+        assert cc.window == grown
+
+    def test_reset_each_on_option(self):
+        cc = AimdController(initial_window=2.0, reset_each_on=True)
+        cc.on_flow_start(0.0)
+        cc.on_ack(ack(newly=10))
+        cc.on_flow_start(5.0)
+        assert cc.window == 2.0
+
+
+class TestNewReno:
+    def test_slow_start_then_avoidance(self):
+        cc = NewRenoController(initial_window=2.0)
+        cc.on_flow_start(0.0)
+        cc.ssthresh = 8.0
+        for _ in range(6):
+            cc.on_ack(ack(newly=1))
+        # 2 -> 8 in slow start, then linear.
+        assert 8.0 <= cc.window < 9.0
+
+    def test_loss_sets_half(self):
+        cc = NewRenoController(initial_window=20.0)
+        cc.on_flow_start(0.0)
+        cc.ssthresh = 1.0   # force congestion avoidance
+        cc.on_loss(1.0)
+        assert cc.window == pytest.approx(10.0)
+        assert cc.ssthresh == pytest.approx(10.0)
+
+    def test_recovery_holds_window(self):
+        cc = NewRenoController(initial_window=20.0)
+        cc.on_flow_start(0.0)
+        cc.on_loss(1.0)
+        window = cc.window
+        cc.on_ack(ack(newly=3, in_recovery=True))
+        assert cc.window == window
+
+    def test_recovery_exit_deflates(self):
+        cc = NewRenoController(initial_window=20.0)
+        cc.on_flow_start(0.0)
+        cc.on_loss(1.0)
+        cc.on_recovery_exit(ack(newly=5))
+        assert cc.window == pytest.approx(cc.ssthresh)
+
+    def test_timeout(self):
+        cc = NewRenoController(initial_window=20.0)
+        cc.on_flow_start(0.0)
+        cc.on_timeout(1.0)
+        assert cc.window == 1.0
+
+
+class TestCubic:
+    def test_slow_start_without_delay_rise(self):
+        cc = CubicController(initial_window=2.0)
+        cc.on_flow_start(0.0)
+        cc.on_ack(ack(rtt=0.1, base_rtt=0.1, newly=2))
+        assert cc.window == pytest.approx(4.0)
+
+    def test_hystart_exits_on_delay_rise(self):
+        cc = CubicController(initial_window=2.0)
+        cc.on_flow_start(0.0)
+        base = 0.1
+        # Round 1: baseline RTTs near the floor.
+        now = 0.0
+        for _ in range(10):
+            cc.on_ack(ack(now=now, rtt=base, base_rtt=base))
+            now += 0.01
+        # Round 2: RTT has risen 50 ms above the floor.
+        now = 0.2
+        for _ in range(10):
+            cc.on_ack(ack(now=now, rtt=base + 0.05, base_rtt=base))
+            now += 0.01
+        # A third round confirms and exits slow start.
+        now = 0.5
+        for _ in range(10):
+            cc.on_ack(ack(now=now, rtt=base + 0.05, base_rtt=base))
+            now += 0.01
+        assert cc.ssthresh < float("inf")
+
+    def test_loss_multiplies_by_beta(self):
+        cc = CubicController(initial_window=100.0)
+        cc.on_flow_start(0.0)
+        cc.ssthresh = 1.0
+        cc.on_loss(1.0)
+        assert cc.window == pytest.approx(70.0)
+
+    def test_fast_convergence_shrinks_wmax(self):
+        cc = CubicController(initial_window=100.0, fast_convergence=True)
+        cc.on_flow_start(0.0)
+        cc.ssthresh = 1.0
+        cc.on_loss(1.0)        # w_max = 100
+        cc.on_loss(2.0)        # window 70 < w_max: fast convergence
+        assert cc._w_max == pytest.approx(70.0 * (1.0 + 0.7) / 2.0)
+
+    def test_concave_growth_toward_wmax(self):
+        """After a loss, an ACK-clocked window climbs back toward W_max
+        with shrinking per-RTT growth (the concave region)."""
+        cc = CubicController(initial_window=100.0, hystart=False)
+        cc.on_flow_start(0.0)
+        cc.ssthresh = 1.0     # force CA
+        cc.on_loss(0.0)
+        rtt = 0.1
+        now = 0.0
+        per_rtt_growth = []
+        for _ in range(20):                     # 20 RTTs = 2 s < K
+            start_window = cc.window
+            for _ in range(int(cc.window)):      # one ACK per in-flight pkt
+                cc.on_ack(ack(now=now, rtt=rtt, base_rtt=rtt))
+            now += rtt
+            per_rtt_growth.append(cc.window - start_window)
+        assert cc.window > 70.0                  # grew back from beta*W_max
+        assert cc.window <= 101.0                # but not past W_max + eps
+        early = sum(per_rtt_growth[:5])
+        late = sum(per_rtt_growth[-5:])
+        assert late < early                      # concave approach
+
+    def test_timeout_resets(self):
+        cc = CubicController(initial_window=50.0)
+        cc.on_flow_start(0.0)
+        cc.on_timeout(1.0)
+        assert cc.window == 1.0
+
+    def test_tcp_friendly_region_dominates_at_small_windows(self):
+        """With a tiny W_max, the Reno-tracking estimate keeps growth at
+        least linear instead of the cubic plateau."""
+        cc = CubicController(initial_window=4.0, hystart=False)
+        cc.on_flow_start(0.0)
+        cc.ssthresh = 1.0
+        cc.on_loss(0.0)
+        start = cc.window
+        now = 0.0
+        for _ in range(400):
+            now += 0.01
+            cc.on_ack(ack(now=now, rtt=0.1, base_rtt=0.1))
+        assert cc.window > start + 2.0

@@ -1,0 +1,204 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Event, Simulator, Timer
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "last")
+        sim.run(until=10.0)
+        assert fired == ["early", "late", "last"]
+
+    def test_ties_fire_in_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run(until=2.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run(until=5.0)
+        assert seen == [1.5]
+
+    def test_clock_lands_on_until_even_if_idle(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=1.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_events_beyond_until_stay_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "x")
+        sim.run(until=2.0)
+        assert fired == []
+        sim.run(until=5.0)
+        assert fired == ["x"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "no")
+        event.cancel()
+        sim.run(until=2.0)
+        assert fired == []
+
+    def test_cancel_twice_is_safe(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run(until=2.0)
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, fired.append, "keep")
+        drop = sim.schedule(1.0, fired.append, "drop")
+        drop.cancel()
+        sim.run(until=2.0)
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+
+class TestRunUntilIdle:
+    def test_drains_all_events(self):
+        sim = Simulator()
+        fired = []
+        for k in range(3):
+            sim.schedule(float(k), fired.append, k)
+        sim.run_until_idle()
+        assert fired == [0, 1, 2]
+
+    def test_respects_max_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(100.0, fired.append, "b")
+        sim.run_until_idle(max_time=10.0)
+        assert fired == ["a"]
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        hits = []
+        timer = Timer(sim, lambda: hits.append(sim.now))
+        timer.restart(2.0)
+        sim.run(until=10.0)
+        assert hits == [2.0]
+        assert not timer.pending
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        hits = []
+        timer = Timer(sim, lambda: hits.append(sim.now))
+        timer.restart(1.0)
+        timer.restart(3.0)
+        sim.run(until=10.0)
+        assert hits == [3.0]
+
+    def test_cancel_prevents_fire(self):
+        sim = Simulator()
+        hits = []
+        timer = Timer(sim, lambda: hits.append(sim.now))
+        timer.restart(1.0)
+        timer.cancel()
+        sim.run(until=10.0)
+        assert hits == []
+
+    def test_deadline_reporting(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert timer.deadline is None
+        timer.restart(4.0)
+        assert timer.deadline == pytest.approx(4.0)
+
+    def test_rearm_from_callback(self):
+        sim = Simulator()
+        hits = []
+        timer = Timer(sim, lambda: None)
+
+        def fire():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                timer.restart(1.0)
+
+        timer._callback = fire
+        timer.restart(1.0)
+        sim.run(until=10.0)
+        assert hits == [1.0, 2.0, 3.0]
+
+
+class TestEventOrderingProperty:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_any_schedule_order_fires_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=1001.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.booleans()), min_size=1, max_size=30))
+    def test_cancellation_subset_fires(self, entries):
+        sim = Simulator()
+        fired = []
+        events = []
+        for delay, cancel in entries:
+            event = sim.schedule(delay, lambda d=delay: fired.append(d))
+            events.append((event, cancel))
+        for event, cancel in events:
+            if cancel:
+                event.cancel()
+        sim.run(until=101.0)
+        expected = sorted(d for (d, c) in entries if not c)
+        assert fired == expected

@@ -1,0 +1,149 @@
+"""Smoke tests for the experiment modules at micro scale.
+
+These verify the experiment plumbing (sweeps, result containers,
+format_table) rather than paper shapes — the benchmark harness owns the
+shape assertions.  Tao-dependent experiments substitute a tiny
+hand-built rule table so the tests do not depend on trained assets.
+"""
+
+import pytest
+
+from repro.core.scale import Scale
+from repro.experiments import (calibration, diversity, link_speed,
+                               multiplexing, rtt, signals, structure,
+                               tcp_awareness)
+from repro.remy.action import Action
+from repro.remy.tree import WhiskerTree
+
+MICRO = Scale(duration_s=3.0, packet_budget=4_000, min_duration_s=2.0,
+              n_seeds=1, sweep_points=2)
+
+#: A sane rate-matching table standing in for any trained asset.
+FAKE_TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+
+
+def fake_trees(*names):
+    return {name: FAKE_TREE for name in names}
+
+
+class TestCalibration:
+    def test_runs_and_formats(self):
+        result = calibration.run(scale=MICRO, tree=FAKE_TREE)
+        assert set(result.points) == {"tao", "cubic", "cubic_sfqcodel"}
+        assert result.omniscient_throughput_bps == pytest.approx(24e6)
+        text = calibration.format_table(result)
+        assert "omniscient" in text and "cubic" in text
+
+
+class TestLinkSpeed:
+    def test_sweep_is_log_spaced(self):
+        speeds = link_speed.sweep_speeds(4)
+        assert speeds[0] == pytest.approx(1.0)
+        assert speeds[-1] == pytest.approx(1000.0)
+        ratios = [b / a for a, b in zip(speeds, speeds[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+        with pytest.raises(ValueError):
+            link_speed.sweep_speeds(1)
+
+    def test_runs_with_fake_trees(self):
+        result = link_speed.run(
+            scale=MICRO, trees=fake_trees(*link_speed.TAO_RANGES))
+        schemes = {p.scheme for p in result.points}
+        assert "omniscient" in schemes and "cubic" in schemes
+        assert len(result.series("tao_2x")) == 2
+        # in-range bookkeeping matches the declared ranges
+        for point in result.series("tao_2x"):
+            expected = 22.0 <= point.speed_mbps <= 44.0
+            assert point.in_training_range == expected
+        assert "Figure 2" in link_speed.format_table(result)
+
+
+class TestMultiplexing:
+    def test_sweep_unique_and_covers_range(self):
+        counts = multiplexing.sweep_senders(5)
+        assert counts[0] == 1 and counts[-1] == 100
+        assert len(set(counts)) == len(counts)
+
+    def test_runs_with_fake_trees(self):
+        result = multiplexing.run(
+            scale=MICRO, trees=fake_trees(*multiplexing.TAO_RANGES))
+        cases = {p.buffer_case for p in result.points}
+        assert cases == {"5bdp", "nodrop"}
+        assert "Figure 3" in multiplexing.format_table(result)
+
+
+class TestRtt:
+    def test_sweep_includes_150(self):
+        assert 150.0 in rtt.sweep_rtts(4)
+        assert 150.0 in rtt.sweep_rtts(7)
+        assert rtt.sweep_rtts(5)[0] == pytest.approx(1.0)
+
+    def test_runs_with_fake_trees(self):
+        result = rtt.run(scale=MICRO, trees=fake_trees(*rtt.TAO_RANGES))
+        exact = result.series("tao_rtt_150")
+        assert any(p.in_training_range for p in exact)
+        assert "Figure 4" in rtt.format_table(result)
+
+
+class TestStructure:
+    def test_pairs_cover_boundaries(self):
+        pairs = structure.sweep_speed_pairs(3)
+        assert (10.0, 10.0) in pairs
+        assert any(faster == 100.0 for _, faster in pairs)
+
+    def test_runs_with_fake_trees(self):
+        result = structure.run(
+            scale=MICRO,
+            trees=fake_trees("tao_structure_one", "tao_structure_two"))
+        assert result.points and result.omniscient
+        assert 0.0 <= abs(result.simplification_penalty()) <= 1.0
+        assert "Figure 6" in structure.format_table(result)
+
+
+class TestTcpAwareness:
+    def test_runs_with_fake_trees(self):
+        result = tcp_awareness.run(
+            scale=MICRO,
+            trees=fake_trees("tao_tcp_naive", "tao_tcp_aware"))
+        assert set(result.cells) == set(tcp_awareness.CELLS)
+        assert result.tao_point("naive_homogeneous").n_samples >= 1
+        assert "newreno" in result.cells["newreno_only"].by_kind
+        assert "Figure 7" in tcp_awareness.format_table(result)
+
+    def test_queue_trace(self):
+        trace = tcp_awareness.run_queue_trace(
+            tree=FAKE_TREE, duration_s=4.0, tcp_on_at=1.0,
+            tcp_off_at=2.0)
+        assert len(trace.times) == len(trace.queue_packets)
+        assert trace.tcp_interval == (1.0, 2.0)
+        assert trace.mean_queue(0.0, 4.0) >= 0.0
+
+
+class TestDiversity:
+    def test_runs_with_fake_trees(self):
+        result = diversity.run(
+            scale=MICRO,
+            trees=fake_trees("tao_delta_tpt_naive",
+                             "tao_delta_del_naive",
+                             "tao_delta_tpt_coopt",
+                             "tao_delta_del_coopt"))
+        assert ("coopt_mixed", "learner") in result.points
+        assert ("coopt_mixed", "peer") in result.points
+        assert result.throughput_mbps("coopt_mixed", "learner") >= 0
+        assert "Figure 9" in diversity.format_table(result)
+
+
+class TestSignals:
+    def test_runs_with_fake_trees(self):
+        from repro.remy.memory import SIGNAL_NAMES
+        trees = {"tao_calibration": FAKE_TREE}
+        trees.update(fake_trees(*(f"tao_knockout_{s}"
+                                  for s in SIGNAL_NAMES)))
+        result = signals.run(scale=MICRO, trees=trees)
+        assert len(result.objective_by_variant) == 5
+        # Identical trees: every knockout scores exactly like the full
+        # variant (common random numbers), so all drops are zero.
+        for signal in SIGNAL_NAMES:
+            assert result.drop(signal) == pytest.approx(0.0)
+        assert len(result.ranking()) == 4
+        assert "section 3.4" in signals.format_table(result)

@@ -1,0 +1,202 @@
+"""End-to-end integration tests across the whole stack.
+
+These run short simulations through the public API and assert on
+physical invariants (conservation, capacity, fairness) rather than
+specific numbers.
+"""
+
+import math
+
+import pytest
+
+from repro import NetworkConfig, Scale, build_simulation, run_config
+from repro.remy.action import Action
+from repro.remy.tree import WhiskerTree
+
+FAST = Scale(duration_s=15.0, packet_budget=30_000, n_seeds=1)
+
+
+def run_once(config, trees=None, seed=1, duration=15.0,
+             trace_queues=False, workload_intervals=None):
+    handle = build_simulation(config, trees=trees, seed=seed,
+                              trace_queues=trace_queues,
+                              workload_intervals=workload_intervals)
+    return handle, handle.run(duration)
+
+
+class TestCapacityInvariants:
+    def test_throughput_bounded_by_link_rate(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(10.0,), rtt_ms=100.0,
+            sender_kinds=("newreno",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=5.0)
+        _, result = run_once(config, duration=30.0)
+        flow = result.flows[0]
+        assert flow.throughput_bps <= 10e6 * 1.01
+        assert flow.throughput_bps > 8e6   # and the link is usable
+
+    def test_utilization_in_unit_range(self):
+        config = NetworkConfig(sender_kinds=("cubic", "cubic"))
+        _, result = run_once(config)
+        assert 0.0 <= result.bottleneck_utilization <= 1.0
+
+    def test_packet_conservation_end_to_end(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(5.0,), rtt_ms=100.0,
+            sender_kinds=("newreno", "newreno"),
+            mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=2.0)
+        handle, result = run_once(config, duration=20.0)
+        bottleneck = handle.built.link("A", "B")
+        stats = bottleneck.queue.stats
+        sent = sum(f.packets_sent for f in result.flows)
+        # Every transmitted packet was admitted or dropped at the
+        # bottleneck (access links are lossless and instant).
+        assert stats.enqueued + stats.dropped == sent
+        delivered = sum(f.packets_delivered for f in result.flows)
+        assert delivered <= stats.dequeued
+
+
+class TestFairness:
+    def test_sfq_codel_equalizes_cubic_flows(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(20.0,), rtt_ms=100.0,
+            sender_kinds=("cubic", "cubic"),
+            mean_on_s=50.0, mean_off_s=0.0, buffer_bdp=5.0,
+            queue="sfq_codel")
+        _, result = run_once(config, duration=30.0)
+        tpts = sorted(f.throughput_bps for f in result.flows)
+        assert tpts[0] > 0.6 * tpts[1], \
+            "sfqCoDel should keep simultaneous flows near-equal"
+
+    def test_sfq_codel_keeps_delay_near_target(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(20.0,), rtt_ms=100.0,
+            sender_kinds=("cubic", "cubic"),
+            mean_on_s=50.0, mean_off_s=0.0, buffer_bdp=5.0,
+            queue="sfq_codel")
+        _, result = run_once(config, duration=30.0)
+        for flow in result.flows:
+            assert flow.queueing_delay_s < 0.100, \
+                "CoDel should hold queueing delay well under a BDP"
+
+
+class TestRemyCCIntegration:
+    def test_paced_rule_table_runs_and_paces(self):
+        # A stable rule table: window fixed point 40, pacing 5 ms.
+        tree = WhiskerTree(default_action=Action(0.5, 20.0, 0.005))
+        config = NetworkConfig(
+            link_speeds_mbps=(10.0,), rtt_ms=100.0,
+            sender_kinds=("learner",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=5.0)
+        _, result = run_once(config, trees={"learner": tree},
+                             duration=20.0)
+        flow = result.flows[0]
+        assert flow.packets_delivered > 1000
+        # Pacing at 5 ms caps the rate near 200 pkt/s = 2.4 Mbps.
+        assert flow.throughput_bps < 3.2e6
+
+    def test_aggressive_table_fills_finite_buffer(self):
+        tree = WhiskerTree(default_action=Action(1.0, 4.0, 2e-5))
+        config = NetworkConfig(
+            link_speeds_mbps=(10.0,), rtt_ms=100.0,
+            sender_kinds=("learner",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=1.0)
+        handle, result = run_once(config, trees={"learner": tree},
+                                  duration=15.0)
+        assert handle.built.link("A", "B").queue.stats.dropped > 0
+
+
+class TestParkingLotIntegration:
+    def test_three_flows_share_two_bottlenecks(self):
+        config = NetworkConfig(
+            topology="parking_lot", link_speeds_mbps=(20.0, 20.0),
+            rtt_ms=150.0, sender_kinds=("newreno",) * 3,
+            mean_on_s=100.0, mean_off_s=0.0, buffer_bdp=2.0)
+        _, result = run_once(config, duration=30.0)
+        # Link capacities respected.
+        assert result.flows[0].throughput_bps \
+            + result.flows[1].throughput_bps <= 20e6 * 1.02
+        assert result.flows[0].throughput_bps \
+            + result.flows[2].throughput_bps <= 20e6 * 1.02
+        # Everyone makes progress.
+        for flow in result.flows:
+            assert flow.packets_delivered > 100
+
+    def test_crossing_flow_sees_both_hops_delay(self):
+        config = NetworkConfig(
+            topology="parking_lot", link_speeds_mbps=(20.0, 20.0),
+            rtt_ms=150.0, sender_kinds=("newreno",) * 3,
+            mean_on_s=100.0, mean_off_s=0.0, buffer_bdp=2.0)
+        _, result = run_once(config, duration=10.0)
+        assert result.flows[0].base_delay_s \
+            > result.flows[1].base_delay_s
+
+
+class TestTracing:
+    def test_queue_trace_capture(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(5.0,), rtt_ms=100.0,
+            sender_kinds=("cubic",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=2.0)
+        handle, _ = run_once(config, trace_queues=True, duration=10.0)
+        trace = handle.traces["A->B"]
+        assert len(trace) > 0
+        assert trace.max_length() > 0
+        times, lengths = trace.sample(step_s=0.1, until=10.0)
+        assert len(times) == len(lengths)
+        assert trace.mean_length(10.0) >= 0.0
+
+    def test_scheduled_workload_intervals(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(5.0,), rtt_ms=100.0,
+            sender_kinds=("cubic", "newreno"),
+            mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=2.0)
+        handle, result = run_once(
+            config, duration=10.0,
+            workload_intervals={0: [(0.0, 10.0)], 1: [(4.0, 6.0)]})
+        assert result.flows[0].on_time_s == pytest.approx(10.0)
+        assert result.flows[1].on_time_s == pytest.approx(2.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        config = NetworkConfig(sender_kinds=("cubic", "cubic"))
+        first = run_config(config, seed=3, scale=FAST)
+        second = run_config(config, seed=3, scale=FAST)
+        for a, b in zip(first.flows, second.flows):
+            assert a.delivered_bytes == b.delivered_bytes
+            assert a.mean_delay_s == b.mean_delay_s
+
+    def test_different_seed_different_result(self):
+        config = NetworkConfig(sender_kinds=("cubic", "cubic"))
+        first = run_config(config, seed=3, scale=FAST)
+        second = run_config(config, seed=4, scale=FAST)
+        assert any(a.delivered_bytes != b.delivered_bytes
+                   for a, b in zip(first.flows, second.flows))
+
+
+class TestEdgeCases:
+    def test_sender_that_never_turns_on(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(5.0,), rtt_ms=100.0,
+            sender_kinds=("cubic", "cubic"),
+            mean_on_s=0.001, mean_off_s=10_000.0, buffer_bdp=2.0)
+        _, result = run_once(config, seed=2, duration=5.0)
+        for flow in result.flows:
+            assert flow.throughput_bps >= 0.0
+
+    def test_tiny_buffer(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(5.0,), rtt_ms=100.0,
+            sender_kinds=("newreno",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=0.01)    # ~1 packet of buffer
+        _, result = run_once(config, duration=10.0)
+        assert result.flows[0].packets_delivered > 10
+
+    def test_single_sender_single_packet_scale(self):
+        config = NetworkConfig(
+            link_speeds_mbps=(0.1,), rtt_ms=500.0,
+            sender_kinds=("newreno",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=5.0)
+        _, result = run_once(config, duration=20.0)
+        assert result.flows[0].packets_delivered >= 1

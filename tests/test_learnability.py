@@ -1,0 +1,74 @@
+"""Tests for the learnability framework's gap metrics."""
+
+import math
+
+import pytest
+
+from repro.core.learnability import (GapReport, LearnabilityCase,
+                                     objective_gap, throughput_ratio,
+                                     within_factor)
+from repro.core.objective import Objective
+from repro.core.scenario import NetworkConfig, ScenarioRange
+
+
+class TestLearnabilityCase:
+    def make_case(self):
+        return LearnabilityCase(
+            name="tao_10x",
+            training=ScenarioRange(link_speed_mbps=(10.0, 100.0),
+                                   rtt_ms=(150.0, 150.0),
+                                   num_senders=(2, 2)),
+            testing=[NetworkConfig(link_speeds_mbps=(s,), rtt_ms=150.0)
+                     for s in (1.0, 32.0, 1000.0)])
+
+    def test_in_training_range(self):
+        case = self.make_case()
+        inside = NetworkConfig(link_speeds_mbps=(32.0,), rtt_ms=150.0)
+        outside_speed = NetworkConfig(link_speeds_mbps=(500.0,),
+                                      rtt_ms=150.0)
+        outside_rtt = NetworkConfig(link_speeds_mbps=(32.0,),
+                                    rtt_ms=300.0)
+        assert case.in_training_range(inside)
+        assert not case.in_training_range(outside_speed)
+        assert not case.in_training_range(outside_rtt)
+
+    def test_boundary_is_inside(self):
+        case = self.make_case()
+        edge = NetworkConfig(link_speeds_mbps=(100.0,), rtt_ms=150.0)
+        assert case.in_training_range(edge)
+
+    def test_sender_count_check(self):
+        case = self.make_case()
+        crowded = NetworkConfig(link_speeds_mbps=(32.0,), rtt_ms=150.0,
+                                sender_kinds=("learner",) * 10)
+        assert not case.in_training_range(crowded)
+
+
+class TestGapMetrics:
+    def test_objective_gap_sign(self):
+        objective = Objective()
+        better = [(2e6, 0.1)]
+        worse = [(1e6, 0.2)]
+        assert objective_gap(objective, better, worse) > 0
+        assert objective_gap(objective, worse, better) < 0
+        assert objective_gap(objective, better, better) == 0.0
+
+    def test_throughput_ratio(self):
+        assert throughput_ratio(2e6, 1e6) == pytest.approx(2.0)
+        assert throughput_ratio(1e6, 0.0) == math.inf
+        assert throughput_ratio(0.0, 0.0) == 1.0
+
+    def test_within_factor(self):
+        assert within_factor(16e6, 15.5e6, 1.05)
+        assert not within_factor(8e6, 16e6, 1.05)
+        assert within_factor(8e6, 16e6, 2.0)
+        with pytest.raises(ValueError):
+            within_factor(1e6, 1e6, 0.5)
+
+    def test_gap_report(self):
+        report = GapReport(scheme="tao", throughput_bps=23e6,
+                           delay_s=0.08,
+                           vs_omniscient_throughput=23 / 24,
+                           vs_accurate_objective=-0.1)
+        assert report.throughput_within(0.05)
+        assert not report.throughput_within(0.01)

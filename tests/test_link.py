@@ -1,0 +1,116 @@
+"""Tests for links: serialization timing, propagation, delivery."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+
+def make_packet(seq=0, size=1500):
+    return Packet(flow_id=0, seq=seq, size_bytes=size, sent_at=0.0)
+
+
+def collecting_link(sim, rate_bps, delay_s, queue=None):
+    link = Link(sim, rate_bps, delay_s, queue=queue)
+    deliveries = []
+    link.deliver = lambda pkt: deliveries.append((sim.now, pkt.seq))
+    return link, deliveries
+
+
+class TestSerialization:
+    def test_single_packet_timing(self):
+        sim = Simulator()
+        # 1500 bytes at 1 Mbps = 12 ms; plus 10 ms propagation.
+        link, deliveries = collecting_link(sim, 1e6, 0.010)
+        link.send(make_packet(0))
+        sim.run(until=1.0)
+        assert deliveries == [(pytest.approx(0.022), 0)]
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        link, deliveries = collecting_link(sim, 1e6, 0.0)
+        link.send(make_packet(0))
+        link.send(make_packet(1))
+        sim.run(until=1.0)
+        times = [t for t, _ in deliveries]
+        assert times[0] == pytest.approx(0.012)
+        assert times[1] == pytest.approx(0.024)
+
+    def test_infinite_rate_is_instant(self):
+        sim = Simulator()
+        link, deliveries = collecting_link(sim, math.inf, 0.005)
+        link.send(make_packet(0))
+        sim.run(until=1.0)
+        assert deliveries[0][0] == pytest.approx(0.005)
+
+    def test_transmission_time_helper(self):
+        sim = Simulator()
+        link = Link(sim, 8e6, 0.0)
+        assert link.transmission_time(1000) == pytest.approx(0.001)
+        assert Link(sim, math.inf, 0.0).transmission_time(1000) == 0.0
+
+    def test_throughput_matches_rate(self):
+        """A saturated 1 Mbps link forwards ~1 Mbps of packets."""
+        sim = Simulator()
+        link, deliveries = collecting_link(sim, 1e6, 0.0)
+        n = 200
+        for seq in range(n):
+            link.send(make_packet(seq))
+        sim.run(until=n * 0.012 + 1.0)
+        assert len(deliveries) == n
+        elapsed = deliveries[-1][0]
+        bits = n * 1500 * 8
+        assert bits / elapsed == pytest.approx(1e6, rel=0.01)
+
+
+class TestQueueInteraction:
+    def test_drops_at_full_queue(self):
+        sim = Simulator()
+        queue = DropTailQueue(capacity_packets=2)
+        link, deliveries = collecting_link(sim, 1e6, 0.0, queue=queue)
+        results = [link.send(make_packet(seq)) for seq in range(5)]
+        # First enters service immediately, two queue, rest dropped.
+        assert results == [True, True, True, False, False]
+        sim.run(until=1.0)
+        assert len(deliveries) == 3
+
+    def test_idle_link_restarts_after_drain(self):
+        sim = Simulator()
+        link, deliveries = collecting_link(sim, 1e6, 0.0)
+        link.send(make_packet(0))
+        sim.run(until=0.1)
+        assert not link.busy
+        link.send(make_packet(1))
+        sim.run(until=0.2)
+        assert len(deliveries) == 2
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        link, _ = collecting_link(sim, 1e6, 0.0)
+        for seq in range(3):
+            link.send(make_packet(seq))
+        sim.run(until=1.0)
+        assert link.stats.packets_forwarded == 3
+        assert link.stats.bytes_forwarded == 3 * 1500
+        assert link.stats.utilization(1e6, 1.0) == pytest.approx(0.036)
+
+
+class TestValidation:
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), 0.0, 0.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), 1e6, -1.0)
+
+    def test_unconnected_link_raises_on_delivery(self):
+        sim = Simulator()
+        link = Link(sim, 1e6, 0.0)
+        link.send(make_packet(0))
+        with pytest.raises(RuntimeError):
+            sim.run(until=1.0)

@@ -1,0 +1,109 @@
+"""Tests for packet construction and network source-route dispatch."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.network import Network
+from repro.sim.packet import ACK_SIZE_BYTES, Packet
+
+
+def make_network(n_hops=2):
+    sim = Simulator()
+    network = Network(sim)
+    forward = []
+    for k in range(n_hops):
+        link = Link(sim, 1e6, 0.01, name=f"f{k}")
+        network.add_link(link)
+        forward.append(link)
+    reverse = Link(sim, math.inf, 0.01, name="r0")
+    network.add_link(reverse)
+    network.add_flow(0, forward, [reverse])
+    return sim, network, forward, reverse
+
+
+class TestPacket:
+    def test_ack_echoes_timestamps(self):
+        data = Packet(flow_id=3, seq=7, size_bytes=1500, sent_at=1.25,
+                      first_sent_at=1.0)
+        ack = Packet.make_ack(data, ack_seq=8, now=2.0)
+        assert ack.is_ack
+        assert ack.flow_id == 3
+        assert ack.seq == 7
+        assert ack.ack_seq == 8
+        assert ack.echo_sent_at == 1.25
+        assert ack.echo_first_sent_at == 1.0
+        assert ack.receiver_time == 2.0
+        assert ack.size_bytes == ACK_SIZE_BYTES
+
+    def test_first_sent_defaults_to_sent(self):
+        packet = Packet(flow_id=0, seq=0, size_bytes=1500, sent_at=4.0)
+        assert packet.first_sent_at == 4.0
+
+
+class TestNetworkDispatch:
+    def test_multi_hop_delivery(self):
+        sim, network, forward, _ = make_network(n_hops=3)
+        delivered = []
+        network.attach_receiver(0, lambda p: delivered.append(sim.now))
+        network.attach_sender(0, lambda p: None)
+        packet = Packet(flow_id=0, seq=0, size_bytes=1500, sent_at=0.0)
+        network.send_data(packet)
+        sim.run(until=1.0)
+        # 3 hops x (12 ms serialization + 10 ms propagation).
+        assert delivered == [pytest.approx(0.066)]
+
+    def test_ack_routes_back_to_sender(self):
+        sim, network, _, _ = make_network()
+        acked = []
+        network.attach_receiver(0, lambda p: None)
+        network.attach_sender(0, lambda p: acked.append(p.ack_seq))
+        ack = Packet.make_ack(
+            Packet(flow_id=0, seq=0, size_bytes=1500, sent_at=0.0),
+            ack_seq=1, now=0.0)
+        network.send_ack(ack)
+        sim.run(until=1.0)
+        assert acked == [1]
+
+    def test_missing_endpoint_raises(self):
+        sim, network, _, _ = make_network()
+        packet = Packet(flow_id=0, seq=0, size_bytes=1500, sent_at=0.0)
+        with pytest.raises(RuntimeError, match="no endpoint"):
+            network.send_data(packet)
+
+    def test_duplicate_flow_rejected(self):
+        sim, network, forward, reverse = make_network()
+        with pytest.raises(ValueError, match="duplicate flow"):
+            network.add_flow(0, forward, [reverse])
+
+    def test_route_with_unregistered_link_rejected(self):
+        sim, network, _, _ = make_network()
+        stray = Link(sim, 1e6, 0.0, name="stray")
+        with pytest.raises(ValueError, match="unregistered"):
+            network.add_flow(1, [stray], [stray])
+
+    def test_duplicate_link_name_rejected(self):
+        sim, network, _, _ = make_network()
+        with pytest.raises(ValueError, match="duplicate link"):
+            network.add_link(Link(sim, 1e6, 0.0, name="f0"))
+
+    def test_empty_route_delivers_directly(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.add_flow(0, [], [])
+        got = []
+        network.attach_receiver(0, got.append)
+        network.attach_sender(0, lambda p: None)
+        packet = Packet(flow_id=0, seq=0, size_bytes=100, sent_at=0.0)
+        assert network.send_data(packet)
+        assert got == [packet]
+
+    def test_base_delay_math(self):
+        sim, network, _, _ = make_network(n_hops=2)
+        path = network.flows[0]
+        forward = 2 * (0.01 + 1500 * 8 / 1e6)
+        reverse = 0.01
+        assert path.base_delay(1500, 40) == pytest.approx(
+            forward + reverse)

@@ -1,0 +1,96 @@
+"""Tests for objective functions (paper Eq. 1 and the normalized form)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.objective import (DELAY_FLOOR_S, THROUGHPUT_FLOOR_BPS,
+                                  Objective, mean_normalized_objective,
+                                  normalized_objective)
+
+
+class TestObjective:
+    def test_score_formula(self):
+        objective = Objective(delta=1.0)
+        score = objective.score(2e6, 0.25)
+        assert score == pytest.approx(math.log2(2e6) - math.log2(0.25))
+
+    def test_delta_weighs_delay(self):
+        """A delay-sensitive objective loses more when delay doubles."""
+        tolerant = Objective(delta=0.1)
+        sensitive = Objective(delta=10.0)
+        tolerant_drop = tolerant.score(1e6, 0.5) - tolerant.score(1e6, 1.0)
+        sensitive_drop = (sensitive.score(1e6, 0.5)
+                          - sensitive.score(1e6, 1.0))
+        assert sensitive_drop > tolerant_drop
+
+    def test_doubling_throughput_adds_one_bit(self):
+        objective = Objective()
+        assert objective.score(2e6, 0.1) - objective.score(1e6, 0.1) \
+            == pytest.approx(1.0)
+
+    def test_halving_delay_adds_delta_bits(self):
+        objective = Objective(delta=2.0)
+        assert objective.score(1e6, 0.05) - objective.score(1e6, 0.1) \
+            == pytest.approx(2.0)
+
+    def test_zero_throughput_is_finite(self):
+        objective = Objective()
+        score = objective.score(0.0, 0.1)
+        assert math.isfinite(score)
+        assert score == objective.score(THROUGHPUT_FLOOR_BPS, 0.1)
+
+    def test_zero_delay_is_finite(self):
+        objective = Objective()
+        assert math.isfinite(objective.score(1e6, 0.0))
+
+    def test_total_sums_flows(self):
+        objective = Objective()
+        flows = [(1e6, 0.1), (2e6, 0.2)]
+        assert objective.total(flows) == pytest.approx(
+            objective.score(1e6, 0.1) + objective.score(2e6, 0.2))
+
+    def test_proportional_fairness_tradeoff(self):
+        """Halving one flow to more-than-double another wins (section 3.2)."""
+        objective = Objective()
+        before = objective.total([(4e6, 0.1), (1e6, 0.1)])
+        after = objective.total([(2e6, 0.1), (2.5e6, 0.1)])
+        assert after > before
+
+
+class TestNormalizedObjective:
+    def test_ideal_point_scores_zero(self):
+        assert normalized_objective(16e6, 0.075, fair_share_bps=16e6,
+                                    min_delay_s=0.075) == pytest.approx(0.0)
+
+    def test_below_fair_share_negative(self):
+        assert normalized_objective(8e6, 0.075, 16e6, 0.075) < 0
+
+    def test_queueing_delay_penalized(self):
+        assert normalized_objective(16e6, 0.150, 16e6, 0.075) < 0
+
+    def test_delay_floored_at_min_delay(self):
+        """Measured delay below the path floor cannot create a bonus."""
+        value = normalized_objective(16e6, 0.001, 16e6, 0.075)
+        assert value == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_objective(1e6, 0.1, 0.0, 0.075)
+        with pytest.raises(ValueError):
+            normalized_objective(1e6, 0.1, 1e6, 0.0)
+
+    def test_mean_over_flows(self):
+        flows = [(16e6, 0.075), (8e6, 0.075)]
+        mean = mean_normalized_objective(flows, 16e6, 0.075)
+        assert mean == pytest.approx(-0.5)
+        with pytest.raises(ValueError):
+            mean_normalized_objective([], 16e6, 0.075)
+
+    @given(st.floats(min_value=1e3, max_value=1e9),
+           st.floats(min_value=1e-3, max_value=10.0))
+    def test_monotone_in_throughput_and_delay(self, tpt, delay):
+        base = normalized_objective(tpt, delay, 1e6, 1e-3)
+        assert normalized_objective(tpt * 2, delay, 1e6, 1e-3) > base
+        assert normalized_objective(tpt, delay * 2, 1e6, 1e-3) < base

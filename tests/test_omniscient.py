@@ -1,0 +1,154 @@
+"""Tests for the omniscient bound and the proportional-fair solver."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.omniscient import (dumbbell_expected_throughput,
+                                   omniscient_dumbbell,
+                                   omniscient_for_config,
+                                   omniscient_parking_lot,
+                                   parking_lot_allocation,
+                                   proportional_fair_allocation)
+from repro.core.scenario import NetworkConfig
+
+
+class TestPfSolver:
+    def test_single_link_equal_split(self):
+        rates = proportional_fair_allocation([[1, 1, 1]], [30e6])
+        assert rates == pytest.approx([10e6, 10e6, 10e6], rel=1e-4)
+
+    def test_independent_links(self):
+        rates = proportional_fair_allocation(
+            [[1, 0], [0, 1]], [10e6, 20e6])
+        assert rates == pytest.approx([10e6, 20e6], rel=1e-4)
+
+    def test_parking_lot_closed_form(self):
+        """Symmetric parking lot (C1 = C2 = C): the PF solution gives the
+        crossing flow C/3 and each one-hop flow 2C/3."""
+        c = 30e6
+        rates = proportional_fair_allocation(
+            [[1, 1, 0], [1, 0, 1]], [c, c])
+        assert rates[0] == pytest.approx(c / 3, rel=1e-3)
+        assert rates[1] == pytest.approx(2 * c / 3, rel=1e-3)
+        assert rates[2] == pytest.approx(2 * c / 3, rel=1e-3)
+
+    def test_feasibility_and_saturation(self):
+        matrix = [[1, 1, 0], [1, 0, 1]]
+        caps = [50e6, 30e6]
+        rates = proportional_fair_allocation(matrix, caps)
+        loads = np.asarray(matrix) @ rates
+        assert np.all(loads <= np.asarray(caps) * (1 + 1e-6))
+        # PF saturates every constraint that binds some flow; with these
+        # routes both links are fully used.
+        assert loads == pytest.approx(caps, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportional_fair_allocation([[1.0]], [0.0])
+        with pytest.raises(ValueError):
+            proportional_fair_allocation([[0.0]], [1e6])
+        with pytest.raises(ValueError):
+            proportional_fair_allocation([[1, 0]], [1e6, 2e6])
+
+    @given(st.floats(min_value=1e6, max_value=1e9),
+           st.floats(min_value=1e6, max_value=1e9))
+    @settings(max_examples=20, deadline=None)
+    def test_parking_lot_dual_feasibility(self, c1, c2):
+        rates = proportional_fair_allocation(
+            [[1, 1, 0], [1, 0, 1]], [c1, c2])
+        assert rates[0] + rates[1] <= c1 * (1 + 1e-5)
+        assert rates[0] + rates[2] <= c2 * (1 + 1e-5)
+        assert np.all(rates > 0)
+
+
+class TestDumbbellClosedForm:
+    def test_single_always_on_sender(self):
+        assert dumbbell_expected_throughput(32e6, 1, 1.0) \
+            == pytest.approx(32e6)
+
+    def test_two_half_duty_senders(self):
+        # E = C (1 - (1-p)^n) / (n p) with n=2, p=0.5: C * 0.75.
+        assert dumbbell_expected_throughput(32e6, 2, 0.5) \
+            == pytest.approx(24e6)
+
+    def test_matches_binomial_sum(self):
+        """Closed form equals the explicit binomial expectation."""
+        from math import comb
+        c, n, p = 15e6, 7, 0.3
+        explicit = sum(
+            comb(n - 1, k) * p ** k * (1 - p) ** (n - 1 - k) * c / (k + 1)
+            for k in range(n))
+        assert dumbbell_expected_throughput(c, n, p) \
+            == pytest.approx(explicit)
+
+    def test_more_senders_less_throughput(self):
+        values = [dumbbell_expected_throughput(32e6, n, 0.5)
+                  for n in (1, 2, 5, 20, 100)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dumbbell_expected_throughput(32e6, 0, 0.5)
+        with pytest.raises(ValueError):
+            dumbbell_expected_throughput(32e6, 2, 0.0)
+
+    def test_omniscient_dumbbell_delay_is_propagation(self):
+        config = NetworkConfig(link_speeds_mbps=(32.0,), rtt_ms=150.0,
+                               sender_kinds=("learner", "learner"))
+        flows = omniscient_dumbbell(config)
+        assert len(flows) == 2
+        for flow in flows:
+            assert flow.delay_s == pytest.approx(0.075)
+            assert flow.throughput_bps == pytest.approx(24e6)
+
+
+class TestParkingLotOmniscient:
+    def test_allocation_subsets(self):
+        speeds = (30e6, 30e6)
+        alone = parking_lot_allocation(speeds, [0])
+        assert alone[0] == pytest.approx(30e6, rel=1e-3)
+        pair = parking_lot_allocation(speeds, [0, 1])
+        assert pair[0] + pair[1] <= 30e6 * (1 + 1e-6)
+        assert parking_lot_allocation(speeds, []) == {}
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ValueError):
+            parking_lot_allocation((30e6, 30e6), [5])
+
+    def test_expected_throughputs_always_on(self):
+        """p_on = 1 reduces to the static PF allocation."""
+        flows = omniscient_parking_lot((30e6, 30e6), p_on=1.0)
+        assert flows[0].throughput_bps == pytest.approx(10e6, rel=1e-3)
+        assert flows[1].throughput_bps == pytest.approx(20e6, rel=1e-3)
+        assert flows[2].throughput_bps == pytest.approx(20e6, rel=1e-3)
+
+    def test_delays_match_hops(self):
+        flows = omniscient_parking_lot((30e6, 30e6), p_on=0.5,
+                                       rtt_single_hop_s=0.150)
+        assert flows[0].delay_s == pytest.approx(0.150)   # two hops
+        assert flows[1].delay_s == pytest.approx(0.075)
+        assert flows[2].delay_s == pytest.approx(0.075)
+
+    def test_low_duty_cycle_approaches_solo_rates(self):
+        flows = omniscient_parking_lot((30e6, 30e6), p_on=0.01)
+        # With others almost never on, each flow nearly gets its solo max.
+        assert flows[0].throughput_bps > 0.95 * 30e6
+
+
+class TestDispatch:
+    def test_dumbbell_config(self):
+        config = NetworkConfig(link_speeds_mbps=(32.0,), rtt_ms=150.0)
+        flows = omniscient_for_config(config)
+        assert len(flows) == config.num_senders
+
+    def test_parking_lot_config(self):
+        config = NetworkConfig(
+            topology="parking_lot", link_speeds_mbps=(50.0, 30.0),
+            rtt_ms=150.0,
+            sender_kinds=("learner", "learner", "learner"))
+        flows = omniscient_for_config(config)
+        assert len(flows) == 3
+        assert flows[0].delay_s == pytest.approx(0.150)

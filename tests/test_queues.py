@@ -1,0 +1,126 @@
+"""Unit and property tests for queue disciplines (drop-tail FIFO)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+
+def make_packet(seq=0, size=1500, flow=0):
+    return Packet(flow_id=flow, seq=seq, size_bytes=size, sent_at=0.0)
+
+
+class TestDropTailBasics:
+    def test_fifo_order(self):
+        queue = DropTailQueue()
+        for seq in range(5):
+            assert queue.enqueue(make_packet(seq), now=0.0)
+        out = [queue.dequeue(0.0).seq for _ in range(5)]
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_dequeue_empty_returns_none(self):
+        queue = DropTailQueue()
+        assert queue.dequeue(0.0) is None
+
+    def test_len_and_bytes_track_contents(self):
+        queue = DropTailQueue()
+        queue.enqueue(make_packet(0, size=100), 0.0)
+        queue.enqueue(make_packet(1, size=200), 0.0)
+        assert len(queue) == 2
+        assert queue.byte_length == 300
+        queue.dequeue(0.0)
+        assert len(queue) == 1
+        assert queue.byte_length == 200
+
+    def test_packet_capacity_drops_arrivals(self):
+        queue = DropTailQueue(capacity_packets=2)
+        assert queue.enqueue(make_packet(0), 0.0)
+        assert queue.enqueue(make_packet(1), 0.0)
+        assert not queue.enqueue(make_packet(2), 0.0)
+        assert len(queue) == 2
+        assert queue.stats.dropped == 1
+
+    def test_byte_capacity_drops_arrivals(self):
+        queue = DropTailQueue(capacity_bytes=2000)
+        assert queue.enqueue(make_packet(0, size=1500), 0.0)
+        assert not queue.enqueue(make_packet(1, size=1500), 0.0)
+        assert queue.enqueue(make_packet(2, size=400), 0.0)
+        assert queue.byte_length == 1900
+
+    def test_infinite_capacity_never_drops(self):
+        queue = DropTailQueue()
+        for seq in range(10_000):
+            assert queue.enqueue(make_packet(seq, size=1), 0.0)
+        assert queue.stats.dropped == 0
+        assert len(queue) == 10_000
+
+    def test_enqueue_stamps_time(self):
+        queue = DropTailQueue()
+        packet = make_packet(0)
+        queue.enqueue(packet, now=3.25)
+        assert packet.enqueued_at == 3.25
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=0.5)
+
+    def test_compaction_preserves_order(self):
+        # Exercise the amortized head-compaction path.
+        queue = DropTailQueue()
+        for seq in range(500):
+            queue.enqueue(make_packet(seq), 0.0)
+        out = []
+        for _ in range(400):
+            out.append(queue.dequeue(0.0).seq)
+        for seq in range(500, 600):
+            queue.enqueue(make_packet(seq), 0.0)
+        while len(queue):
+            out.append(queue.dequeue(0.0).seq)
+        assert out == list(range(600))
+
+
+class TestOccupancyListener:
+    def test_listener_sees_every_change(self):
+        queue = DropTailQueue(capacity_packets=1)
+        observed = []
+        queue.occupancy_listener = lambda now, n: observed.append(n)
+        queue.enqueue(make_packet(0), 0.0)
+        queue.enqueue(make_packet(1), 0.0)   # dropped
+        queue.dequeue(0.0)
+        assert observed == [1, 1, 0]
+
+
+class TestConservationProperty:
+    @given(st.lists(st.sampled_from(["enq", "deq"]), max_size=200),
+           st.integers(min_value=1, max_value=8))
+    def test_counter_conservation(self, ops, capacity):
+        queue = DropTailQueue(capacity_packets=capacity)
+        seq = 0
+        for op in ops:
+            if op == "enq":
+                queue.enqueue(make_packet(seq), 0.0)
+                seq += 1
+            else:
+                queue.dequeue(0.0)
+        stats = queue.stats
+        assert stats.enqueued + stats.dropped == seq
+        assert stats.resident == len(queue)
+        assert 0 <= len(queue) <= capacity
+        assert stats.bytes_enqueued == stats.enqueued * 1500
+
+    @given(st.lists(st.integers(min_value=1, max_value=3000),
+                    min_size=1, max_size=50))
+    def test_byte_length_matches_contents(self, sizes):
+        queue = DropTailQueue()
+        for seq, size in enumerate(sizes):
+            queue.enqueue(make_packet(seq, size=size), 0.0)
+        total = sum(sizes)
+        assert queue.byte_length == total
+        drained = 0
+        while len(queue):
+            drained += queue.dequeue(0.0).size_bytes
+        assert drained == total
+        assert queue.byte_length == 0

@@ -1,0 +1,130 @@
+"""Tests for the scheme registry, asset store, and the Tao catalog."""
+
+import pytest
+
+from repro.protocols.aimd import AimdController
+from repro.protocols.cubic import CubicController
+from repro.protocols.newreno import NewRenoController
+from repro.protocols.registry import (available_schemes, make_controller,
+                                      register_scheme)
+from repro.protocols.remycc import RemyCCController
+from repro.remy.action import Action
+from repro.remy.assets import (asset_dir, available_assets,
+                               load_asset_metadata, load_tree, save_asset)
+from repro.remy.catalog import CATALOG, COOPT_PAIRS, knockout_mask
+from repro.remy.memory import SIGNAL_NAMES
+from repro.remy.tree import WhiskerTree
+
+
+class TestRegistry:
+    def test_builtin_schemes(self):
+        assert isinstance(make_controller("cubic"), CubicController)
+        assert isinstance(make_controller("newreno"), NewRenoController)
+        assert isinstance(make_controller("aimd"), AimdController)
+
+    def test_fresh_instance_each_call(self):
+        assert make_controller("cubic") is not make_controller("cubic")
+
+    def test_tao_requires_tree(self):
+        with pytest.raises(ValueError):
+            make_controller("tao")
+        tree = WhiskerTree()
+        controller = make_controller("tao", tree=tree)
+        assert isinstance(controller, RemyCCController)
+        assert controller.tree is tree
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_controller("dctcp")
+
+    def test_custom_registration(self):
+        register_scheme("myaimd", lambda: AimdController(increase=2.0))
+        controller = make_controller("myaimd")
+        assert controller.increase == 2.0
+        assert "myaimd" in available_schemes()
+
+
+class TestAssets:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        tree = WhiskerTree(default_action=Action(0.8, 3.0, 0.002))
+        path = save_asset("test_tao", tree,
+                          training_range={"link_speed_mbps": [1, 10]},
+                          log={"scores": [1.0, 2.0]},
+                          directory=tmp_path)
+        assert path.is_file()
+        import json
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["name"] == "test_tao"
+        loaded = WhiskerTree.from_dict(data["tree"])
+        assert loaded.to_json() == tree.to_json()
+
+    def test_load_missing_asset(self):
+        with pytest.raises(FileNotFoundError, match="no asset named"):
+            load_tree("definitely_not_an_asset")
+
+    def test_shipped_assets_load(self):
+        """Every trained asset on disk parses into a usable tree."""
+        for name in available_assets():
+            tree = load_tree(name)
+            assert len(tree) >= 1
+            vector = (0.01, 0.01, 0.01, 1.5)
+            assert tree.lookup(vector) is not None
+            metadata = load_asset_metadata(name)
+            assert metadata["name"] == name
+
+    def test_asset_dir_exists(self):
+        assert asset_dir().name == "assets"
+
+
+class TestCatalog:
+    def test_catalog_covers_every_paper_table(self):
+        tables = {spec.paper_table for spec in CATALOG.values()}
+        for expected in ("Table 1", "Table 2a", "Table 3a", "Table 4a",
+                         "Table 5", "Table 6a", "Table 7a",
+                         "Section 3.4"):
+            assert expected in tables
+
+    def test_speed_ranges_match_paper(self):
+        assert CATALOG["tao_1000x"].training.link_speed_mbps \
+            == (1.0, 1000.0)
+        assert CATALOG["tao_2x"].training.link_speed_mbps == (22.0, 44.0)
+
+    def test_mux_ranges_match_paper(self):
+        assert CATALOG["tao_mux_1_100"].training.num_senders == (1, 100)
+        assert CATALOG["tao_mux_1_2"].training.link_speed_mbps \
+            == (15.0, 15.0)
+
+    def test_tcp_aware_sees_aimd(self):
+        mixes = CATALOG["tao_tcp_aware"].training.sender_mixes
+        assert ("learner", "aimd") in mixes
+        naive_mixes = CATALOG["tao_tcp_naive"].training.sender_mixes
+        assert all("aimd" not in mix for mix in naive_mixes)
+
+    def test_diversity_deltas(self):
+        assert CATALOG["tao_delta_tpt_naive"].training.learner_delta \
+            == pytest.approx(0.1)
+        assert CATALOG["tao_delta_del_naive"].training.learner_delta \
+            == pytest.approx(10.0)
+
+    def test_coopt_pairs_are_linked(self):
+        for name_a, name_b in COOPT_PAIRS:
+            assert CATALOG[name_a].coopt_partner == name_b
+            assert CATALOG[name_b].coopt_partner == name_a
+
+    def test_knockout_masks(self):
+        mask = knockout_mask("rec_ewma")
+        assert mask == (False, True, True, True)
+        with pytest.raises(ValueError):
+            knockout_mask("nonexistent_signal")
+        for signal in SIGNAL_NAMES:
+            spec = CATALOG[f"tao_knockout_{signal}"]
+            assert sum(spec.mask) == 3
+
+    def test_structure_models_match_paper(self):
+        one = CATALOG["tao_structure_one"].training
+        two = CATALOG["tao_structure_two"].training
+        assert one.topology == "dumbbell"
+        assert one.rtt_ms == (300.0, 300.0)     # single 150 ms link
+        assert two.topology == "parking_lot"
+        assert two.rtt_ms == (150.0, 150.0)     # 75 ms per hop

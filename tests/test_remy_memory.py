@@ -1,0 +1,100 @@
+"""Tests for the RemyCC congestion-signal memory (paper section 3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.remy.memory import (SIGNAL_LOWER_BOUNDS, SIGNAL_UPPER_BOUNDS,
+                               Memory)
+
+
+class TestEwmaUpdates:
+    def test_initial_state(self):
+        memory = Memory()
+        assert memory.vector() == (0.0, 0.0, 0.0, 1.0)
+
+    def test_first_interarrival_seeds_both_ewmas(self):
+        memory = Memory()
+        memory.on_ack(now=1.00, echo_sent_at=0.9, rtt_sample=0.1)
+        memory.on_ack(now=1.05, echo_sent_at=0.95, rtt_sample=0.1)
+        vector = memory.vector()
+        assert vector[0] == pytest.approx(0.05)
+        assert vector[1] == pytest.approx(0.05)
+
+    def test_fast_ewma_converges_faster_than_slow(self):
+        memory = Memory()
+        time = 0.0
+        # Establish a 100 ms interarrival baseline...
+        for _ in range(10):
+            memory.on_ack(time, time - 0.1, 0.1)
+            time += 0.1
+        # ...then switch to 10 ms arrivals.
+        for _ in range(30):
+            memory.on_ack(time, time - 0.1, 0.1)
+            time += 0.01
+        rec, slow_rec, _, _ = memory.vector()
+        assert rec < slow_rec   # the 1/8 gain tracked the change faster
+
+    def test_ewma_gain_is_one_eighth(self):
+        memory = Memory()
+        memory.on_ack(0.0, -0.1, 0.1)
+        memory.on_ack(0.1, 0.0, 0.1)       # seeds rec_ewma = 0.1
+        memory.on_ack(0.3, 0.2, 0.1)       # sample 0.2
+        expected = 0.1 + (0.2 - 0.1) / 8.0
+        assert memory.vector()[0] == pytest.approx(expected)
+
+    def test_send_ewma_uses_echoed_timestamps(self):
+        memory = Memory()
+        memory.on_ack(1.0, 0.50, 0.1)
+        memory.on_ack(1.1, 0.53, 0.1)      # intersend 30 ms
+        assert memory.vector()[2] == pytest.approx(0.03)
+
+    def test_rtt_ratio_tracks_minimum(self):
+        memory = Memory()
+        memory.on_ack(1.0, 0.9, rtt_sample=0.2)
+        assert memory.vector()[3] == pytest.approx(1.0)
+        memory.on_ack(2.0, 1.9, rtt_sample=0.1)   # new minimum
+        assert memory.vector()[3] == pytest.approx(1.0)
+        memory.on_ack(3.0, 2.9, rtt_sample=0.3)
+        assert memory.vector()[3] == pytest.approx(3.0)
+
+    def test_reset_forgets_everything(self):
+        memory = Memory()
+        for k in range(5):
+            memory.on_ack(k * 0.1, k * 0.1 - 0.05, 0.2)
+        memory.reset()
+        assert memory.vector() == (0.0, 0.0, 0.0, 1.0)
+        assert memory.min_rtt == float("inf")
+
+
+class TestClipping:
+    def test_vector_always_inside_domain(self):
+        memory = Memory()
+        memory.on_ack(0.0, -100.0, 1000.0)
+        memory.on_ack(100.0, 0.0, 1e-9)
+        memory.on_ack(300.0, 200.0, 5000.0)
+        vector = memory.vector()
+        for value, low, high in zip(vector, SIGNAL_LOWER_BOUNDS,
+                                    SIGNAL_UPPER_BOUNDS):
+            assert low <= value < high
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=1e-4, max_value=5.0),     # interarrival gap
+        st.floats(min_value=1e-4, max_value=5.0)),    # rtt sample
+        min_size=1, max_size=60))
+    def test_domain_invariant_property(self, steps):
+        memory = Memory()
+        now = 0.0
+        for gap, rtt in steps:
+            now += gap
+            memory.on_ack(now, now - rtt, rtt)
+            vector = memory.vector()
+            for value, low, high in zip(vector, SIGNAL_LOWER_BOUNDS,
+                                        SIGNAL_UPPER_BOUNDS):
+                assert low <= value < high
+
+    def test_negative_intersend_ignored(self):
+        """Out-of-order echoes (impossible on FIFO paths, but guard)."""
+        memory = Memory()
+        memory.on_ack(1.0, 0.9, 0.1)
+        memory.on_ack(1.1, 0.5, 0.1)   # echo went backwards
+        assert memory.vector()[2] == 0.0

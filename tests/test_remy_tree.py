@@ -1,0 +1,214 @@
+"""Tests for actions, whiskers, and the whisker tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.remy.action import (DEFAULT_ACTION, MAX_INTERSEND_S,
+                               MAX_WINDOW_INCREMENT, MAX_WINDOW_MULTIPLE,
+                               MIN_INTERSEND_S, MIN_WINDOW_INCREMENT,
+                               MIN_WINDOW_MULTIPLE, Action)
+from repro.remy.memory import (SIGNAL_LOWER_BOUNDS, SIGNAL_UPPER_BOUNDS,
+                               Memory)
+from repro.remy.tree import WhiskerTree
+from repro.remy.whisker import Whisker, full_domain
+
+signal_vectors = st.tuples(
+    st.floats(min_value=0.0, max_value=15.999),
+    st.floats(min_value=0.0, max_value=15.999),
+    st.floats(min_value=0.0, max_value=15.999),
+    st.floats(min_value=1.0, max_value=63.999),
+)
+
+
+class TestAction:
+    def test_clamping(self):
+        wild = Action(window_multiple=99.0, window_increment=-999.0,
+                      intersend_s=50.0)
+        tame = wild.clamped()
+        assert tame.window_multiple == MAX_WINDOW_MULTIPLE
+        assert tame.window_increment == MIN_WINDOW_INCREMENT
+        assert tame.intersend_s == MAX_INTERSEND_S
+
+    def test_window_map(self):
+        action = Action(0.5, 3.0, 0.001)
+        assert action.apply_to_window(10.0) == pytest.approx(8.0)
+
+    def test_fixed_point(self):
+        """With m < 1 the per-ACK map converges to b / (1 - m)."""
+        action = Action(0.9, 2.0, 0.001)
+        window = 1.0
+        for _ in range(500):
+            window = action.apply_to_window(window)
+        assert window == pytest.approx(2.0 / 0.1, rel=1e-3)
+
+    def test_neighbors_move_one_dimension(self):
+        action = Action(1.0, 1.0, 0.001)
+        for neighbor in action.neighbors():
+            differences = sum(
+                1 for a, b in zip(action, neighbor)
+                if abs(a - b) > 1e-12)
+            assert differences == 1
+
+    def test_neighbors_respect_bounds(self):
+        corner = Action(MIN_WINDOW_MULTIPLE, MAX_WINDOW_INCREMENT,
+                        MIN_INTERSEND_S)
+        for neighbor in corner.neighbors(scale=10.0):
+            assert MIN_WINDOW_MULTIPLE <= neighbor.window_multiple \
+                <= MAX_WINDOW_MULTIPLE
+            assert MIN_WINDOW_INCREMENT <= neighbor.window_increment \
+                <= MAX_WINDOW_INCREMENT
+            assert MIN_INTERSEND_S <= neighbor.intersend_s \
+                <= MAX_INTERSEND_S
+
+    def test_serialization_roundtrip(self):
+        action = Action(0.75, -2.0, 0.0125)
+        assert Action.from_dict(action.to_dict()) == action
+
+
+class TestWhisker:
+    def test_contains_half_open(self):
+        lower, upper = full_domain()
+        whisker = Whisker(lower, upper, DEFAULT_ACTION)
+        assert whisker.contains((0.0, 0.0, 0.0, 1.0))
+        assert not whisker.contains((16.0, 0.0, 0.0, 1.0))
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            Whisker((0, 0, 0, 1), (16, 0, 16, 64), DEFAULT_ACTION)
+
+    def test_usage_statistics(self):
+        lower, upper = full_domain()
+        whisker = Whisker(lower, upper, DEFAULT_ACTION)
+        whisker.record_use((1.0, 2.0, 3.0, 4.0))
+        whisker.record_use((3.0, 4.0, 5.0, 6.0))
+        assert whisker.use_count == 2
+        assert whisker.mean_signals() == [2.0, 3.0, 4.0, 5.0]
+
+    def test_split_point_defaults_to_centre(self):
+        lower, upper = full_domain()
+        whisker = Whisker(lower, upper, DEFAULT_ACTION)
+        assert whisker.split_point(0) == pytest.approx(8.0)
+
+    def test_split_point_uses_observed_mean(self):
+        lower, upper = full_domain()
+        whisker = Whisker(lower, upper, DEFAULT_ACTION)
+        whisker.record_use((2.0, 1.0, 1.0, 2.0))
+        assert whisker.split_point(0) == pytest.approx(2.0)
+
+
+class TestWhiskerTree:
+    def test_fresh_tree_has_one_whisker(self):
+        tree = WhiskerTree()
+        assert len(tree) == 1
+
+    def test_lookup_returns_containing_whisker(self):
+        tree = WhiskerTree()
+        whisker = tree.lookup((1.0, 1.0, 1.0, 2.0))
+        assert whisker.contains((1.0, 1.0, 1.0, 2.0))
+
+    def test_split_produces_2_to_the_dims(self):
+        tree = WhiskerTree()
+        created = tree.split(tree.whiskers()[0])
+        assert created == 16
+        assert len(tree) == 16
+
+    def test_masked_split_skips_knocked_out_signals(self):
+        tree = WhiskerTree(mask=(True, False, False, False))
+        created = tree.split(tree.whiskers()[0])
+        assert created == 2
+        assert len(tree) == 2
+        # Both children span the full domain on the masked dimensions.
+        for whisker in tree.whiskers():
+            assert whisker.lower[1] == SIGNAL_LOWER_BOUNDS[1]
+            assert whisker.upper[1] == SIGNAL_UPPER_BOUNDS[1]
+
+    def test_mask_validation(self):
+        with pytest.raises(ValueError):
+            WhiskerTree(mask=(False, False, False, False))
+
+    @given(signal_vectors)
+    def test_partition_property_single_split(self, vector):
+        """Every signal vector lands in exactly one whisker."""
+        tree = WhiskerTree()
+        tree.split(tree.whiskers()[0])
+        matches = [w for w in tree.whiskers() if w.contains(vector)]
+        assert len(matches) == 1
+        assert tree.lookup(vector) is matches[0]
+
+    @given(signal_vectors, signal_vectors)
+    def test_partition_property_deep_tree(self, v1, v2):
+        tree = WhiskerTree()
+        tree.split(tree.whiskers()[0])
+        # Split the leaf containing v1 again for depth.
+        tree.split(tree.lookup(v1))
+        for vector in (v1, v2):
+            matches = [w for w in tree.whiskers() if w.contains(vector)]
+            assert len(matches) == 1
+            assert tree.lookup(vector) is matches[0]
+
+    def test_set_action_by_index(self):
+        tree = WhiskerTree()
+        tree.split(tree.whiskers()[0])
+        new_action = Action(0.5, 5.0, 0.002)
+        tree.set_action(3, new_action)
+        assert tree.whiskers()[3].action == new_action
+
+    def test_serialization_roundtrip(self):
+        tree = WhiskerTree(mask=(True, True, False, True))
+        tree.split(tree.whiskers()[0])
+        tree.set_action(2, Action(0.7, 3.0, 0.004))
+        clone = WhiskerTree.from_json(tree.to_json())
+        assert clone.to_json() == tree.to_json()
+        assert clone.mask == tree.mask
+        assert len(clone) == len(tree)
+
+    def test_fingerprint_changes_with_action(self):
+        tree = WhiskerTree()
+        before = tree.fingerprint()
+        tree.set_action(0, Action(0.5, 5.0, 0.002))
+        assert tree.fingerprint() != before
+
+    def test_clone_is_independent(self):
+        tree = WhiskerTree()
+        clone = tree.clone()
+        clone.set_action(0, Action(0.5, 5.0, 0.002))
+        assert tree.whiskers()[0].action == DEFAULT_ACTION
+
+    def test_merge_stats(self):
+        tree = WhiskerTree()
+        tree.split(tree.whiskers()[0])
+        counts = [k for k in range(16)]
+        sums = [[float(k)] * 4 for k in range(16)]
+        tree.merge_stats(counts, sums)
+        leaves = tree.whiskers()
+        assert leaves[5].use_count == 5
+        assert leaves[5].signal_sums == [5.0] * 4
+        with pytest.raises(ValueError):
+            tree.merge_stats([1], [[0.0] * 4])
+
+    def test_most_used_whisker_selection(self):
+        tree = WhiskerTree()
+        tree.split(tree.whiskers()[0])
+        leaves = tree.whiskers()
+        leaves[4].use_count = 10
+        leaves[7].use_count = 30
+        assert tree.most_used_whisker() is leaves[7]
+        leaves[7].optimized = True
+        assert tree.most_used_whisker(only_unoptimized=True) is leaves[4]
+
+    def test_most_used_skips_unused_when_unoptimized(self):
+        tree = WhiskerTree()
+        tree.split(tree.whiskers()[0])
+        assert tree.most_used_whisker(only_unoptimized=True) is None
+
+
+class TestTreeMemoryIntegration:
+    def test_memory_vector_always_resolvable(self):
+        tree = WhiskerTree()
+        tree.split(tree.whiskers()[0])
+        memory = Memory()
+        now = 0.0
+        for k in range(200):
+            now += 0.013
+            memory.on_ack(now, now - 0.1, 0.1 + (k % 7) * 0.01)
+            assert tree.lookup(memory.vector()) is not None

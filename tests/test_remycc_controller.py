@@ -1,0 +1,119 @@
+"""Tests for the RemyCC runtime controller."""
+
+import pytest
+
+from repro.protocols.base import AckContext
+from repro.protocols.remycc import REMY_MAX_WINDOW, RemyCCController
+from repro.remy.action import Action
+from repro.remy.tree import WhiskerTree
+
+
+def ack(now=1.0, rtt=0.1, newly=1):
+    return AckContext(now=now, rtt_sample=rtt, newly_acked=newly,
+                      cum_ack=0, echo_sent_at=now - rtt,
+                      receiver_time=now, in_recovery=False,
+                      base_rtt=rtt)
+
+
+def tree_with_action(action):
+    tree = WhiskerTree(default_action=action)
+    return tree
+
+
+class TestActionApplication:
+    def test_window_map_applied_per_ack(self):
+        tree = tree_with_action(Action(1.0, 2.0, 0.001))
+        cc = RemyCCController(tree, initial_window=1.0)
+        cc.on_flow_start(0.0)
+        cc.on_ack(ack(now=1.0))
+        assert cc.window == pytest.approx(3.0)
+        cc.on_ack(ack(now=1.1))
+        assert cc.window == pytest.approx(5.0)
+
+    def test_pacing_follows_action(self):
+        tree = tree_with_action(Action(1.0, 1.0, 0.025))
+        cc = RemyCCController(tree)
+        assert cc.pacing_interval() == 0.0    # no ACK yet
+        cc.on_ack(ack())
+        assert cc.pacing_interval() == pytest.approx(0.025)
+
+    def test_window_floor_and_cap(self):
+        shrink = tree_with_action(Action(0.0, -10.0, 0.001))
+        cc = RemyCCController(shrink, initial_window=5.0)
+        cc.on_ack(ack())
+        assert cc.window == 1.0
+        grow = tree_with_action(Action(2.0, 32.0, 0.001))
+        cc2 = RemyCCController(grow, initial_window=1.0)
+        for k in range(100):
+            cc2.on_ack(ack(now=1.0 + k * 0.01))
+        assert cc2.window == REMY_MAX_WINDOW
+
+    def test_fixed_point_convergence(self):
+        tree = tree_with_action(Action(0.5, 8.0, 0.001))
+        cc = RemyCCController(tree, initial_window=1.0)
+        for k in range(100):
+            cc.on_ack(ack(now=1.0 + k * 0.01))
+        assert cc.window == pytest.approx(16.0, rel=1e-6)
+
+    def test_dupacks_also_update(self):
+        """RemyCC treats every ACK arrival alike (no loss rule)."""
+        tree = tree_with_action(Action(1.0, 1.0, 0.001))
+        cc = RemyCCController(tree, initial_window=1.0)
+        cc.on_flow_start(0.0)
+        cc.on_dupack(ack(now=1.0))
+        assert cc.window == pytest.approx(2.0)
+
+
+class TestLifecycle:
+    def test_flow_start_resets_memory_and_window(self):
+        tree = tree_with_action(Action(1.0, 1.0, 0.001))
+        cc = RemyCCController(tree, initial_window=1.0)
+        for k in range(10):
+            cc.on_ack(ack(now=1.0 + k * 0.05))
+        cc.on_flow_start(5.0)
+        assert cc.window == 1.0
+        assert cc.memory.vector() == (0.0, 0.0, 0.0, 1.0)
+
+    def test_timeout_resets(self):
+        tree = tree_with_action(Action(1.0, 4.0, 0.001))
+        cc = RemyCCController(tree, initial_window=1.0)
+        for k in range(10):
+            cc.on_ack(ack(now=1.0 + k * 0.05))
+        assert cc.window > 1.0
+        cc.on_timeout(2.0)
+        assert cc.window == 1.0
+        assert cc.pacing_interval() == 0.0
+
+
+class TestUsageRecording:
+    def test_usage_recorded_when_enabled(self):
+        tree = tree_with_action(Action(1.0, 1.0, 0.001))
+        cc = RemyCCController(tree, record_usage=True)
+        cc.on_ack(ack(now=1.0))
+        cc.on_ack(ack(now=1.1))
+        assert tree.whiskers()[0].use_count == 2
+
+    def test_usage_not_recorded_by_default(self):
+        tree = tree_with_action(Action(1.0, 1.0, 0.001))
+        cc = RemyCCController(tree)
+        cc.on_ack(ack())
+        assert tree.whiskers()[0].use_count == 0
+
+    def test_different_regimes_hit_different_whiskers(self):
+        tree = WhiskerTree(default_action=Action(1.0, 1.0, 0.001))
+        # Teach the root a realistic operating point so the split lands
+        # between the two ACK-clock regimes below (an unused whisker
+        # splits at its box centre, way out at 8 s).
+        tree.whiskers()[0].record_use((0.5, 0.5, 0.5, 1.5))
+        tree.split(tree.whiskers()[0])
+        cc = RemyCCController(tree, record_usage=True)
+        # Slow ACK clock, then a fast one: distinct rec_ewma regimes.
+        now = 0.0
+        for _ in range(30):
+            now += 1.0
+            cc.on_ack(ack(now=now, rtt=0.1))
+        for _ in range(30):
+            now += 0.001
+            cc.on_ack(ack(now=now, rtt=0.1))
+        used = [w for w in tree.whiskers() if w.use_count > 0]
+        assert len(used) >= 2

@@ -1,0 +1,108 @@
+"""Tests for result containers, ellipse summaries, and Scale budgets."""
+
+import math
+
+import pytest
+
+from repro.core.results import FlowStats, RunResult, summarize_ellipse
+from repro.core.scale import DEFAULT, FULL, QUICK, Scale
+from repro.core.scenario import NetworkConfig
+
+
+def make_flow(flow_id=0, kind="cubic", delivered=1_500_000, on_time=10.0,
+              mean_delay=0.1, base_delay=0.075, delivered_packets=1000,
+              sent=1010, rtx=10, timeouts=0):
+    return FlowStats(
+        flow_id=flow_id, kind=kind, delivered_bytes=delivered,
+        on_time_s=on_time, mean_delay_s=mean_delay,
+        base_delay_s=base_delay, base_rtt_s=base_delay * 2,
+        packets_delivered=delivered_packets, packets_sent=sent,
+        retransmissions=rtx, timeouts=timeouts)
+
+
+class TestFlowStats:
+    def test_throughput_definition(self):
+        flow = make_flow(delivered=1_500_000, on_time=10.0)
+        # 1.5 MB over 10 s of on-time = 1.2 Mbps.
+        assert flow.throughput_bps == pytest.approx(1.2e6)
+
+    def test_zero_on_time_throughput(self):
+        assert make_flow(on_time=0.0).throughput_bps == 0.0
+
+    def test_queueing_delay_subtracts_base(self):
+        flow = make_flow(mean_delay=0.100, base_delay=0.075)
+        assert flow.queueing_delay_s == pytest.approx(0.025)
+
+    def test_queueing_delay_never_negative(self):
+        flow = make_flow(mean_delay=0.05, base_delay=0.075)
+        assert flow.queueing_delay_s == 0.0
+
+    def test_loss_rate(self):
+        flow = make_flow(delivered_packets=900, sent=1000)
+        assert flow.loss_rate == pytest.approx(0.1)
+        assert make_flow(sent=0).loss_rate == 0.0
+
+
+class TestRunResult:
+    def test_kind_filtering_and_means(self):
+        result = RunResult(
+            flows=[make_flow(0, "learner", delivered=3_000_000),
+                   make_flow(1, "newreno", delivered=1_500_000)],
+            seed=1, duration_s=10.0)
+        assert len(result.flows_of_kind("learner")) == 1
+        assert result.mean_throughput_bps("learner") \
+            == pytest.approx(2.4e6)
+        assert result.mean_throughput_bps() == pytest.approx(1.8e6)
+
+    def test_empty_kind_is_zero(self):
+        result = RunResult(flows=[make_flow()], seed=1, duration_s=10.0)
+        assert result.mean_throughput_bps("vegas") == 0.0
+        assert result.mean_delay_s("vegas") == 0.0
+
+
+class TestEllipse:
+    def test_median_and_std(self):
+        point = summarize_ellipse([1e6, 2e6, 3e6], [0.1, 0.2, 0.3])
+        assert point.median_throughput_bps == pytest.approx(2e6)
+        assert point.median_delay_s == pytest.approx(0.2)
+        assert point.std_delay_s > 0
+        assert point.n_samples == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize_ellipse([], [])
+        with pytest.raises(ValueError):
+            summarize_ellipse([1.0], [1.0, 2.0])
+
+    def test_as_mbps(self):
+        point = summarize_ellipse([2e6], [0.05])
+        assert point.as_mbps() == (2.0, 0.05)
+
+
+class TestScale:
+    def test_duration_capped_by_packet_budget(self):
+        scale = Scale(duration_s=60.0, packet_budget=30_000)
+        fast = NetworkConfig(link_speeds_mbps=(1000.0,), rtt_ms=10.0)
+        # 1000 Mbps ~= 83_333 pkts/s; 30k budget ~= 0.36 s, floored.
+        duration = scale.duration_for(fast)
+        assert duration == pytest.approx(scale.min_duration_s)
+
+    def test_duration_full_for_slow_links(self):
+        scale = Scale(duration_s=60.0, packet_budget=300_000)
+        slow = NetworkConfig(link_speeds_mbps=(1.0,), rtt_ms=150.0)
+        assert scale.duration_for(slow) == pytest.approx(60.0)
+
+    def test_rtt_floor(self):
+        scale = Scale(duration_s=60.0, packet_budget=100,
+                      min_duration_s=1.0)
+        config = NetworkConfig(link_speeds_mbps=(100.0,), rtt_ms=500.0)
+        # At least 10 RTTs even when the budget says otherwise.
+        assert scale.duration_for(config) >= 5.0
+
+    def test_with_seeds(self):
+        assert QUICK.with_seeds(7).n_seeds == 7
+        assert QUICK.with_seeds(7).duration_s == QUICK.duration_s
+
+    def test_preset_ordering(self):
+        assert QUICK.packet_budget < DEFAULT.packet_budget \
+            < FULL.packet_budget

@@ -1,0 +1,153 @@
+"""Tests for network configs and training scenario distributions."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scenario import NetworkConfig, ScenarioRange
+
+
+class TestNetworkConfig:
+    def test_defaults_are_calibrationish(self):
+        config = NetworkConfig()
+        assert config.num_senders == 2
+        assert config.p_on == pytest.approx(0.5)
+        assert config.fair_share_bps() == pytest.approx(16e6)
+
+    def test_deltas_default_to_ones(self):
+        config = NetworkConfig(sender_kinds=("learner",) * 3)
+        assert config.deltas == (1.0, 1.0, 1.0)
+
+    def test_buffer_in_packets_from_bdp(self):
+        config = NetworkConfig(link_speeds_mbps=(32.0,), rtt_ms=150.0,
+                               buffer_bdp=5.0)
+        # BDP = 400 packets; 5 BDP = 2000.
+        assert config.buffer_packets() == 2000
+
+    def test_buffer_bytes_override(self):
+        config = NetworkConfig(buffer_bytes=250_000.0, buffer_bdp=5.0)
+        assert config.buffer_packets() == 250_000 // 1500
+
+    def test_infinite_buffer(self):
+        config = NetworkConfig(buffer_bdp=None)
+        assert math.isinf(config.buffer_packets())
+
+    def test_parking_lot_needs_three_senders(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(topology="parking_lot",
+                          link_speeds_mbps=(10.0, 10.0),
+                          sender_kinds=("learner", "learner"))
+
+    def test_parking_lot_needs_two_speeds(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(topology="parking_lot",
+                          link_speeds_mbps=(10.0,),
+                          sender_kinds=("a", "b", "c"))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(topology="star")
+        with pytest.raises(ValueError):
+            NetworkConfig(link_speeds_mbps=(-1.0,))
+        with pytest.raises(ValueError):
+            NetworkConfig(rtt_ms=0.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(sender_kinds=())
+        with pytest.raises(ValueError):
+            NetworkConfig(queue="red")
+        with pytest.raises(ValueError):
+            NetworkConfig(deltas=(1.0,))  # misaligned with 2 senders
+        with pytest.raises(ValueError):
+            NetworkConfig(mean_on_s=0.0)
+
+    def test_serialization_roundtrip(self):
+        config = NetworkConfig(
+            topology="parking_lot", link_speeds_mbps=(50.0, 30.0),
+            rtt_ms=150.0, sender_kinds=("learner", "aimd", "cubic"),
+            deltas=(0.1, 1.0, 1.0), mean_on_s=5.0, mean_off_s=0.01,
+            buffer_bdp=None, buffer_bytes=250_000.0, queue="sfq_codel")
+        clone = NetworkConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_with_senders(self):
+        config = NetworkConfig()
+        mixed = config.with_senders(("learner", "aimd"))
+        assert mixed.sender_kinds == ("learner", "aimd")
+        assert mixed.deltas == (1.0, 1.0)
+
+
+class TestScenarioRange:
+    def test_sample_within_bounds(self):
+        scenario_range = ScenarioRange(
+            link_speed_mbps=(1.0, 1000.0), rtt_ms=(50.0, 250.0),
+            num_senders=(1, 10))
+        rng = random.Random(42)
+        for _ in range(100):
+            config = scenario_range.sample(rng)
+            assert 1.0 <= config.link_speeds_mbps[0] <= 1000.0
+            assert 50.0 <= config.rtt_ms <= 250.0
+            assert 1 <= config.num_senders <= 10
+            assert all(kind == "learner"
+                       for kind in config.sender_kinds)
+
+    def test_log_uniform_speed_sampling(self):
+        """Median of log-uniform(1, 1000) is near the geometric mean 32."""
+        scenario_range = ScenarioRange(link_speed_mbps=(1.0, 1000.0))
+        rng = random.Random(7)
+        speeds = sorted(scenario_range.sample(rng).link_speeds_mbps[0]
+                        for _ in range(2000))
+        median = speeds[len(speeds) // 2]
+        assert 20.0 < median < 50.0
+
+    def test_sender_mixes(self):
+        scenario_range = ScenarioRange(
+            sender_mixes=(("learner", "learner"), ("learner", "aimd")))
+        rng = random.Random(3)
+        seen = {scenario_range.sample(rng).sender_kinds
+                for _ in range(50)}
+        assert seen == {("learner", "learner"), ("learner", "aimd")}
+
+    def test_onoff_options(self):
+        scenario_range = ScenarioRange(
+            onoff_options=((5.0, 5.0), (5.0, 0.01)))
+        rng = random.Random(3)
+        seen = {(c.mean_on_s, c.mean_off_s)
+                for c in (scenario_range.sample(rng) for _ in range(50))}
+        assert seen == {(5.0, 5.0), (5.0, 0.01)}
+
+    def test_deltas_assigned_by_role(self):
+        scenario_range = ScenarioRange(
+            sender_mixes=(("learner", "peer", "aimd"),),
+            learner_delta=0.1, peer_delta=10.0)
+        config = scenario_range.sample(random.Random(1))
+        assert config.deltas == (0.1, 10.0, 1.0)
+
+    def test_sample_many_deterministic(self):
+        scenario_range = ScenarioRange(link_speed_mbps=(1.0, 100.0))
+        first = scenario_range.sample_many(5, seed=9)
+        second = scenario_range.sample_many(5, seed=9)
+        assert first == second
+        assert scenario_range.sample_many(5, seed=10) != first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioRange(link_speed_mbps=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            ScenarioRange(rtt_ms=(0.0, 100.0))
+        with pytest.raises(ValueError):
+            ScenarioRange(num_senders=(5, 2))
+        with pytest.raises(ValueError):
+            ScenarioRange(sender_mixes=())
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_always_valid_configs(self, seed):
+        scenario_range = ScenarioRange(
+            topology="parking_lot", link_speed_mbps=(10.0, 100.0),
+            rtt_ms=(150.0, 150.0),
+            sender_mixes=(("learner", "learner", "learner"),))
+        config = scenario_range.sample(random.Random(seed))
+        assert config.topology == "parking_lot"
+        assert len(config.link_speeds_mbps) == 2

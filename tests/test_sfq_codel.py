@@ -1,0 +1,130 @@
+"""Tests for stochastic fair queueing with per-bucket CoDel."""
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.sfq_codel import SfqCoDelQueue
+
+
+def make_packet(flow, seq, size=1500):
+    return Packet(flow_id=flow, seq=seq, size_bytes=size, sent_at=0.0)
+
+
+class TestSfqScheduling:
+    def test_single_flow_fifo(self):
+        queue = SfqCoDelQueue()
+        for seq in range(5):
+            queue.enqueue(make_packet(0, seq), 0.0)
+        out = [queue.dequeue(0.0).seq for _ in range(5)]
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_two_flows_interleaved(self):
+        """A backlogged pair of flows should share dequeues evenly."""
+        queue = SfqCoDelQueue()
+        for seq in range(20):
+            queue.enqueue(make_packet(0, seq), 0.0)
+            queue.enqueue(make_packet(1, seq), 0.0)
+        first_20 = [queue.dequeue(0.0).flow_id for _ in range(20)]
+        # DRR with a 1-MTU quantum alternates between the two buckets.
+        assert first_20.count(0) == pytest.approx(10, abs=1)
+        assert first_20.count(1) == pytest.approx(10, abs=1)
+
+    def test_fairness_with_unequal_backlogs(self):
+        """A heavy flow cannot crowd out a light one."""
+        queue = SfqCoDelQueue()
+        for seq in range(100):
+            queue.enqueue(make_packet(0, seq), 0.0)
+        for seq in range(10):
+            queue.enqueue(make_packet(1, seq), 0.0)
+        served = [queue.dequeue(0.0).flow_id for _ in range(20)]
+        # Flow 1 gets roughly half the service while backlogged.
+        assert served.count(1) >= 8
+
+    def test_dequeue_empty(self):
+        queue = SfqCoDelQueue()
+        assert queue.dequeue(0.0) is None
+
+    def test_total_counters(self):
+        queue = SfqCoDelQueue()
+        for seq in range(7):
+            queue.enqueue(make_packet(seq % 3, seq), 0.0)
+        assert len(queue) == 7
+        drained = 0
+        while queue.dequeue(0.0) is not None:
+            drained += 1
+        assert drained == 7
+        assert len(queue) == 0
+        assert queue.byte_length == 0
+
+
+class TestSfqOverflow:
+    def test_overflow_drops_from_longest_bucket(self):
+        queue = SfqCoDelQueue(capacity_packets=10)
+        # Flow 0 hogs the buffer.
+        for seq in range(10):
+            queue.enqueue(make_packet(0, seq), 0.0)
+        # Flow 1's arrival overflows; the drop must hit flow 0's bucket.
+        queue.enqueue(make_packet(1, 0), 0.0)
+        assert queue.stats.dropped == 1
+        assert len(queue) == 10
+        flows = []
+        while True:
+            packet = queue.dequeue(0.0)
+            if packet is None:
+                break
+            flows.append(packet.flow_id)
+        assert 1 in flows   # the light flow's packet survived
+
+    def test_conservation_with_overflow(self):
+        queue = SfqCoDelQueue(capacity_packets=5)
+        for seq in range(50):
+            queue.enqueue(make_packet(seq % 4, seq), 0.0)
+        stats = queue.stats
+        assert stats.enqueued == 50
+        assert stats.enqueued - stats.dropped == len(queue)
+
+
+class TestSfqCodelIntegration:
+    def test_standing_queue_gets_codel_drops(self):
+        queue = SfqCoDelQueue()
+        now = 0.0
+        seq = 0
+        for step in range(6000):
+            now = step * 0.001
+            queue.enqueue(make_packet(0, seq), now)
+            seq += 1
+            if step % 2 == 0:
+                queue.dequeue(now)
+        assert queue.stats.dropped > 0
+
+    def test_isolated_flow_unaffected_by_bulk(self):
+        """CoDel state is per-bucket: a sparse flow sees no drops even
+        while a bulk flow is being CoDel-dropped."""
+        queue = SfqCoDelQueue()
+        now = 0.0
+        bulk_seq = 0
+        sparse_seq = 0
+        sparse_delivered = 0
+        for step in range(6000):
+            now = step * 0.001
+            queue.enqueue(make_packet(0, bulk_seq), now)
+            bulk_seq += 1
+            if step % 100 == 0:
+                queue.enqueue(make_packet(1, sparse_seq), now)
+                sparse_seq += 1
+            if step % 2 == 0:
+                packet = queue.dequeue(now)
+                if packet is not None and packet.flow_id == 1:
+                    sparse_delivered += 1
+        # Every sparse packet (modulo the tail still queued) is delivered.
+        assert sparse_delivered >= sparse_seq - 2
+
+    def test_bucket_count_validation(self):
+        with pytest.raises(ValueError):
+            SfqCoDelQueue(n_buckets=0)
+
+    def test_deterministic_bucket_assignment(self):
+        queue_a = SfqCoDelQueue(n_buckets=16)
+        queue_b = SfqCoDelQueue(n_buckets=16)
+        assert (queue_a._bucket_for(123).index
+                == queue_b._bucket_for(123).index)

@@ -1,0 +1,76 @@
+"""Unit tests for queue traces (the Figure 8 instrumentation)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.tracing import QueueTrace
+
+
+def make_packet(seq):
+    return Packet(flow_id=0, seq=seq, size_bytes=1500, sent_at=0.0)
+
+
+class TestQueueTrace:
+    def test_records_every_event(self):
+        queue = DropTailQueue()
+        trace = QueueTrace(queue)
+        queue.enqueue(make_packet(0), 1.0)
+        queue.enqueue(make_packet(1), 2.0)
+        queue.dequeue(3.0)
+        assert trace.times == [1.0, 2.0, 3.0]
+        assert trace.lengths == [1, 2, 1]
+        assert len(trace) == 3
+
+    def test_refuses_double_attachment(self):
+        queue = DropTailQueue()
+        QueueTrace(queue)
+        with pytest.raises(ValueError):
+            QueueTrace(queue)
+
+    def test_drop_times(self):
+        queue = DropTailQueue(capacity_packets=1)
+        trace = QueueTrace(queue)
+        queue.enqueue(make_packet(0), 1.0)
+        queue.enqueue(make_packet(1), 2.0)   # dropped
+        queue.enqueue(make_packet(2), 3.0)   # dropped
+        assert trace.drop_times() == [2.0, 3.0]
+
+    def test_sample_zero_order_hold(self):
+        queue = DropTailQueue()
+        trace = QueueTrace(queue)
+        queue.enqueue(make_packet(0), 1.0)
+        queue.enqueue(make_packet(1), 1.5)
+        queue.dequeue(3.0)
+        times, lengths = trace.sample(step_s=1.0, until=4.0)
+        assert list(times) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert list(lengths) == [0.0, 1.0, 2.0, 1.0, 1.0]
+
+    def test_sample_empty_trace(self):
+        trace = QueueTrace(DropTailQueue())
+        times, lengths = trace.sample(step_s=0.5, until=2.0)
+        assert np.all(lengths == 0.0)
+        with pytest.raises(ValueError):
+            trace.sample(step_s=0.0, until=2.0)
+
+    def test_mean_length_time_weighted(self):
+        queue = DropTailQueue()
+        trace = QueueTrace(queue)
+        queue.enqueue(make_packet(0), 0.0)   # length 1 from t=0
+        queue.dequeue(4.0)                   # length 0 from t=4
+        # Mean over [0, 8]: 1 * 4/8 = 0.5.
+        assert trace.mean_length(until=8.0) == pytest.approx(0.5)
+
+    def test_mean_length_empty(self):
+        trace = QueueTrace(DropTailQueue())
+        assert trace.mean_length(until=5.0) == 0.0
+
+    def test_max_length(self):
+        queue = DropTailQueue()
+        trace = QueueTrace(queue)
+        assert trace.max_length() == 0
+        for seq in range(5):
+            queue.enqueue(make_packet(seq), float(seq))
+        queue.dequeue(10.0)
+        assert trace.max_length() == 5

@@ -1,0 +1,118 @@
+"""Tests for TCP Vegas: unit window dynamics plus the classic squeeze.
+
+The squeeze test is the paper's section 4.5 story: Vegas thrives
+against itself but is starved by loss-driven TCP on a shared drop-tail
+queue — the behaviour the TCP-naive Tao reproduces in Figure 7.
+"""
+
+import pytest
+
+from repro.core.scale import Scale
+from repro.core.scenario import NetworkConfig
+from repro.experiments.common import run_seeds
+from repro.protocols.base import AckContext
+from repro.protocols.vegas import VegasController
+
+
+def ack(now, rtt, newly=1, in_recovery=False):
+    return AckContext(now=now, rtt_sample=rtt, newly_acked=newly,
+                      cum_ack=0, echo_sent_at=now - rtt,
+                      receiver_time=now, in_recovery=in_recovery,
+                      base_rtt=rtt)
+
+
+def drive_rounds(cc, rtt, rounds, acks_per_round=None):
+    now = 0.0
+    for _ in range(rounds):
+        count = acks_per_round or max(int(cc.window), 1)
+        for _ in range(count):
+            cc.on_ack(ack(now=now, rtt=rtt))
+        now += rtt
+
+
+class TestVegasWindow:
+    def test_slow_start_doubles_every_other_round(self):
+        cc = VegasController(initial_window=2.0)
+        cc.on_flow_start(0.0)
+        drive_rounds(cc, rtt=0.1, rounds=4)
+        # Two of the four rounds double: 2 -> 4 -> 8.
+        assert cc.window == pytest.approx(8.0)
+
+    def test_low_queue_grows_linearly(self):
+        cc = VegasController(initial_window=10.0)
+        cc.on_flow_start(0.0)
+        cc._in_slow_start = False
+        cc.base_rtt = 0.100
+        # rtt == base: diff = 0 < alpha, grow by one per round.
+        drive_rounds(cc, rtt=0.100, rounds=5)
+        assert cc.window == pytest.approx(15.0, abs=1.0)
+
+    def test_standing_queue_shrinks_window(self):
+        cc = VegasController(initial_window=20.0)
+        cc.on_flow_start(0.0)
+        cc._in_slow_start = False
+        cc.base_rtt = 0.100
+        # 25% RTT inflation: diff = 0.25 * window = 5 > beta.
+        drive_rounds(cc, rtt=0.125, rounds=5)
+        assert cc.window < 20.0
+
+    def test_equilibrium_band_holds_window(self):
+        cc = VegasController(initial_window=20.0)
+        cc.on_flow_start(0.0)
+        cc._in_slow_start = False
+        cc.base_rtt = 0.100
+        # diff = window * (1 - 100/110) ~= 1.8 packets: inside [1, 3].
+        drive_rounds(cc, rtt=0.110, rounds=5)
+        assert cc.window == pytest.approx(20.0, abs=1.0)
+
+    def test_loss_reduces_gently(self):
+        cc = VegasController(initial_window=16.0)
+        cc.on_flow_start(0.0)
+        cc.on_loss(1.0)
+        assert cc.window == pytest.approx(12.0)   # x0.75, not x0.5
+
+    def test_timeout_restarts(self):
+        cc = VegasController(initial_window=16.0)
+        cc.on_flow_start(0.0)
+        cc.on_timeout(1.0)
+        assert cc.window == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VegasController(alpha=3.0, beta=1.0)
+
+
+class TestVegasSqueeze:
+    SCALE = Scale(duration_s=20.0, packet_budget=40_000, n_seeds=2)
+
+    def _run(self, kinds):
+        config = NetworkConfig(
+            link_speeds_mbps=(10.0,), rtt_ms=100.0, sender_kinds=kinds,
+            mean_on_s=50.0, mean_off_s=0.0, buffer_bdp=2.0)
+        runs = run_seeds(config, scale=self.SCALE)
+        means = {}
+        for kind in set(kinds):
+            flows = [f for r in runs for f in r.flows if f.kind == kind]
+            means[kind] = {
+                "tpt": sum(f.throughput_bps for f in flows) / len(flows),
+                "qdelay": sum(f.queueing_delay_s for f in flows)
+                / len(flows),
+            }
+        return means
+
+    def test_vegas_alone_has_low_delay(self):
+        """Homogeneous Vegas: high utilization, tiny standing queue."""
+        means = self._run(("vegas", "vegas"))
+        assert means["vegas"]["tpt"] > 3.5e6          # ~fair share
+        assert means["vegas"]["qdelay"] < 0.030       # delay-based calm
+
+    def test_vegas_squeezed_by_newreno(self):
+        """The section 4.5 squeeze: loss-driven TCP starves Vegas."""
+        means = self._run(("vegas", "newreno"))
+        assert means["newreno"]["tpt"] > 1.5 * means["vegas"]["tpt"], (
+            "NewReno should squeeze Vegas well below its fair share")
+
+    def test_newreno_fills_queue_vegas_does_not(self):
+        alone = self._run(("vegas", "vegas"))["vegas"]["qdelay"]
+        reno = self._run(("newreno", "newreno"))["newreno"]["qdelay"]
+        assert reno > 3 * alone + 0.005

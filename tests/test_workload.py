@@ -1,0 +1,140 @@
+"""Tests for the application workload models."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.workload import (AlwaysOnWorkload, OnOffWorkload,
+                                ScheduledWorkload)
+
+
+class FakeSender:
+    def __init__(self):
+        self.transitions = []
+
+    def set_on(self, now):
+        self.transitions.append(("on", now))
+
+    def set_off(self, now):
+        self.transitions.append(("off", now))
+
+
+class TestOnOffWorkload:
+    def test_alternates_on_off(self):
+        sim = Simulator()
+        sender = FakeSender()
+        workload = OnOffWorkload(sim, sender, mean_on_s=1.0,
+                                 mean_off_s=1.0, rng=random.Random(7))
+        workload.start()
+        sim.run(until=50.0)
+        kinds = [k for k, _ in sender.transitions]
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+        assert kinds[0] == "on"
+
+    def test_on_time_accounting(self):
+        sim = Simulator()
+        sender = FakeSender()
+        workload = OnOffWorkload(sim, sender, mean_on_s=1.0,
+                                 mean_off_s=1.0, rng=random.Random(3))
+        workload.start()
+        sim.run(until=200.0)
+        on_time = workload.on_time(200.0)
+        # Stationary expectation is half the horizon.
+        assert 0.3 * 200 < on_time < 0.7 * 200
+        # Cross-check against the recorded transitions.
+        total = 0.0
+        started = None
+        for kind, at in sender.transitions:
+            if kind == "on":
+                started = at
+            else:
+                total += at - started
+                started = None
+        if started is not None:
+            total += 200.0 - started
+        assert on_time == pytest.approx(total)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = Simulator()
+            sender = FakeSender()
+            workload = OnOffWorkload(sim, sender, 1.0, 1.0,
+                                     rng=random.Random(seed))
+            workload.start()
+            sim.run(until=30.0)
+            return sender.transitions
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_zero_off_time_is_always_on(self):
+        sim = Simulator()
+        sender = FakeSender()
+        workload = OnOffWorkload(sim, sender, mean_on_s=0.5,
+                                 mean_off_s=0.0, rng=random.Random(1))
+        workload.start()
+        sim.run(until=20.0)
+        assert workload.on_time(20.0) == pytest.approx(20.0, rel=1e-6)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OnOffWorkload(sim, FakeSender(), mean_on_s=0.0,
+                          mean_off_s=1.0, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            OnOffWorkload(sim, FakeSender(), mean_on_s=1.0,
+                          mean_off_s=-1.0, rng=random.Random(1))
+
+    def test_mean_durations_roughly_exponential(self):
+        sim = Simulator()
+        sender = FakeSender()
+        workload = OnOffWorkload(sim, sender, mean_on_s=1.0,
+                                 mean_off_s=2.0, rng=random.Random(5))
+        workload.start()
+        sim.run(until=3000.0)
+        ons, offs = [], []
+        previous = None
+        for kind, at in sender.transitions:
+            if previous is not None:
+                duration = at - previous[1]
+                (ons if previous[0] == "on" else offs).append(duration)
+            previous = (kind, at)
+        assert sum(ons) / len(ons) == pytest.approx(1.0, rel=0.2)
+        assert sum(offs) / len(offs) == pytest.approx(2.0, rel=0.2)
+
+
+class TestScheduledWorkload:
+    def test_exact_intervals(self):
+        sim = Simulator()
+        sender = FakeSender()
+        workload = ScheduledWorkload(sim, sender,
+                                     intervals=[(5.0, 10.0), (12.0, 13.0)])
+        workload.start()
+        sim.run(until=20.0)
+        assert sender.transitions == [("on", 5.0), ("off", 10.0),
+                                      ("on", 12.0), ("off", 13.0)]
+        assert workload.on_time(20.0) == pytest.approx(6.0)
+
+    def test_rejects_overlapping_intervals(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ScheduledWorkload(sim, FakeSender(),
+                              intervals=[(0.0, 5.0), (4.0, 6.0)])
+
+    def test_rejects_empty_interval(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ScheduledWorkload(sim, FakeSender(), intervals=[(3.0, 3.0)])
+
+
+class TestAlwaysOnWorkload:
+    def test_turns_on_at_zero_and_stays(self):
+        sim = Simulator()
+        sender = FakeSender()
+        workload = AlwaysOnWorkload(sim, sender)
+        workload.start()
+        sim.run(until=10.0)
+        assert sender.transitions == [("on", 0.0)]
+        assert workload.on_time(10.0) == pytest.approx(10.0)
