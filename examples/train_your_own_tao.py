@@ -12,10 +12,9 @@ This walks the full pipeline of the paper in miniature:
 Run:  python examples/train_your_own_tao.py        (~2-4 minutes)
 """
 
-import multiprocessing as mp
-
 from repro import NetworkConfig, Scale, ScenarioRange, run_seeds
 from repro.core.omniscient import omniscient_dumbbell
+from repro.exec import ProcessPoolExecutor
 from repro.remy.evaluator import EvalSettings
 from repro.remy.optimizer import OptimizerSettings, RemyOptimizer
 
@@ -50,9 +49,9 @@ def main():
         generations=2, max_action_steps=6, time_budget_s=180.0)
 
     print("training a Tao on 5-50 Mbps x 1-4 senders ...")
-    with mp.Pool(max(mp.cpu_count() - 2, 1)) as pool:
+    with ProcessPoolExecutor() as executor:
         optimizer = RemyOptimizer(TRAINING_MODEL, eval_settings,
-                                  optimizer_settings, pool=pool,
+                                  optimizer_settings, executor=executor,
                                   progress=lambda m: print("  " + m))
         tree, log = optimizer.train()
     print(f"trained: {len(tree)} whiskers, "

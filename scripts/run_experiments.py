@@ -4,11 +4,22 @@
 Usage::
 
     python scripts/run_experiments.py --scale quick
+    python scripts/run_experiments.py --scale quick --jobs 4
     python scripts/run_experiments.py --scale default -o results.md
 
 Each experiment prints its table as it completes, and the combined
 markdown lands on stdout (or ``-o``).  ``quick`` matches the benchmark
 harness's budget; ``default`` is the scale EXPERIMENTS.md records.
+
+``--jobs N`` fans each experiment's (scenario × seed) grid out over an
+``N``-worker process pool via :mod:`repro.exec`; the tables are
+bitwise-identical to a serial run (the executors' determinism
+contract), only faster.
+
+``--fake-taos`` substitutes a fixed hand-built rule table for every
+trained asset, so the full pipeline (and the parallel executor) can be
+exercised before ``scripts/train_assets.py`` has produced real Taos —
+the numbers are then *not* the paper's, only the plumbing.
 """
 
 from __future__ import annotations
@@ -17,13 +28,16 @@ import argparse
 import io
 import sys
 import time
-from contextlib import redirect_stdout
 
 from repro.core.scale import Scale
+from repro.exec import executor_for
 from repro.experiments import (calibration, diversity, link_speed,
                                multiplexing, rtt, signals, structure,
                                tcp_awareness)
 from repro.experiments.tcp_awareness import run_queue_trace
+from repro.remy.action import Action
+from repro.remy.memory import SIGNAL_NAMES
+from repro.remy.tree import WhiskerTree
 
 SCALES = {
     "quick": Scale(duration_s=10.0, packet_budget=30_000,
@@ -35,10 +49,35 @@ SCALES = {
 }
 
 
-def _fig8_block() -> str:
+#: Stand-in rule table used by ``--fake-taos`` (matches the test
+#: suite's sane rate-matching action).
+_FAKE_TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+
+#: Every trained asset each experiment consumes (for ``--fake-taos``).
+_ASSETS = {
+    "link_speed": tuple(link_speed.TAO_RANGES),
+    "multiplexing": tuple(multiplexing.TAO_RANGES),
+    "rtt": tuple(rtt.TAO_RANGES),
+    "structure": ("tao_structure_one", "tao_structure_two"),
+    "tcp_awareness": ("tao_tcp_naive", "tao_tcp_aware"),
+    "diversity": ("tao_delta_tpt_naive", "tao_delta_del_naive",
+                  "tao_delta_tpt_coopt", "tao_delta_del_coopt"),
+    "signals": ("tao_calibration",) + tuple(
+        f"tao_knockout_{signal}" for signal in SIGNAL_NAMES),
+}
+
+
+def _fake_trees(experiment: str, fake: bool):
+    if not fake:
+        return None
+    return {name: _FAKE_TREE for name in _ASSETS[experiment]}
+
+
+def _fig8_block(scale, executor, fake) -> str:
     lines = ["Figure 8 — queue traces (TCP on during [5 s, 10 s)):"]
     for scheme in ("tao_tcp_aware", "tao_tcp_naive"):
-        trace = run_queue_trace(scheme, seed=1)
+        trace = run_queue_trace(
+            scheme, tree=_FAKE_TREE if fake else None, seed=1)
         lines.append(
             f"{scheme:<15} queue alone={trace.mean_queue(1, 5):7.1f} "
             f"pkts  with TCP={trace.mean_queue(6, 10):7.1f} pkts  "
@@ -46,25 +85,32 @@ def _fig8_block() -> str:
     return "\n".join(lines)
 
 
+def _runner(module, name):
+    return lambda scale, executor, fake: module.format_table(
+        module.run(scale=scale, trees=_fake_trees(name, fake),
+                   executor=executor))
+
+
 EXPERIMENTS = [
     ("E1 Figure 1 / Table 1 — calibration",
-     lambda s: calibration.format_table(calibration.run(scale=s))),
+     lambda s, ex, fake: calibration.format_table(calibration.run(
+         scale=s, tree=_FAKE_TREE if fake else None, executor=ex))),
     ("E2 Figure 2 / Table 2 — link-speed ranges",
-     lambda s: link_speed.format_table(link_speed.run(scale=s))),
+     _runner(link_speed, "link_speed")),
     ("E3 Figure 3 / Table 3 — multiplexing",
-     lambda s: multiplexing.format_table(multiplexing.run(scale=s))),
+     _runner(multiplexing, "multiplexing")),
     ("E4 Figure 4 / Table 4 — propagation delay",
-     lambda s: rtt.format_table(rtt.run(scale=s))),
+     _runner(rtt, "rtt")),
     ("E5 Figure 6 / Table 5 — structural knowledge",
-     lambda s: structure.format_table(structure.run(scale=s))),
+     _runner(structure, "structure")),
     ("E6 Figure 7 / Table 6 — TCP-awareness",
-     lambda s: tcp_awareness.format_table(tcp_awareness.run(scale=s))),
+     _runner(tcp_awareness, "tcp_awareness")),
     ("E7 Figure 8 — queue traces",
-     lambda s: _fig8_block()),
+     _fig8_block),
     ("E8 Figure 9 / Table 7 — sender diversity",
-     lambda s: diversity.format_table(diversity.run(scale=s))),
+     _runner(diversity, "diversity")),
     ("E9 Section 3.4 — signal knockouts",
-     lambda s: signals.format_table(signals.run(scale=s))),
+     _runner(signals, "signals")),
 ]
 
 
@@ -72,10 +118,17 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(SCALES),
                         default="quick")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for the simulation grid "
+                             "(1 = serial)")
     parser.add_argument("-o", "--output", default=None,
                         help="also write the combined report here")
     parser.add_argument("--only", nargs="*", default=None,
                         help="substring filter on experiment titles")
+    parser.add_argument("--fake-taos", action="store_true",
+                        help="substitute a fixed hand-built rule table "
+                             "for every trained asset (plumbing check, "
+                             "not the paper's numbers)")
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
 
@@ -84,20 +137,21 @@ def main(argv=None) -> int:
                  f"(duration<={scale.duration_s:g}s, "
                  f"{scale.n_seeds} seeds, "
                  f"{scale.sweep_points} sweep points)\n")
-    for title, runner in EXPERIMENTS:
-        if args.only and not any(needle.lower() in title.lower()
-                                 for needle in args.only):
-            continue
-        started = time.time()
-        print(f"\n### {title}", flush=True)
-        try:
-            block = runner(scale)
-        except FileNotFoundError as error:
-            block = f"SKIPPED: {error}"
-        print(block, flush=True)
-        elapsed = time.time() - started
-        print(f"({elapsed:.0f}s)", flush=True)
-        report.write(f"\n### {title}\n```\n{block}\n```\n")
+    with executor_for(args.jobs) as executor:
+        for title, runner in EXPERIMENTS:
+            if args.only and not any(needle.lower() in title.lower()
+                                     for needle in args.only):
+                continue
+            started = time.time()
+            print(f"\n### {title}", flush=True)
+            try:
+                block = runner(scale, executor, args.fake_taos)
+            except FileNotFoundError as error:
+                block = f"SKIPPED: {error}"
+            print(block, flush=True)
+            elapsed = time.time() - started
+            print(f"({elapsed:.0f}s)", flush=True)
+            report.write(f"\n### {title}\n```\n{block}\n```\n")
 
     if args.output:
         with open(args.output, "w") as handle:

@@ -3,12 +3,17 @@
 
 Usage::
 
-    python scripts/train_assets.py --assets tao_2x tao_10x --workers 8
-    python scripts/train_assets.py --all --workers 20
+    python scripts/train_assets.py --assets tao_2x tao_10x --jobs 8
+    python scripts/train_assets.py --all --jobs 20
 
 Each asset corresponds to one entry of :data:`repro.remy.catalog.CATALOG`
 (one row of the paper's training tables).  Co-optimized pairs (Table 7a)
 are trained together when either member is requested.
+
+``--jobs N`` fans the evaluator's (tree, config, seed) batches out over
+an ``N``-worker pool via :mod:`repro.exec`; training results are
+bitwise-identical to a serial run (common random numbers are preserved
+by the execution layer's determinism contract).
 
 The paper's Remy runs used a CPU-year per protocol; this script's budget
 is minutes per protocol (see DESIGN.md's substitution table), tunable
@@ -18,12 +23,12 @@ via ``--budget``, ``--generations``, and ``--configs``.
 from __future__ import annotations
 
 import argparse
-import multiprocessing as mp
 import sys
 import time
 from dataclasses import asdict
 
 from repro.core.scale import Scale
+from repro.exec import default_jobs, executor_for
 from repro.remy.assets import save_asset
 from repro.remy.catalog import CATALOG
 from repro.remy.evaluator import EvalSettings
@@ -38,7 +43,10 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="catalog names to train")
     parser.add_argument("--all", action="store_true",
                         help="train every catalog entry")
-    parser.add_argument("--workers", type=int, default=mp.cpu_count() - 2)
+    parser.add_argument("-j", "--jobs", "--workers", type=int,
+                        dest="jobs", default=default_jobs(),
+                        help="worker processes for simulation batches "
+                             "(1 = serial; --workers is a legacy alias)")
     parser.add_argument("--budget", type=float, default=360.0,
                         help="wall-clock seconds per asset")
     parser.add_argument("--generations", type=int, default=2)
@@ -67,13 +75,13 @@ def settings_for(args: argparse.Namespace,
     return eval_settings, opt_settings
 
 
-def train_single(name: str, args: argparse.Namespace, pool) -> None:
+def train_single(name: str, args: argparse.Namespace, executor) -> None:
     spec = CATALOG[name]
     eval_settings, opt_settings = settings_for(args, name)
     started = time.time()
     print(f"[{name}] training started", flush=True)
     optimizer = RemyOptimizer(
-        spec.training, eval_settings, opt_settings, pool=pool,
+        spec.training, eval_settings, opt_settings, executor=executor,
         progress=lambda msg: print(f"[{name}] {msg}", flush=True))
     tree = WhiskerTree(mask=spec.mask)
     tree, log = optimizer.train(tree)
@@ -88,14 +96,14 @@ def train_single(name: str, args: argparse.Namespace, pool) -> None:
 
 
 def train_coopt_pair(name_a: str, name_b: str,
-                     args: argparse.Namespace, pool) -> None:
+                     args: argparse.Namespace, executor) -> None:
     spec_a, spec_b = CATALOG[name_a], CATALOG[name_b]
     eval_settings, opt_settings = settings_for(args, name_a)
     started = time.time()
     print(f"[{name_a}+{name_b}] co-optimization started", flush=True)
     tree_a, tree_b = cooptimize(
         spec_a.training, spec_b.training, eval_settings, opt_settings,
-        rounds=args.coopt_rounds, pool=pool,
+        rounds=args.coopt_rounds, executor=executor,
         progress=lambda msg: print(f"[coopt] {msg}", flush=True))
     for name, spec, tree in ((name_a, spec_a, tree_a),
                              (name_b, spec_b, tree_b)):
@@ -120,16 +128,16 @@ def main(argv=None) -> int:
         return 2
 
     done = set()
-    with mp.Pool(max(args.workers, 1)) as pool:
+    with executor_for(args.jobs) as executor:
         for name in names:
             if name in done:
                 continue
             partner = CATALOG[name].coopt_partner
             if partner is not None:
-                train_coopt_pair(name, partner, args, pool)
+                train_coopt_pair(name, partner, args, executor)
                 done.update((name, partner))
             else:
-                train_single(name, args, pool)
+                train_single(name, args, executor)
                 done.add(name)
     return 0
 

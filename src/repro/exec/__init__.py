@@ -1,0 +1,29 @@
+"""repro.exec — the unified parallel execution layer.
+
+Every simulation this package runs — Remy training evaluations, the
+experiment sweeps, the CLI scripts — is one of thousands of independent
+(config, trees, seed) runs.  This subpackage gives them a single
+batch-execution layer:
+
+* :class:`SimTask` / :class:`SimTaskResult` — declarative, picklable
+  descriptions of one run and its output, with a stable fingerprint.
+* :class:`Executor` and its implementations (:class:`SerialExecutor`,
+  :class:`ProcessPoolExecutor`, :class:`CachingExecutor`).
+* :func:`run_batch` / :func:`executor_for` — the entry points callers
+  actually use.
+
+See ``docs/EXECUTION.md`` for the architecture and the determinism
+contract (serial and pooled execution are bitwise-identical).
+"""
+
+from .batch import executor_for, run_batch
+from .executors import (CachingExecutor, Executor, ProcessPoolExecutor,
+                        SerialExecutor, default_jobs)
+from .task import SimTask, SimTaskResult, run_sim_task
+
+__all__ = [
+    "SimTask", "SimTaskResult", "run_sim_task",
+    "Executor", "SerialExecutor", "ProcessPoolExecutor",
+    "CachingExecutor", "default_jobs",
+    "run_batch", "executor_for",
+]

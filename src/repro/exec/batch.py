@@ -1,0 +1,50 @@
+"""``run_batch`` — the one-call entry point to the execution layer.
+
+Callers that hold an :class:`~repro.exec.executors.Executor` pass it in
+and keep ownership (the pool stays warm for the next batch); callers
+that just want "N jobs, please" pass ``jobs=`` and a throwaway executor
+is created and torn down around the batch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .executors import (Executor, ProcessPoolExecutor, ProgressFn,
+                        SerialExecutor)
+from .task import SimTask, SimTaskResult
+
+__all__ = ["run_batch", "executor_for"]
+
+
+def executor_for(jobs: Optional[int]) -> Executor:
+    """The executor implied by a ``--jobs N`` flag.
+
+    ``None``, ``0``, or ``1`` mean serial; anything larger is a process
+    pool with that many workers.  Negative counts are rejected loudly —
+    silently running a sweep single-core after a ``--jobs -8`` typo
+    would waste hours.  The caller owns the result and should
+    ``close()`` it (or use it as a context manager).
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs is not None and jobs > 1:
+        return ProcessPoolExecutor(jobs)
+    return SerialExecutor()
+
+
+def run_batch(tasks: Sequence[SimTask],
+              executor: Optional[Executor] = None,
+              jobs: Optional[int] = None,
+              progress: Optional[ProgressFn] = None
+              ) -> List[SimTaskResult]:
+    """Run ``tasks`` and return their results in task order.
+
+    Exactly one of ``executor`` / ``jobs`` is normally given; with
+    neither, the batch runs serially.  A passed-in executor is *not*
+    closed (it may be reused); a ``jobs``-created one is.
+    """
+    if executor is not None:
+        return executor.run_batch(tasks, progress=progress)
+    with executor_for(jobs) as owned:
+        return owned.run_batch(tasks, progress=progress)

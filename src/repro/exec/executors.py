@@ -1,0 +1,193 @@
+"""Executors: strategies for running a batch of :class:`SimTask`.
+
+The determinism contract
+------------------------
+``run_batch`` returns one :class:`~repro.exec.task.SimTaskResult` per
+task, *in task order*, and every executor produces bitwise-identical
+results for the same batch: a task is a pure function of its fields, so
+where it runs (this process, a worker process, or a cache) can never
+change the answer.  The Remy optimizer's common-random-numbers
+comparisons and the experiment tables both rely on this.
+
+Three strategies ship today:
+
+* :class:`SerialExecutor` — run in-process, in order.  The reference
+  implementation the others must match.
+* :class:`ProcessPoolExecutor` — chunked fan-out over a lazily-created,
+  reusable ``multiprocessing.Pool``.
+* :class:`CachingExecutor` — a wrapper keyed by task fingerprint; hits
+  skip execution entirely.
+
+Future backends (sharded / multi-host dispatch) plug in by subclassing
+:class:`Executor`; callers only ever see ``run_batch``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .task import SimTask, SimTaskResult, run_sim_task
+
+__all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutor",
+           "CachingExecutor", "default_jobs"]
+
+#: ``progress(done, total)`` — called after each task completes.
+ProgressFn = Callable[[int, int], None]
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (always >= 1)."""
+    return max((multiprocessing.cpu_count() or 1) - 1, 1)
+
+
+class Executor:
+    """Interface: run task batches, optionally report progress.
+
+    Executors are context managers; ``close()`` releases any worker
+    state and is always safe to call (idempotent, including on
+    executors that never ran anything).
+    """
+
+    def run_batch(self, tasks: Sequence[SimTask],
+                  progress: Optional[ProgressFn] = None
+                  ) -> List[SimTaskResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers/state.  Default: nothing to release."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every task in the calling process, in order."""
+
+    def run_batch(self, tasks: Sequence[SimTask],
+                  progress: Optional[ProgressFn] = None
+                  ) -> List[SimTaskResult]:
+        tasks = list(tasks)
+        results: List[SimTaskResult] = []
+        for i, task in enumerate(tasks):
+            results.append(run_sim_task(task))
+            if progress is not None:
+                progress(i + 1, len(tasks))
+        return results
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan tasks out over a ``multiprocessing.Pool``.
+
+    The pool is created lazily on the first batch and reused across
+    batches (worker start-up is the dominant fixed cost), so one
+    executor can serve a whole training run or experiment sweep.
+    Tasks are dispatched in chunks — by default ~4 chunks per worker,
+    balancing scheduling overhead against stragglers — and results come
+    back in task order regardless of completion order.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 chunk_size: Optional[int] = None):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or default_jobs()
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(self.jobs)
+        return self._pool
+
+    def _chunk_for(self, n_tasks: int) -> int:
+        if self.chunk_size is not None:
+            return max(self.chunk_size, 1)
+        return max(n_tasks // (self.jobs * 4), 1)
+
+    def run_batch(self, tasks: Sequence[SimTask],
+                  progress: Optional[ProgressFn] = None
+                  ) -> List[SimTaskResult]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        results: List[SimTaskResult] = []
+        # imap (not map): same chunked dispatch, but results stream
+        # back so progress can fire per task, still in task order.
+        for i, result in enumerate(pool.imap(
+                run_sim_task, tasks,
+                chunksize=self._chunk_for(len(tasks)))):
+            results.append(result)
+            if progress is not None:
+                progress(i + 1, len(tasks))
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+class CachingExecutor(Executor):
+    """Memoize an inner executor by task fingerprint.
+
+    Because the fingerprint covers *every* field of the task (config,
+    trees, seed, duration, flags), a hit is guaranteed to be the result
+    the inner executor would have produced — there is no way to get a
+    stale answer by changing evaluation settings, which is exactly the
+    bug the old tree-keyed score cache had.  Duplicate tasks within one
+    batch execute once.
+    """
+
+    def __init__(self, inner: Optional[Executor] = None):
+        self.inner = inner or SerialExecutor()
+        self._cache: Dict[str, SimTaskResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def run_batch(self, tasks: Sequence[SimTask],
+                  progress: Optional[ProgressFn] = None
+                  ) -> List[SimTaskResult]:
+        tasks = list(tasks)
+        keys = [task.fingerprint() for task in tasks]
+        pending: List[SimTask] = []
+        pending_keys: List[str] = []
+        seen = set()
+        for task, key in zip(tasks, keys):
+            if key in self._cache:
+                self.hits += 1
+            elif key not in seen:
+                seen.add(key)
+                pending.append(task)
+                pending_keys.append(key)
+        # Progress is reported over the *submitted* batch: cached (and
+        # duplicate) tasks count as already done, and a fully-cached
+        # batch still fires one final progress(n, n).
+        done_offset = len(tasks) - len(pending)
+        if pending:
+            self.misses += len(pending)
+            inner_progress = None
+            if progress is not None:
+                inner_progress = lambda done, _total: progress(
+                    done_offset + done, len(tasks))
+            fresh = self.inner.run_batch(pending,
+                                         progress=inner_progress)
+            for key, result in zip(pending_keys, fresh):
+                self._cache[key] = result
+        elif progress is not None and tasks:
+            progress(len(tasks), len(tasks))
+        return [self._cache[key] for key in keys]
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,107 @@
+"""Declarative simulation tasks.
+
+A :class:`SimTask` is a pickle-friendly description of *one* simulation
+run: the network config (as a plain dict), the whisker trees by sender
+kind (as JSON strings), the RNG seed, the simulated duration, and
+whether to record per-whisker usage.  Everything an executor needs to
+reproduce the run in another process — and nothing else — lives on the
+task, which is what makes the execution layer's determinism contract
+possible: the same task always produces the same result, bit for bit,
+regardless of which worker runs it.
+
+Tasks carry a stable :meth:`SimTask.fingerprint` (a SHA-1 over the
+canonical JSON form) used by :class:`~repro.exec.executors.CachingExecutor`
+to key results and by the evaluator to avoid re-running incumbents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SimTask", "SimTaskResult", "run_sim_task"]
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One simulation, fully described by plain picklable data.
+
+    Build instances with :meth:`build` (from live ``NetworkConfig`` /
+    ``WhiskerTree`` objects) rather than the raw constructor.
+    """
+
+    config: dict                           # NetworkConfig.to_dict()
+    trees: Tuple[Tuple[str, str], ...]     # sorted (kind, tree_json)
+    seed: int
+    duration_s: float
+    record_usage: bool = False
+
+    @classmethod
+    def build(cls, config, trees=None, seed: int = 0,
+              duration_s: float = 10.0,
+              record_usage: bool = False) -> "SimTask":
+        """Construct from a :class:`~repro.core.scenario.NetworkConfig`
+        and a ``{kind: WhiskerTree}`` mapping (either may already be in
+        serialized form)."""
+        config_dict = config if isinstance(config, dict) \
+            else config.to_dict()
+        pairs = []
+        for kind, tree in sorted((trees or {}).items()):
+            pairs.append((kind, tree if isinstance(tree, str)
+                          else tree.to_json()))
+        return cls(config=config_dict, trees=tuple(pairs), seed=seed,
+                   duration_s=duration_s, record_usage=record_usage)
+
+    def fingerprint(self) -> str:
+        """Stable digest over every field that affects the result."""
+        payload = json.dumps(
+            {"config": self.config, "trees": self.trees,
+             "seed": self.seed, "duration_s": self.duration_s,
+             "record_usage": self.record_usage},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(payload.encode()).hexdigest()
+
+
+@dataclass
+class SimTaskResult:
+    """What one executed :class:`SimTask` produced.
+
+    ``run`` holds the full per-flow statistics; ``usage_counts`` /
+    ``usage_sums`` carry the learner tree's per-whisker usage when the
+    task asked for it (empty otherwise).  Consumers derive scores from
+    these fields on the submitting side, so scoring policy never needs
+    to travel to the workers.
+    """
+
+    run: "RunResult"               # repro.core.results.RunResult
+    usage_counts: List[int] = field(default_factory=list)
+    usage_sums: List[List[float]] = field(default_factory=list)
+
+
+def run_sim_task(task: SimTask) -> SimTaskResult:
+    """Execute one task (module-level so multiprocessing can pickle it).
+
+    This is the single choke point every executor funnels through:
+    serial and pooled execution differ only in *where* this function
+    runs, never in what it computes.
+    """
+    # Imported at call time, not module top: experiments.common imports
+    # the protocols package, which imports repro.remy — a cycle at
+    # import time but not at call time.
+    from ..core.scenario import NetworkConfig
+    from ..experiments.common import build_simulation
+    from ..remy.tree import WhiskerTree
+
+    trees: Dict[str, WhiskerTree] = {
+        kind: WhiskerTree.from_json(text) for kind, text in task.trees}
+    config = NetworkConfig.from_dict(task.config)
+    handle = build_simulation(config, trees=trees, seed=task.seed,
+                              record_usage=task.record_usage)
+    run = handle.run(task.duration_s)
+    counts: List[int] = []
+    sums: List[List[float]] = []
+    if task.record_usage and "learner" in trees:
+        counts, sums = trees["learner"].extract_stats()
+    return SimTaskResult(run=run, usage_counts=counts, usage_sums=sums)

@@ -17,9 +17,10 @@ from typing import Dict, List, Optional
 from ..core.omniscient import omniscient_dumbbell
 from ..core.results import EllipsePoint, summarize_ellipse
 from ..core.scenario import NetworkConfig
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, run_seeds
+from .common import DEFAULT, Scale, run_seed_batch
 
 __all__ = ["CALIBRATION_CONFIG", "CalibrationResult", "run",
            "format_table"]
@@ -54,19 +55,25 @@ class CalibrationResult:
 
 def run(scale: Scale = DEFAULT,
         tree: Optional[WhiskerTree] = None,
-        base_seed: int = 1) -> CalibrationResult:
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> CalibrationResult:
     """Run the calibration experiment at the given scale.
 
-    ``tree`` overrides the shipped ``tao_calibration`` rule table.
+    ``tree`` overrides the shipped ``tao_calibration`` rule table;
+    ``executor`` fans the (scheme × seed) grid out through
+    :mod:`repro.exec`.
     """
     if tree is None:
         tree = load_tree("tao_calibration")
     result = CalibrationResult()
+    specs = []
     for scheme, (kinds, queue) in _SCHEMES.items():
         config = replace(CALIBRATION_CONFIG, sender_kinds=kinds,
                          deltas=tuple(1.0 for _ in kinds), queue=queue)
-        runs = run_seeds(config, trees={"learner": tree}, scale=scale,
-                         base_seed=base_seed)
+        specs.append((config, {"learner": tree}))
+    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
+                             executor=executor)
+    for scheme, runs in zip(_SCHEMES, batches):
         throughputs: List[float] = []
         delays: List[float] = []
         for run_result in runs:

@@ -22,6 +22,7 @@ from ..core.objective import normalized_objective
 from ..core.results import FlowStats, RunResult
 from ..core.scale import DEFAULT, FULL, QUICK, Scale
 from ..core.scenario import NetworkConfig
+from ..exec import Executor, SimTask, run_batch
 from ..protocols.base import CongestionController
 from ..protocols.registry import make_controller
 from ..protocols.remycc import RemyCCController
@@ -38,7 +39,8 @@ from ..topology.graph import BuiltTopology
 from ..topology.parking_lot import parking_lot
 
 __all__ = ["Scale", "SimulationHandle", "build_simulation", "run_config",
-           "run_seeds", "scored_flows", "mean_normalized_score",
+           "run_seeds", "run_seeds_parallel", "run_seed_batch",
+           "scored_flows", "mean_normalized_score",
            "QUICK", "DEFAULT", "FULL"]
 
 
@@ -203,11 +205,60 @@ def run_config(config: NetworkConfig,
 def run_seeds(config: NetworkConfig,
               trees: Optional[Dict[str, WhiskerTree]] = None,
               scale: Scale = DEFAULT,
-              base_seed: int = 1) -> List[RunResult]:
-    """Run ``scale.n_seeds`` independent replications."""
-    return [run_config(config, trees=trees, seed=base_seed + k,
-                       scale=scale)
+              base_seed: int = 1,
+              executor: Optional[Executor] = None) -> List[RunResult]:
+    """Run ``scale.n_seeds`` independent replications.
+
+    ``executor`` fans the replications out through :mod:`repro.exec`;
+    ``None`` runs them serially (and produces identical results — the
+    executors' determinism contract).
+    """
+    return run_seed_batch([(config, trees)], scale=scale,
+                          base_seed=base_seed, executor=executor)[0]
+
+
+def run_seeds_parallel(config: NetworkConfig,
+                       trees: Optional[Dict[str, WhiskerTree]] = None,
+                       scale: Scale = DEFAULT,
+                       base_seed: int = 1,
+                       jobs: Optional[int] = None) -> List[RunResult]:
+    """:func:`run_seeds` over a throwaway ``jobs``-worker pool."""
+    tasks = _seed_tasks(config, trees, scale, base_seed)
+    return [out.run for out in run_batch(tasks, jobs=jobs)]
+
+
+def _seed_tasks(config: NetworkConfig,
+                trees: Optional[Dict[str, WhiskerTree]],
+                scale: Scale, base_seed: int) -> List[SimTask]:
+    duration = scale.duration_for(config)
+    return [SimTask.build(config, trees=trees, seed=base_seed + k,
+                          duration_s=duration)
             for k in range(scale.n_seeds)]
+
+
+def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
+                                         Optional[Dict[str, WhiskerTree]]]],
+                   scale: Scale = DEFAULT,
+                   base_seed: int = 1,
+                   executor: Optional[Executor] = None
+                   ) -> List[List[RunResult]]:
+    """Run a whole (config × seed) grid as one flat task batch.
+
+    ``specs`` is a sequence of ``(config, trees)`` pairs — one per sweep
+    point; each is replicated over ``scale.n_seeds`` seeds.  Returns one
+    ``List[RunResult]`` per spec, aligned with the input, exactly as if
+    :func:`run_seeds` had been called per spec — but submitted as a
+    single batch so a pooled executor sees the full grid at once.
+    """
+    tasks: List[SimTask] = []
+    for config, trees in specs:
+        tasks.extend(_seed_tasks(config, trees, scale, base_seed))
+    outputs = run_batch(tasks, executor=executor)
+    grouped: List[List[RunResult]] = []
+    for i in range(len(specs)):
+        chunk = outputs[i * scale.n_seeds:(i + 1) * scale.n_seeds]
+        grouped.append([out.run for out in chunk])
+    return grouped
 
 
 def scored_flows(result: RunResult) -> List[FlowStats]:

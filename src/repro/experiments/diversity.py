@@ -19,9 +19,10 @@ from typing import Dict, Optional, Tuple
 
 from ..core.results import EllipsePoint, summarize_ellipse
 from ..core.scenario import NetworkConfig
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, run_seeds
+from .common import DEFAULT, Scale, run_seed_batch
 
 __all__ = ["DiversityResult", "run", "format_table", "SETTINGS"]
 
@@ -86,22 +87,30 @@ class DiversityResult:
 
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
-        base_seed: int = 1) -> DiversityResult:
-    """Run every Figure 9 setting."""
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> DiversityResult:
+    """Run every Figure 9 setting.
+
+    The (setting × seed) grid goes out as one batch through
+    ``executor``.
+    """
     if trees is None:
         trees = {}
 
     def tree_for(asset: str) -> WhiskerTree:
         return trees.get(asset) or load_tree(asset)
 
-    result = DiversityResult()
+    specs = []
     for setting, (kinds, assets, deltas) in SETTINGS.items():
-        config = _config_for(kinds, deltas)
         tree_map = {kind: tree_for(asset)
                     for kind, asset in assets.items()}
-        runs = run_seeds(config, trees=tree_map, scale=scale,
-                         base_seed=base_seed)
-        for kind in set(kinds):
+        specs.append((_config_for(kinds, deltas), tree_map))
+    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
+                             executor=executor)
+    result = DiversityResult()
+    for (setting, (kinds, _, _)), runs in zip(SETTINGS.items(),
+                                              batches):
+        for kind in dict.fromkeys(kinds):
             tpts, delays = [], []
             for run_result in runs:
                 for flow in run_result.flows_of_kind(kind):

@@ -18,9 +18,10 @@ from typing import Dict, List, Optional, Tuple
 from ..core.objective import normalized_objective
 from ..core.omniscient import dumbbell_expected_throughput
 from ..core.scenario import NetworkConfig
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, mean_normalized_score, run_seeds
+from .common import DEFAULT, Scale, mean_normalized_score, run_seed_batch
 
 __all__ = ["TAO_RANGES", "SweepPoint", "LinkSpeedResult", "run",
            "format_table", "sweep_speeds"]
@@ -89,36 +90,41 @@ def _omniscient_point(speed: float) -> float:
 
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
-        base_seed: int = 1) -> LinkSpeedResult:
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> LinkSpeedResult:
     """Sweep every scheme across the 1-1000 Mbps testing scenarios.
 
     ``trees`` maps Tao names to rule tables, overriding shipped assets.
+    The whole (scheme × speed × seed) grid goes out as one batch
+    through ``executor``.
     """
     if trees is None:
         trees = {}
     loaded = {name: trees.get(name) or load_tree(name)
               for name in TAO_RANGES}
-    result = LinkSpeedResult()
+    cells = []   # (scheme, speed, config, trees, in_training_range)
     for speed in sweep_speeds(scale.sweep_points):
         for name, (lo, hi) in TAO_RANGES.items():
             config = _config_for(speed, ("learner",) * _SENDERS,
                                  "droptail")
-            runs = run_seeds(config, trees={"learner": loaded[name]},
-                             scale=scale, base_seed=base_seed)
-            score = mean_normalized_score(runs, config)
-            result.points.append(SweepPoint(
-                scheme=name, speed_mbps=speed,
-                normalized_objective=score,
-                in_training_range=lo <= speed <= hi))
+            cells.append((name, speed, config,
+                          {"learner": loaded[name]},
+                          lo <= speed <= hi))
         for baseline in _BASELINES:
             queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
                 else "droptail"
             config = _config_for(speed, ("cubic",) * _SENDERS, queue)
-            runs = run_seeds(config, scale=scale, base_seed=base_seed)
-            score = mean_normalized_score(runs, config)
-            result.points.append(SweepPoint(
-                scheme=baseline, speed_mbps=speed,
-                normalized_objective=score, in_training_range=True))
+            cells.append((baseline, speed, config, None, True))
+    batches = run_seed_batch(
+        [(config, tree_map) for _, _, config, tree_map, _ in cells],
+        scale=scale, base_seed=base_seed, executor=executor)
+    result = LinkSpeedResult()
+    for (scheme, speed, config, _, in_range), runs in zip(cells, batches):
+        result.points.append(SweepPoint(
+            scheme=scheme, speed_mbps=speed,
+            normalized_objective=mean_normalized_score(runs, config),
+            in_training_range=in_range))
+    for speed in sweep_speeds(scale.sweep_points):
         result.points.append(SweepPoint(
             scheme="omniscient", speed_mbps=speed,
             normalized_objective=_omniscient_point(speed),

@@ -21,9 +21,10 @@ from typing import Dict, List, Optional, Tuple
 from ..core.objective import normalized_objective
 from ..core.omniscient import dumbbell_expected_throughput
 from ..core.scenario import NetworkConfig
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, mean_normalized_score, run_seeds
+from .common import DEFAULT, Scale, mean_normalized_score, run_seed_batch
 
 __all__ = ["TAO_RANGES", "BUFFER_CASES", "MuxPoint", "MultiplexingResult",
            "run", "format_table", "sweep_senders"]
@@ -99,37 +100,44 @@ def _omniscient_point(n: int) -> float:
 
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
-        base_seed: int = 1) -> MultiplexingResult:
-    """Sweep sender counts for every scheme and buffer case."""
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> MultiplexingResult:
+    """Sweep sender counts for every scheme and buffer case.
+
+    The (buffer case × scheme × sender count × seed) grid goes out as
+    one batch through ``executor``.
+    """
     if trees is None:
         trees = {}
     loaded = {name: trees.get(name) or load_tree(name)
               for name in TAO_RANGES}
-    result = MultiplexingResult()
+    cells = []   # (scheme, n, case_name, config, trees, in_range)
     for case_name, buffer_bdp in BUFFER_CASES:
         for n in sweep_senders(scale.sweep_points):
             for name, top in TAO_RANGES.items():
                 config = _config_for(n, "learner", buffer_bdp,
                                      "droptail")
-                runs = run_seeds(config,
-                                 trees={"learner": loaded[name]},
-                                 scale=scale, base_seed=base_seed)
-                result.points.append(MuxPoint(
-                    scheme=name, n_senders=n, buffer_case=case_name,
-                    normalized_objective=mean_normalized_score(
-                        runs, config),
-                    in_training_range=n <= top))
+                cells.append((name, n, case_name, config,
+                              {"learner": loaded[name]}, n <= top))
             for baseline in _BASELINES:
                 queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
                     else "droptail"
                 config = _config_for(n, "cubic", buffer_bdp, queue)
-                runs = run_seeds(config, scale=scale,
-                                 base_seed=base_seed)
-                result.points.append(MuxPoint(
-                    scheme=baseline, n_senders=n, buffer_case=case_name,
-                    normalized_objective=mean_normalized_score(
-                        runs, config),
-                    in_training_range=True))
+                cells.append((baseline, n, case_name, config, None,
+                              True))
+    batches = run_seed_batch(
+        [(config, tree_map)
+         for _, _, _, config, tree_map, _ in cells],
+        scale=scale, base_seed=base_seed, executor=executor)
+    result = MultiplexingResult()
+    for (scheme, n, case_name, config, _, in_range), runs \
+            in zip(cells, batches):
+        result.points.append(MuxPoint(
+            scheme=scheme, n_senders=n, buffer_case=case_name,
+            normalized_objective=mean_normalized_score(runs, config),
+            in_training_range=in_range))
+    for case_name, _ in BUFFER_CASES:
+        for n in sweep_senders(scale.sweep_points):
             result.points.append(MuxPoint(
                 scheme="omniscient", n_senders=n, buffer_case=case_name,
                 normalized_objective=_omniscient_point(n),

@@ -19,9 +19,10 @@ from typing import Dict, List, Optional, Tuple
 from ..core.objective import normalized_objective
 from ..core.omniscient import dumbbell_expected_throughput
 from ..core.scenario import NetworkConfig
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, mean_normalized_score, run_seeds
+from .common import DEFAULT, Scale, mean_normalized_score, run_seed_batch
 
 __all__ = ["TAO_RANGES", "RttPoint", "RttResult", "run", "format_table",
            "sweep_rtts"]
@@ -91,31 +92,40 @@ def _omniscient_point(rtt_ms: float) -> float:
 
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
-        base_seed: int = 1) -> RttResult:
-    """Sweep every scheme across the 1-300 ms testing scenarios."""
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> RttResult:
+    """Sweep every scheme across the 1-300 ms testing scenarios.
+
+    The (scheme × RTT × seed) grid goes out as one batch through
+    ``executor``.
+    """
     if trees is None:
         trees = {}
     loaded = {name: trees.get(name) or load_tree(name)
               for name in TAO_RANGES}
-    result = RttResult()
+    cells = []   # (scheme, rtt_ms, config, trees, in_training_range)
     for rtt_ms in sweep_rtts(scale.sweep_points):
         for name, (lo, hi) in TAO_RANGES.items():
             config = _config_for(rtt_ms, "learner", "droptail")
-            runs = run_seeds(config, trees={"learner": loaded[name]},
-                             scale=scale, base_seed=base_seed)
-            result.points.append(RttPoint(
-                scheme=name, rtt_ms=rtt_ms,
-                normalized_objective=mean_normalized_score(runs, config),
-                in_training_range=lo <= rtt_ms <= hi))
+            cells.append((name, rtt_ms, config,
+                          {"learner": loaded[name]},
+                          lo <= rtt_ms <= hi))
         for baseline in _BASELINES:
             queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
                 else "droptail"
             config = _config_for(rtt_ms, "cubic", queue)
-            runs = run_seeds(config, scale=scale, base_seed=base_seed)
-            result.points.append(RttPoint(
-                scheme=baseline, rtt_ms=rtt_ms,
-                normalized_objective=mean_normalized_score(runs, config),
-                in_training_range=True))
+            cells.append((baseline, rtt_ms, config, None, True))
+    batches = run_seed_batch(
+        [(config, tree_map) for _, _, config, tree_map, _ in cells],
+        scale=scale, base_seed=base_seed, executor=executor)
+    result = RttResult()
+    for (scheme, rtt_ms, config, _, in_range), runs in zip(cells,
+                                                           batches):
+        result.points.append(RttPoint(
+            scheme=scheme, rtt_ms=rtt_ms,
+            normalized_objective=mean_normalized_score(runs, config),
+            in_training_range=in_range))
+    for rtt_ms in sweep_rtts(scale.sweep_points):
         result.points.append(RttPoint(
             scheme="omniscient", rtt_ms=rtt_ms,
             normalized_objective=_omniscient_point(rtt_ms),

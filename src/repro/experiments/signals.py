@@ -18,11 +18,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.objective import Objective
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.memory import SIGNAL_NAMES
 from ..remy.tree import WhiskerTree
 from .calibration import CALIBRATION_CONFIG
-from .common import DEFAULT, Scale, run_seeds, scored_flows
+from .common import DEFAULT, Scale, run_seed_batch, scored_flows
 
 __all__ = ["SignalKnockoutResult", "run", "format_table"]
 
@@ -47,11 +48,8 @@ class SignalKnockoutResult:
         return sorted(SIGNAL_NAMES, key=self.drop, reverse=True)
 
 
-def _evaluate(tree: WhiskerTree, scale: Scale,
-              base_seed: int) -> float:
+def _score_runs(runs) -> float:
     objective = Objective(delta=1.0)
-    runs = run_seeds(CALIBRATION_CONFIG, trees={"learner": tree},
-                     scale=scale, base_seed=base_seed)
     scores = []
     for run_result in runs:
         total = 0.0
@@ -65,19 +63,28 @@ def _evaluate(tree: WhiskerTree, scale: Scale,
 
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
-        base_seed: int = 1) -> SignalKnockoutResult:
-    """Evaluate the full Tao and each knockout on the calibration net."""
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> SignalKnockoutResult:
+    """Evaluate the full Tao and each knockout on the calibration net.
+
+    All five (variant × seed) grids go out as one batch through
+    ``executor``.
+    """
     if trees is None:
         trees = {}
-    result = SignalKnockoutResult()
-    full = trees.get("tao_calibration") or load_tree("tao_calibration")
-    result.objective_by_variant["all_signals"] = _evaluate(
-        full, scale, base_seed)
-    for signal in SIGNAL_NAMES:
-        asset = f"tao_knockout_{signal}"
+    variants = ["all_signals"] \
+        + [f"knockout_{signal}" for signal in SIGNAL_NAMES]
+    assets = ["tao_calibration"] \
+        + [f"tao_knockout_{signal}" for signal in SIGNAL_NAMES]
+    specs = []
+    for asset in assets:
         tree = trees.get(asset) or load_tree(asset)
-        result.objective_by_variant[f"knockout_{signal}"] = _evaluate(
-            tree, scale, base_seed)
+        specs.append((CALIBRATION_CONFIG, {"learner": tree}))
+    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
+                             executor=executor)
+    result = SignalKnockoutResult()
+    for variant, runs in zip(variants, batches):
+        result.objective_by_variant[variant] = _score_runs(runs)
     return result
 
 

@@ -24,10 +24,11 @@ import numpy as np
 
 from ..core.omniscient import omniscient_parking_lot
 from ..core.scenario import NetworkConfig
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
 from ..topology.parking_lot import FLOW_BOTH
-from .common import DEFAULT, Scale, run_seeds
+from .common import DEFAULT, Scale, run_seed_batch
 
 __all__ = ["StructurePoint", "StructureResult", "run", "format_table",
            "sweep_speed_pairs"]
@@ -94,15 +95,20 @@ def _config_for(speeds: Tuple[float, float], kind: str,
 
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
-        base_seed: int = 1) -> StructureResult:
-    """Sweep both parking-lot links for every scheme."""
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> StructureResult:
+    """Sweep both parking-lot links for every scheme.
+
+    The (scheme × speed pair × seed) grid goes out as one batch
+    through ``executor``.
+    """
     if trees is None:
         trees = {}
     tree_one = trees.get("tao_structure_one") \
         or load_tree("tao_structure_one")
     tree_two = trees.get("tao_structure_two") \
         or load_tree("tao_structure_two")
-    result = StructureResult()
+    cells = []   # (scheme, slower, faster, config, trees)
     for speeds in sweep_speed_pairs(scale.sweep_points):
         slower, faster = min(speeds), max(speeds)
         for scheme in _SCHEMES:
@@ -117,12 +123,19 @@ def run(scale: Scale = DEFAULT,
                     else "droptail"
                 config = _config_for(speeds, "cubic", queue)
                 tree_map = None
-            runs = run_seeds(config, trees=tree_map, scale=scale,
-                             base_seed=base_seed)
-            flow1 = [r.flows[FLOW_BOTH].throughput_bps for r in runs]
-            result.points.append(StructurePoint(
-                scheme=scheme, slower_mbps=slower, faster_mbps=faster,
-                flow1_throughput_bps=float(np.median(flow1))))
+            cells.append((scheme, slower, faster, config, tree_map))
+    batches = run_seed_batch(
+        [(config, tree_map) for _, _, _, config, tree_map in cells],
+        scale=scale, base_seed=base_seed, executor=executor)
+    result = StructureResult()
+    for (scheme, slower, faster, config, _), runs in zip(cells,
+                                                         batches):
+        flow1 = [r.flows[FLOW_BOTH].throughput_bps for r in runs]
+        result.points.append(StructurePoint(
+            scheme=scheme, slower_mbps=slower, faster_mbps=faster,
+            flow1_throughput_bps=float(np.median(flow1))))
+    for speeds in sweep_speed_pairs(scale.sweep_points):
+        slower, faster = min(speeds), max(speeds)
         omni = omniscient_parking_lot(
             (speeds[0] * 1e6, speeds[1] * 1e6), p_on=0.5)
         result.omniscient.append(StructurePoint(

@@ -25,9 +25,10 @@ import numpy as np
 
 from ..core.results import EllipsePoint, summarize_ellipse
 from ..core.scenario import NetworkConfig
+from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, build_simulation, run_seeds
+from .common import DEFAULT, Scale, build_simulation, run_seed_batch
 
 __all__ = ["CELLS", "AwarenessCell", "AwarenessResult", "run",
            "QueueTraceResult", "run_queue_trace", "format_table"]
@@ -75,8 +76,12 @@ class AwarenessResult:
 
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
-        base_seed: int = 1) -> AwarenessResult:
-    """Run every Table 6b cell."""
+        base_seed: int = 1,
+        executor: Optional[Executor] = None) -> AwarenessResult:
+    """Run every Table 6b cell.
+
+    The (cell × seed) grid goes out as one batch through ``executor``.
+    """
     if trees is None:
         trees = {}
     loaded = {
@@ -85,14 +90,16 @@ def run(scale: Scale = DEFAULT,
         "tao_tcp_aware": trees.get("tao_tcp_aware")
         or load_tree("tao_tcp_aware"),
     }
-    result = AwarenessResult()
+    specs = []
     for cell_name, (kinds, tree_name) in CELLS.items():
-        config = _test_config(kinds)
         tree_map = {"learner": loaded[tree_name]} if tree_name else None
-        runs = run_seeds(config, trees=tree_map, scale=scale,
-                         base_seed=base_seed)
+        specs.append((_test_config(kinds), tree_map))
+    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
+                             executor=executor)
+    result = AwarenessResult()
+    for (cell_name, (kinds, _)), runs in zip(CELLS.items(), batches):
         cell = AwarenessCell(name=cell_name)
-        for kind in set(kinds):
+        for kind in dict.fromkeys(kinds):
             tpts = []
             delays = []
             for run_result in runs:

@@ -9,9 +9,19 @@ distribution?*  This module answers it, with
   differences reflect the trees, not the luck of the draw),
 * per-whisker usage accounting (the optimizer refines the busiest
   whisker and splits at its observed mean signals), and
-* optional multiprocessing across (tree, config, seed) tasks — training
-  is embarrassingly parallel and pure Python is slow, so this is what
-  makes the reproduction practical (DESIGN.md section 2).
+* batch submission through :mod:`repro.exec` — training is
+  embarrassingly parallel and pure Python is slow, so handing the
+  (tree, config, seed) grid to a process-pool executor is what makes
+  the reproduction practical (DESIGN.md section 2).  Serial and pooled
+  execution produce bitwise-identical scores.
+
+Caching happens at the task level: the evaluator memoizes each task's
+*derived* outputs (objective score plus usage stats — a few floats, not
+the full per-flow ``RunResult``) keyed by the full
+:meth:`~repro.exec.SimTask.fingerprint` (config, trees, seed, duration,
+flags), so re-testing an incumbent tree is free and — unlike the old
+tree-keyed score cache — changing ``EvalSettings.scale`` can never
+return a stale score.
 """
 
 from __future__ import annotations
@@ -21,10 +31,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.objective import Objective
 from ..core.scale import Scale
-from ..core.scenario import NetworkConfig, ScenarioRange
+from ..core.scenario import ScenarioRange
+from ..exec import Executor, SerialExecutor, SimTask
 from .tree import WhiskerTree
 
-__all__ = ["EvalSettings", "EvalResult", "TreeEvaluator", "run_training_task"]
+__all__ = ["EvalSettings", "EvalResult", "TreeEvaluator",
+           "run_training_task", "score_training_run"]
 
 
 @dataclass(frozen=True)
@@ -48,27 +60,13 @@ class EvalResult:
     per_config_scores: List[float]
 
 
-def run_training_task(tree_json: str, peer_json: Optional[str],
-                      config_dict: dict, seed: int, duration: float,
-                      record_usage: bool) -> Tuple[float, list, list]:
-    """One simulation of one tree on one config (module-level for pickling).
+def score_training_run(result: "RunResult") -> float:
+    """The training objective of one run: summed over learner flows.
 
-    Returns ``(objective_sum, usage_counts, usage_sums)``; usage lists
-    are empty when ``record_usage`` is off.
+    Pure float math over the returned :class:`FlowStats`, so the score
+    is identical whether the simulation ran in-process or in a worker.
     """
-    # Imported here, not at module top: experiments.common imports the
-    # protocols package, which imports repro.remy — a cycle at import
-    # time but not at call time.
-    from ..experiments.common import build_simulation, scored_flows
-
-    tree = WhiskerTree.from_json(tree_json)
-    trees = {"learner": tree}
-    if peer_json is not None:
-        trees["peer"] = WhiskerTree.from_json(peer_json)
-    config = NetworkConfig.from_dict(config_dict)
-    handle = build_simulation(config, trees=trees, seed=seed,
-                              record_usage=record_usage)
-    result = handle.run(duration)
+    from ..experiments.common import scored_flows
 
     score = 0.0
     for flow in scored_flows(result):
@@ -78,10 +76,28 @@ def run_training_task(tree_json: str, peer_json: Optional[str],
         delay = flow.mean_delay_s if flow.packets_delivered \
             else flow.base_delay_s
         score += objective.score(flow.throughput_bps, delay)
-    if record_usage:
-        counts, sums = tree.extract_stats()
-        return score, counts, sums
-    return score, [], []
+    return score
+
+
+def run_training_task(tree_json: str, peer_json: Optional[str],
+                      config_dict: dict, seed: int, duration: float,
+                      record_usage: bool) -> Tuple[float, list, list]:
+    """One simulation of one tree on one config (kept for callers of
+    the pre-``repro.exec`` API; now a thin shim over
+    :func:`repro.exec.run_sim_task`).
+
+    Returns ``(objective_sum, usage_counts, usage_sums)``; usage lists
+    are empty when ``record_usage`` is off.
+    """
+    from ..exec import run_sim_task
+
+    trees = {"learner": tree_json}
+    if peer_json is not None:
+        trees["peer"] = peer_json
+    task = SimTask.build(config_dict, trees=trees, seed=seed,
+                         duration_s=duration, record_usage=record_usage)
+    out = run_sim_task(task)
+    return score_training_run(out.run), out.usage_counts, out.usage_sums
 
 
 class TreeEvaluator:
@@ -89,46 +105,86 @@ class TreeEvaluator:
 
     Parameters
     ----------
-    pool:
-        An object with a ``starmap(fn, iterable)`` method (e.g.
-        ``multiprocessing.Pool``); ``None`` runs tasks serially.
+    executor:
+        Any :class:`repro.exec.Executor` (e.g. a
+        :class:`~repro.exec.ProcessPoolExecutor` for multi-core
+        training); ``None`` runs tasks serially.  The evaluator
+        memoizes each task's derived score and usage stats by task
+        fingerprint, so repeated tasks — the incumbent tree under
+        common random numbers — are never re-simulated.
     """
 
     def __init__(self, scenario_range: ScenarioRange,
                  settings: EvalSettings = EvalSettings(),
-                 pool=None):
+                 executor: Optional[Executor] = None):
         self.scenario_range = scenario_range
         self.settings = settings
-        self.pool = pool
+        self.executor = executor or SerialExecutor()
         self.configs = scenario_range.sample_many(
             settings.n_configs, settings.config_seed)
-        self._cache: Dict[str, float] = {}
-        self.evaluations = 0
+        # fingerprint -> (score, usage_counts, usage_sums): a few
+        # floats per task, never the full per-flow RunResult.
+        self._memo: Dict[str, Tuple[float, list, list]] = {}
+        self._evaluations = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Simulations actually executed (cache hits excluded)."""
+        return self._evaluations
+
+    @property
+    def cached_tasks(self) -> int:
+        """Memoized task results currently held."""
+        return len(self._memo)
+
+    def clear_cache(self) -> None:
+        """Drop memoized task results (the ``evaluations`` count stays).
+
+        The optimizer calls this after every structural split: a split
+        changes the tree's fingerprint, so all cached entries become
+        unreachable — clearing bounds memory to one generation's tasks
+        without losing a single hit.
+        """
+        self._memo.clear()
 
     def _tasks_for(self, tree: WhiskerTree,
                    peer: Optional[WhiskerTree],
-                   record_usage: bool) -> List[tuple]:
-        tree_json = tree.to_json()
-        peer_json = peer.to_json() if peer is not None else None
+                   record_usage: bool) -> List[SimTask]:
+        trees = {"learner": tree.to_json()}
+        if peer is not None:
+            trees["peer"] = peer.to_json()
         tasks = []
         for config in self.configs:
             duration = self.settings.scale.duration_for(config)
             for seed in self.settings.sim_seeds:
-                tasks.append((tree_json, peer_json, config.to_dict(),
-                              seed, duration, record_usage))
+                tasks.append(SimTask.build(
+                    config, trees=trees, seed=seed, duration_s=duration,
+                    record_usage=record_usage))
         return tasks
 
-    def _run_tasks(self, tasks: List[tuple]) -> List[tuple]:
-        if self.pool is not None:
-            return self.pool.starmap(run_training_task, tasks)
-        return [run_training_task(*task) for task in tasks]
+    def _run_tasks(self, tasks: List[SimTask]
+                   ) -> List[Tuple[float, list, list]]:
+        """Memoized (score, usage_counts, usage_sums) per task.
 
-    def _cache_key(self, tree: WhiskerTree,
-                   peer: Optional[WhiskerTree]) -> str:
-        key = tree.fingerprint()
-        if peer is not None:
-            key += ":" + peer.fingerprint()
-        return key
+        Misses go to the executor as one batch (deduplicated); only the
+        derived outputs are retained.
+        """
+        keys = [task.fingerprint() for task in tasks]
+        pending: List[SimTask] = []
+        pending_keys: List[str] = []
+        seen = set()
+        for task, key in zip(tasks, keys):
+            if key not in self._memo and key not in seen:
+                seen.add(key)
+                pending.append(task)
+                pending_keys.append(key)
+        if pending:
+            fresh = self.executor.run_batch(pending)
+            self._evaluations += len(pending)
+            for key, out in zip(pending_keys, fresh):
+                self._memo[key] = (score_training_run(out.run),
+                                   out.usage_counts, out.usage_sums)
+        return [self._memo[key] for key in keys]
 
     def evaluate(self, tree: WhiskerTree,
                  peer: Optional[WhiskerTree] = None,
@@ -136,10 +192,8 @@ class TreeEvaluator:
         """Mean objective of ``tree``; merges usage stats into ``tree``."""
         tasks = self._tasks_for(tree, peer, record_usage)
         outputs = self._run_tasks(tasks)
-        self.evaluations += len(tasks)
-        scores = [out[0] for out in outputs]
+        scores = [score for score, _, _ in outputs]
         mean = sum(scores) / len(scores)
-        self._cache[self._cache_key(tree, peer)] = mean
 
         n_whiskers = len(tree)
         counts = [0] * n_whiskers
@@ -158,28 +212,18 @@ class TreeEvaluator:
                        peer: Optional[WhiskerTree] = None) -> List[float]:
         """Scores for many candidate trees, one flat task batch.
 
-        Caches by fingerprint so re-testing the incumbent is free.
+        Memoization makes re-testing the incumbent free, and the flat
+        batch lets a pooled executor see the whole candidate set at
+        once — the widest fan-out the optimizer's inner loop offers.
         """
-        pending: List[tuple] = []
-        pending_index: List[int] = []
-        scores: List[Optional[float]] = []
-        tasks_per_tree = (len(self.configs)
-                          * len(self.settings.sim_seeds))
-        for i, tree in enumerate(trees):
-            key = self._cache_key(tree, peer)
-            if key in self._cache:
-                scores.append(self._cache[key])
-                continue
-            scores.append(None)
-            pending.extend(self._tasks_for(tree, peer, False))
-            pending_index.append(i)
-        if pending:
-            outputs = self._run_tasks(pending)
-            self.evaluations += len(pending)
-            for slot, tree_index in enumerate(pending_index):
-                chunk = outputs[slot * tasks_per_tree:
-                                (slot + 1) * tasks_per_tree]
-                mean = sum(out[0] for out in chunk) / len(chunk)
-                scores[tree_index] = mean
-                self._cache[self._cache_key(trees[tree_index], peer)] = mean
-        return [float(s) for s in scores]
+        tasks: List[SimTask] = []
+        for tree in trees:
+            tasks.extend(self._tasks_for(tree, peer, False))
+        outputs = self._run_tasks(tasks)
+        per_tree = len(self.configs) * len(self.settings.sim_seeds)
+        scores: List[float] = []
+        for i in range(len(trees)):
+            chunk = outputs[i * per_tree:(i + 1) * per_tree]
+            scores.append(sum(score for score, _, _ in chunk)
+                          / len(chunk))
+        return scores

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..core.scenario import ScenarioRange
+from ..exec import Executor
 from .action import Action
 from .evaluator import EvalSettings, TreeEvaluator
 from .tree import WhiskerTree
@@ -65,10 +66,10 @@ class RemyOptimizer:
     def __init__(self, scenario_range: ScenarioRange,
                  eval_settings: EvalSettings = EvalSettings(),
                  settings: OptimizerSettings = OptimizerSettings(),
-                 pool=None,
+                 executor: Optional[Executor] = None,
                  progress: Optional[ProgressFn] = None):
         self.evaluator = TreeEvaluator(scenario_range, eval_settings,
-                                       pool=pool)
+                                       executor=executor)
         self.settings = settings
         self._progress = progress or (lambda message: None)
 
@@ -101,6 +102,9 @@ class RemyOptimizer:
                 break
             tree.split(target)
             tree.reset_optimized_flags()
+            # The split changed the tree's fingerprint: every cached
+            # task result is now unreachable, so drop them.
+            self.evaluator.clear_cache()
 
         log.evaluations = self.evaluator.evaluations
         log.wall_time_s = time.monotonic() - started
@@ -159,7 +163,7 @@ class RemyOptimizer:
 def cooptimize(range_a: ScenarioRange, range_b: ScenarioRange,
                eval_settings: EvalSettings = EvalSettings(),
                settings: OptimizerSettings = OptimizerSettings(),
-               rounds: int = 2, pool=None,
+               rounds: int = 2, executor: Optional[Executor] = None,
                progress: Optional[ProgressFn] = None
                ) -> tuple[WhiskerTree, WhiskerTree]:
     """Alternating co-optimization (paper section 4.6).
@@ -175,11 +179,11 @@ def cooptimize(range_a: ScenarioRange, range_b: ScenarioRange,
         if progress:
             progress(f"co-optimization round {round_number}: side A")
         optimizer_a = RemyOptimizer(range_a, eval_settings, settings,
-                                    pool=pool, progress=progress)
+                                    executor=executor, progress=progress)
         tree_a, _ = optimizer_a.train(tree_a, peer=tree_b)
         if progress:
             progress(f"co-optimization round {round_number}: side B")
         optimizer_b = RemyOptimizer(range_b, eval_settings, settings,
-                                    pool=pool, progress=progress)
+                                    executor=executor, progress=progress)
         tree_b, _ = optimizer_b.train(tree_b, peer=tree_a)
     return tree_a, tree_b

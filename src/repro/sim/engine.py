@@ -15,6 +15,10 @@ Design notes
 * Cancellation is handled lazily: a cancelled event stays in the heap and
   is skipped when popped.  This keeps :meth:`Simulator.schedule` and
   :meth:`Event.cancel` O(log n) and O(1) respectively.
+* The agenda is compacted (rebuilt without cancelled entries) whenever
+  lazily-cancelled events outnumber live ones.  Retransmission-timer
+  -heavy runs restart a timer per ACK, so without compaction dead events
+  pile up and every push/pop pays log of the *dead* agenda size.
 """
 
 from __future__ import annotations
@@ -28,19 +32,24 @@ __all__ = ["Event", "Simulator", "Timer"]
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it.  Safe to call twice."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -68,11 +77,16 @@ class Simulator:
     2.0
     """
 
+    #: Compact when cancelled entries exceed half the agenda, but never
+    #: bother below this size — tiny heaps are cheap to walk anyway.
+    _COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = 0
         self._events_processed = 0
+        self._cancelled_pending = 0
         self._running = False
 
     @property
@@ -90,6 +104,11 @@ class Simulator:
         """Events still in the agenda, including lazily-cancelled ones."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Lazily-cancelled events still sitting in the agenda."""
+        return self._cancelled_pending
+
     def schedule(self, delay: float,
                  callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -103,10 +122,47 @@ class Simulator:
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at t={time} before now={self._now}")
-        event = Event(time, self._seq, callback, args)
+        event = Event(time, self._seq, callback, args, sim=self)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        if (self._cancelled_pending * 2 > len(self._heap)
+                and len(self._heap) >= self._COMPACT_MIN_SIZE):
+            self._compact()
         return event
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+
+    def _compact(self) -> None:
+        """Rebuild the agenda without cancelled entries.
+
+        In-place (``heap[:] =``) so a drain loop holding a reference to
+        the list keeps seeing the live agenda.  Event order is preserved
+        by the (time, seq) ordering, so compaction never changes the
+        trajectory — only the constant factors.
+        """
+        heap = self._heap
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+
+    def _drain(self, limit: float) -> None:
+        """Pop-and-fire every live event with ``time <= limit``."""
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.time > limit:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            # Detach before firing: a cancel() on an event that already
+            # left the heap must not drift the cancelled-pending count.
+            event._sim = None
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
 
     def run(self, until: float) -> None:
         """Run the event loop until simulated time ``until``.
@@ -114,19 +170,9 @@ class Simulator:
         Events scheduled exactly at ``until`` are executed; afterwards the
         clock is left at ``until`` even if the agenda drained early.
         """
-        heap = self._heap
         self._running = True
         try:
-            while heap:
-                event = heap[0]
-                if event.time > until:
-                    break
-                heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self._events_processed += 1
-                event.callback(*event.args)
+            self._drain(until)
         finally:
             self._running = False
         if self._now < until:
@@ -134,17 +180,7 @@ class Simulator:
 
     def run_until_idle(self, max_time: float = float("inf")) -> None:
         """Run until the agenda is empty or ``max_time`` is reached."""
-        heap = self._heap
-        while heap:
-            event = heap[0]
-            if event.time > max_time:
-                break
-            heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
+        self._drain(max_time)
 
 
 class Timer:

@@ -202,3 +202,89 @@ class TestEventOrderingProperty:
         sim.run(until=101.0)
         expected = sorted(d for (d, c) in entries if not c)
         assert fired == expected
+
+
+class TestHeapCompaction:
+    def test_cancelled_pending_tracks_cancellations(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        assert sim.cancelled_pending == 0
+        for event in events[:4]:
+            event.cancel()
+        assert sim.cancelled_pending == 4
+
+    def test_cancel_after_fire_does_not_drift_counter(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        event.cancel()     # already fired: must not count as pending
+        assert sim.cancelled_pending == 0
+
+    def test_compaction_evicts_dead_events(self):
+        """Timer-heavy pattern: cancel most of the agenda, keep pushing."""
+        sim = Simulator()
+        events = [sim.schedule(10.0, lambda: None) for _ in range(200)]
+        for event in events:
+            event.cancel()
+        assert sim.pending_events == 200
+        # The next push sees cancelled > half the agenda and compacts.
+        sim.schedule(10.0, lambda: None)
+        assert sim.pending_events == 1
+        assert sim.cancelled_pending == 0
+
+    def test_small_agendas_are_left_alone(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(8)]
+        for event in events:
+            event.cancel()
+        sim.schedule(1.0, lambda: None)
+        # Below the compaction floor: lazily-cancelled events remain.
+        assert sim.pending_events == 9
+
+    def test_compaction_preserves_trajectory(self):
+        """Same fire order and times with and without compaction churn."""
+
+        def run(churn: bool):
+            sim = Simulator()
+            fired = []
+            if churn:
+                dead = [sim.schedule(50.0, lambda: None)
+                        for _ in range(500)]
+                for event in dead:
+                    event.cancel()
+            for k in range(20):
+                sim.schedule(1.0 + k * 0.5,
+                             lambda t=k: fired.append((sim.now, t)))
+            sim.run(until=100.0)
+            return fired
+
+        assert run(churn=False) == run(churn=True)
+
+    def test_restart_heavy_timer_agenda_stays_bounded(self):
+        """A retransmission-style timer restarted per event should not
+        let dead entries pile up past the compaction threshold."""
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+
+        def tick(step):
+            timer.restart(10.0)          # cancels the previous deadline
+            if step < 2000:
+                sim.schedule(0.001, tick, step + 1)
+
+        sim.schedule(0.0, tick, 0)
+        sim.run(until=1.0)
+        assert sim.pending_events < 200   # not ~2000 dead timer events
+
+    def test_run_and_run_until_idle_share_semantics(self):
+        def fill(sim, fired):
+            for k in range(5):
+                sim.schedule(float(k), fired.append, k)
+
+        a, b = Simulator(), Simulator()
+        fired_a, fired_b = [], []
+        fill(a, fired_a)
+        fill(b, fired_b)
+        a.run(until=10.0)
+        b.run_until_idle(max_time=10.0)
+        assert fired_a == fired_b
+        assert a.events_processed == b.events_processed

@@ -1,0 +1,260 @@
+"""Tests for the repro.exec execution layer.
+
+The load-bearing property is the determinism contract: every executor
+returns bitwise-identical results for the same task batch, so training
+(common random numbers) and the experiment tables cannot depend on how
+the work was scheduled.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.scale import Scale
+from repro.core.scenario import NetworkConfig, ScenarioRange
+from repro.exec import (CachingExecutor, Executor, ProcessPoolExecutor,
+                        SerialExecutor, SimTask, executor_for,
+                        run_batch, run_sim_task)
+from repro.remy.action import Action
+from repro.remy.evaluator import EvalSettings, TreeEvaluator
+from repro.remy.optimizer import OptimizerSettings, RemyOptimizer
+from repro.remy.tree import WhiskerTree
+
+CONFIG = NetworkConfig(
+    link_speeds_mbps=(10.0,), rtt_ms=100.0,
+    sender_kinds=("learner", "cubic"), mean_on_s=1.0, mean_off_s=1.0,
+    buffer_bdp=5.0)
+
+TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+
+
+def small_batch(n=4, duration=2.0):
+    return [SimTask.build(CONFIG, trees={"learner": TREE},
+                          seed=1 + k, duration_s=duration)
+            for k in range(n)]
+
+
+class TestSimTask:
+    def test_build_from_objects(self):
+        task = small_batch(1)[0]
+        assert task.config == CONFIG.to_dict()
+        assert task.trees == (("learner", TREE.to_json()),)
+
+    def test_fingerprint_stable(self):
+        a, b = small_batch(1)[0], small_batch(1)[0]
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 99},
+        {"duration_s": 3.5},
+        {"record_usage": True},
+        {"trees": ()},
+        {"config": NetworkConfig(link_speeds_mbps=(11.0,),
+                                 rtt_ms=100.0,
+                                 sender_kinds=("learner", "cubic"),
+                                 buffer_bdp=5.0).to_dict()},
+    ])
+    def test_fingerprint_covers_every_field(self, change):
+        base = small_batch(1)[0]
+        changed = dataclasses.replace(base, **change)
+        assert changed.fingerprint() != base.fingerprint()
+
+    def test_run_sim_task_returns_flow_stats(self):
+        out = run_sim_task(small_batch(1)[0])
+        assert len(out.run.flows) == 2
+        assert out.run.duration_s == 2.0
+        assert out.usage_counts == []   # record_usage off
+
+    def test_usage_recorded_when_asked(self):
+        task = dataclasses.replace(small_batch(1)[0], record_usage=True)
+        out = run_sim_task(task)
+        assert len(out.usage_counts) == len(TREE)
+        assert sum(out.usage_counts) > 0
+
+
+def flows_key(results):
+    """A comparable projection of every float the tables consume."""
+    return [[(f.kind, f.delivered_bytes, f.on_time_s, f.mean_delay_s,
+              f.packets_delivered, f.packets_sent, f.retransmissions)
+             for f in out.run.flows] for out in results]
+
+
+class TestExecutorEquivalence:
+    def test_serial_matches_pool_bitwise(self):
+        """The determinism contract: scheduling cannot change results."""
+        tasks = small_batch(4)
+        serial = SerialExecutor().run_batch(tasks)
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pooled = pool.run_batch(tasks)
+        assert flows_key(serial) == flows_key(pooled)
+
+    def test_pool_is_reusable_across_batches(self):
+        with ProcessPoolExecutor(jobs=2) as pool:
+            first = pool.run_batch(small_batch(2))
+            second = pool.run_batch(small_batch(2))
+        assert flows_key(first) == flows_key(second)
+
+    def test_results_in_task_order(self):
+        tasks = small_batch(5)
+        with ProcessPoolExecutor(jobs=2, chunk_size=1) as pool:
+            results = pool.run_batch(tasks)
+        assert [out.run.seed for out in results] == [1, 2, 3, 4, 5]
+
+    def test_progress_called_per_task(self):
+        seen = []
+        SerialExecutor().run_batch(
+            small_batch(3), progress=lambda done, n: seen.append((done, n)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_run_batch_jobs_flag(self):
+        tasks = small_batch(3)
+        assert flows_key(run_batch(tasks)) \
+            == flows_key(run_batch(tasks, jobs=2))
+
+    def test_executor_for(self):
+        assert isinstance(executor_for(None), SerialExecutor)
+        assert isinstance(executor_for(1), SerialExecutor)
+        pool = executor_for(2)
+        assert isinstance(pool, ProcessPoolExecutor)
+        pool.close()   # never started: close is a safe no-op
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            executor_for(-8)   # a "--jobs -8" typo must not run serial
+
+    def test_run_seeds_parallel_matches_run_seeds(self):
+        from repro.core.scale import Scale as _Scale
+        from repro.experiments.common import (run_seeds,
+                                              run_seeds_parallel)
+        scale = _Scale(duration_s=2.0, packet_budget=3_000,
+                       min_duration_s=2.0, n_seeds=2)
+        serial = run_seeds(CONFIG, trees={"learner": TREE}, scale=scale)
+        pooled = run_seeds_parallel(CONFIG, trees={"learner": TREE},
+                                    scale=scale, jobs=2)
+        assert [[f.delivered_bytes for f in r.flows] for r in serial] \
+            == [[f.delivered_bytes for f in r.flows] for r in pooled]
+
+
+class CountingExecutor(Executor):
+    """Serial executor that counts how many tasks actually execute."""
+
+    def __init__(self):
+        self.executed = 0
+
+    def run_batch(self, tasks, progress=None):
+        tasks = list(tasks)
+        self.executed += len(tasks)
+        return SerialExecutor().run_batch(tasks, progress=progress)
+
+
+class TestCachingExecutor:
+    def test_hits_skip_execution(self):
+        inner = CountingExecutor()
+        caching = CachingExecutor(inner)
+        tasks = small_batch(3)
+        first = caching.run_batch(tasks)
+        assert inner.executed == 3
+        second = caching.run_batch(tasks)
+        assert inner.executed == 3          # nothing re-ran
+        assert flows_key(first) == flows_key(second)
+        assert caching.hits == 3 and caching.misses == 3
+
+    def test_duplicates_within_batch_run_once(self):
+        inner = CountingExecutor()
+        caching = CachingExecutor(inner)
+        task = small_batch(1)[0]
+        results = caching.run_batch([task, task, task])
+        assert inner.executed == 1
+        assert flows_key(results[:1]) == flows_key(results[1:2])
+
+    def test_different_tasks_not_conflated(self):
+        caching = CachingExecutor(CountingExecutor())
+        short, = small_batch(1, duration=2.0)
+        longer, = small_batch(1, duration=3.0)
+        out_short, out_long = caching.run_batch([short, longer])
+        assert out_short.run.duration_s == 2.0
+        assert out_long.run.duration_s == 3.0
+
+    def test_progress_spans_submitted_batch_not_misses(self):
+        caching = CachingExecutor(CountingExecutor())
+        tasks = small_batch(3)
+        caching.run_batch(tasks[:2])        # warm two entries
+        seen = []
+        caching.run_batch(tasks,
+                          progress=lambda d, n: seen.append((d, n)))
+        assert seen == [(3, 3)]             # 2 hits + 1 executed
+        seen = []
+        caching.run_batch(tasks,
+                          progress=lambda d, n: seen.append((d, n)))
+        assert seen == [(3, 3)]             # fully cached still fires
+
+    def test_clear_forgets(self):
+        inner = CountingExecutor()
+        caching = CachingExecutor(inner)
+        tasks = small_batch(2)
+        caching.run_batch(tasks)
+        caching.clear()
+        caching.run_batch(tasks)
+        assert inner.executed == 4
+
+
+TINY = EvalSettings(
+    n_configs=2, sim_seeds=(1,),
+    scale=Scale(duration_s=4.0, packet_budget=6_000, min_duration_s=2.0))
+
+RANGE = ScenarioRange(link_speed_mbps=(8.0, 16.0), rtt_ms=(100.0, 100.0),
+                      num_senders=(1, 2), buffer_bdp=5.0)
+
+
+class TestEvaluatorOnExecutors:
+    def test_serial_and_pool_scores_bitwise_identical(self):
+        tree = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+        serial = TreeEvaluator(RANGE, TINY).evaluate(tree)
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pooled = TreeEvaluator(RANGE, TINY,
+                                   executor=pool).evaluate(tree)
+        assert serial.score == pooled.score
+        assert serial.per_config_scores == pooled.per_config_scores
+
+    def test_scale_change_does_not_reuse_stale_scores(self):
+        """Regression: the old cache was keyed only by tree fingerprint,
+        so changing ``EvalSettings.scale`` on a reused evaluator
+        returned scores simulated at the *old* scale."""
+        tree = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+        evaluator = TreeEvaluator(RANGE, TINY)
+        first = evaluator.evaluate_batch([tree])[0]
+        # Same evaluator object, rescaled budget: tasks differ, so the
+        # cache must miss and the score must be recomputed.
+        evaluator.settings = EvalSettings(
+            n_configs=2, sim_seeds=(1,),
+            scale=Scale(duration_s=8.0, packet_budget=12_000,
+                        min_duration_s=4.0))
+        before = evaluator.evaluations
+        rescaled = evaluator.evaluate_batch([tree])[0]
+        assert evaluator.evaluations > before
+        assert rescaled != first
+
+    def test_clear_cache_bounds_memory_not_hits(self):
+        tree = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+        evaluator = TreeEvaluator(RANGE, TINY)
+        evaluator.evaluate_batch([tree])
+        count = evaluator.evaluations
+        assert evaluator.cached_tasks > 0
+        evaluator.clear_cache()
+        assert evaluator.cached_tasks == 0
+        assert evaluator.evaluations == count   # counter survives
+
+    def test_trained_tree_identical_with_and_without_pool(self):
+        """Regression for the optimizer: pooled training must follow
+        the exact same search trajectory as serial training."""
+        settings = OptimizerSettings(generations=1, max_action_steps=2,
+                                     neighbor_scales=(1.0,))
+        serial_tree, serial_log = RemyOptimizer(
+            RANGE, TINY, settings).train()
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pooled_tree, pooled_log = RemyOptimizer(
+                RANGE, TINY, settings, executor=pool).train()
+        assert serial_tree.to_json() == pooled_tree.to_json()
+        assert serial_log.scores == pooled_log.scores
