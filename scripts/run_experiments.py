@@ -6,6 +6,9 @@ Usage::
     python scripts/run_experiments.py --scale quick
     python scripts/run_experiments.py --scale quick --jobs 4
     python scripts/run_experiments.py --scale default -o results.md
+    python scripts/run_experiments.py --scale default --store results.store
+    python scripts/run_experiments.py --scale default --store results.store --resume
+    python scripts/run_experiments.py store stats --store results.store
 
 Each experiment prints its table as it completes, and the combined
 markdown lands on stdout (or ``-o``).  ``quick`` matches the benchmark
@@ -20,6 +23,14 @@ contract), only faster.
 trained asset, so the full pipeline (and the parallel executor) can be
 exercised before ``scripts/train_assets.py`` has produced real Taos —
 the numbers are then *not* the paper's, only the plumbing.
+
+``--store PATH`` persists every simulation result to a disk-backed
+:class:`~repro.exec.ResultStore` as it completes, and serves any result
+already there without re-simulating: a sweep killed halfway resumes
+from everything it finished, and training (``train_assets.py --store``)
+and experiments share results through the same store.  ``--resume``
+additionally requires the store to exist already (typo guard).  The
+``store stats|gc|verify`` subcommand inspects or repairs a store.
 """
 
 from __future__ import annotations
@@ -30,7 +41,8 @@ import sys
 import time
 
 from repro.core.scale import Scale
-from repro.exec import executor_for
+from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
+                        store_main)
 from repro.experiments import (calibration, diversity, link_speed,
                                multiplexing, rtt, signals, structure,
                                tcp_awareness)
@@ -115,6 +127,10 @@ EXPERIMENTS = [
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(SCALES),
                         default="quick")
@@ -129,7 +145,17 @@ def main(argv=None) -> int:
                         help="substitute a fixed hand-built rule table "
                              "for every trained asset (plumbing check, "
                              "not the paper's numbers)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="disk-backed result store: serve cached "
+                             "simulations from PATH, persist fresh ones "
+                             "(makes killed sweeps resumable)")
+    parser.add_argument("--resume", action="store_true",
+                        help="require --store to exist already (guards "
+                             "against a typo'd path silently recomputing "
+                             "a finished sweep)")
     args = parser.parse_args(argv)
+    if args.resume and not args.store:
+        parser.error("--resume requires --store PATH")
     scale = SCALES[args.scale]
 
     report = io.StringIO()
@@ -137,7 +163,13 @@ def main(argv=None) -> int:
                  f"(duration<={scale.duration_s:g}s, "
                  f"{scale.n_seeds} seeds, "
                  f"{scale.sweep_points} sweep points)\n")
-    with executor_for(args.jobs) as executor:
+    try:
+        executor = executor_for(args.jobs, store=args.store,
+                                resume=args.resume)
+    except (FileNotFoundError, StoreSchemaError) as error:
+        print(f"--store: {error}", file=sys.stderr)
+        return 2
+    with executor:
         for title, runner in EXPERIMENTS:
             if args.only and not any(needle.lower() in title.lower()
                                      for needle in args.only):
@@ -152,6 +184,12 @@ def main(argv=None) -> int:
             elapsed = time.time() - started
             print(f"({elapsed:.0f}s)", flush=True)
             report.write(f"\n### {title}\n```\n{block}\n```\n")
+        if isinstance(executor, StoreExecutor):
+            # To stdout only, never the report: hit counts vary between
+            # a fresh and a resumed run, the tables must not.
+            print(f"\nstore: {executor.hits} hit(s), "
+                  f"{executor.misses} miss(es) -> {executor.store.path}",
+                  flush=True)
 
     if args.output:
         with open(args.output, "w") as handle:

@@ -5,6 +5,8 @@ Usage::
 
     python scripts/train_assets.py --assets tao_2x tao_10x --jobs 8
     python scripts/train_assets.py --all --jobs 20
+    python scripts/train_assets.py --all --jobs 20 --store train.store
+    python scripts/train_assets.py store stats --store train.store
 
 Each asset corresponds to one entry of :data:`repro.remy.catalog.CATALOG`
 (one row of the paper's training tables).  Co-optimized pairs (Table 7a)
@@ -18,6 +20,13 @@ by the execution layer's determinism contract).
 The paper's Remy runs used a CPU-year per protocol; this script's budget
 is minutes per protocol (see DESIGN.md's substitution table), tunable
 via ``--budget``, ``--generations``, and ``--configs``.
+
+``--store PATH`` persists every training simulation to a disk-backed
+:class:`~repro.exec.ResultStore` keyed by task fingerprint: a killed
+training run resumes its already-simulated evaluations from disk, and
+``run_experiments.py --store`` pointed at the same path reuses them.
+``--resume`` requires the store to exist already; the ``store
+stats|gc|verify`` subcommand inspects or repairs one.
 """
 
 from __future__ import annotations
@@ -28,7 +37,8 @@ import time
 from dataclasses import asdict
 
 from repro.core.scale import Scale
-from repro.exec import default_jobs, executor_for
+from repro.exec import (StoreExecutor, StoreSchemaError, default_jobs,
+                        executor_for, store_main)
 from repro.remy.assets import save_asset
 from repro.remy.catalog import CATALOG
 from repro.remy.evaluator import EvalSettings
@@ -57,7 +67,17 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="max simulated seconds per training run")
     parser.add_argument("--packet-budget", type=int, default=25_000)
     parser.add_argument("--coopt-rounds", type=int, default=2)
-    return parser.parse_args(argv)
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="disk-backed result store: serve cached "
+                             "training simulations from PATH, persist "
+                             "fresh ones (makes killed runs resumable)")
+    parser.add_argument("--resume", action="store_true",
+                        help="require --store to exist already (typo "
+                             "guard)")
+    args = parser.parse_args(argv)
+    if args.resume and not args.store:
+        parser.error("--resume requires --store PATH")
+    return args
 
 
 def settings_for(args: argparse.Namespace,
@@ -116,6 +136,10 @@ def train_coopt_pair(name_a: str, name_b: str,
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
     args = parse_args(argv)
     names = list(CATALOG) if args.all else list(args.assets)
     unknown = [n for n in names if n not in CATALOG]
@@ -128,7 +152,13 @@ def main(argv=None) -> int:
         return 2
 
     done = set()
-    with executor_for(args.jobs) as executor:
+    try:
+        executor = executor_for(args.jobs, store=args.store,
+                                resume=args.resume)
+    except (FileNotFoundError, StoreSchemaError) as error:
+        print(f"--store: {error}", file=sys.stderr)
+        return 2
+    with executor:
         for name in names:
             if name in done:
                 continue
@@ -139,6 +169,10 @@ def main(argv=None) -> int:
             else:
                 train_single(name, args, executor)
                 done.add(name)
+        if isinstance(executor, StoreExecutor):
+            print(f"store: {executor.hits} hit(s), "
+                  f"{executor.misses} miss(es) -> {executor.store.path}",
+                  flush=True)
     return 0
 
 

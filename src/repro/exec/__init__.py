@@ -6,24 +6,37 @@ experiment sweeps, the CLI scripts — is one of thousands of independent
 batch-execution layer:
 
 * :class:`SimTask` / :class:`SimTaskResult` — declarative, picklable
-  descriptions of one run and its output, with a stable fingerprint.
+  descriptions of one run and its output, with a stable fingerprint
+  exposed as the universal :func:`cache_key`.
 * :class:`Executor` and its implementations (:class:`SerialExecutor`,
-  :class:`ProcessPoolExecutor`, :class:`CachingExecutor`).
+  :class:`ProcessPoolExecutor` with cost-packed chunks,
+  :class:`CachingExecutor` in memory, :class:`StoreExecutor` on disk).
+* :class:`ResultStore` — the sharded, schema-versioned,
+  corruption-tolerant on-disk result map behind :class:`StoreExecutor`;
+  it makes crashed sweeps resumable and shares results across
+  processes.
 * :func:`run_batch` / :func:`executor_for` — the entry points callers
-  actually use.
+  actually use (both accept ``store=``).
 
-See ``docs/EXECUTION.md`` for the architecture and the determinism
-contract (serial and pooled execution are bitwise-identical).
+See ``docs/EXECUTION.md`` for the architecture, the determinism
+contract (serial, pooled, and store-backed execution are
+bitwise-identical), and the on-disk store format.
 """
 
 from .batch import executor_for, run_batch
 from .executors import (CachingExecutor, Executor, ProcessPoolExecutor,
-                        SerialExecutor, default_jobs)
-from .task import SimTask, SimTaskResult, run_sim_task
+                        SerialExecutor, default_jobs, pack_chunks,
+                        task_cost)
+from .store import (SCHEMA_VERSION, ResultStore, StoreExecutor,
+                    StoreSchemaError, StoreStats, store_main)
+from .task import SimTask, SimTaskResult, cache_key, run_sim_task
 
 __all__ = [
-    "SimTask", "SimTaskResult", "run_sim_task",
+    "SimTask", "SimTaskResult", "run_sim_task", "cache_key",
     "Executor", "SerialExecutor", "ProcessPoolExecutor",
-    "CachingExecutor", "default_jobs",
+    "CachingExecutor", "StoreExecutor", "default_jobs",
+    "pack_chunks", "task_cost",
+    "ResultStore", "StoreStats", "StoreSchemaError", "SCHEMA_VERSION",
+    "store_main",
     "run_batch", "executor_for",
 ]

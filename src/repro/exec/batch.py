@@ -3,48 +3,86 @@
 Callers that hold an :class:`~repro.exec.executors.Executor` pass it in
 and keep ownership (the pool stays warm for the next batch); callers
 that just want "N jobs, please" pass ``jobs=`` and a throwaway executor
-is created and torn down around the batch.
+is created and torn down around the batch.  Either way, ``store=``
+layers a disk-backed :class:`~repro.exec.store.StoreExecutor` on top,
+so results persist across crashes and processes.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+from typing import List, Optional, Sequence, Union
 
 from .executors import (Executor, ProcessPoolExecutor, ProgressFn,
                         SerialExecutor)
+from .store import ResultStore, StoreExecutor
 from .task import SimTask, SimTaskResult
 
 __all__ = ["run_batch", "executor_for"]
 
+#: Anything ``store=`` accepts: an open store or a directory path.
+StoreLike = Union[ResultStore, str, os.PathLike]
 
-def executor_for(jobs: Optional[int]) -> Executor:
-    """The executor implied by a ``--jobs N`` flag.
 
-    ``None``, ``0``, or ``1`` mean serial; anything larger is a process
-    pool with that many workers.  Negative counts are rejected loudly —
-    silently running a sweep single-core after a ``--jobs -8`` typo
-    would waste hours.  The caller owns the result and should
-    ``close()`` it (or use it as a context manager).
+def executor_for(jobs: Optional[int],
+                 store: Optional[StoreLike] = None,
+                 resume: bool = False) -> Executor:
+    """The executor implied by ``--jobs N`` / ``--store PATH`` flags.
+
+    ``None``, ``0``, or ``1`` jobs mean serial; anything larger is a
+    process pool with that many workers.  Negative counts are rejected
+    loudly — silently running a sweep single-core after a ``--jobs -8``
+    typo would waste hours.
+
+    ``store`` (a directory path or an open :class:`ResultStore`) wraps
+    the executor in a :class:`StoreExecutor`: results already on disk
+    are served without simulating, fresh results are persisted as they
+    complete.  ``resume`` additionally requires the store to already
+    exist — the ``--resume`` guard against a typo'd path quietly
+    recomputing a finished sweep (``FileNotFoundError`` otherwise).
+
+    The caller owns the result and should ``close()`` it (or use it as
+    a context manager).
     """
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if resume and store is None:
+        raise ValueError("resume requires a result store "
+                         "(pass store=/--store)")
     if jobs is not None and jobs > 1:
-        return ProcessPoolExecutor(jobs)
-    return SerialExecutor()
+        inner: Executor = ProcessPoolExecutor(jobs)
+    else:
+        inner = SerialExecutor()
+    if store is None:
+        return inner
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store, require_exists=resume)
+    return StoreExecutor(inner, store=store)
 
 
 def run_batch(tasks: Sequence[SimTask],
               executor: Optional[Executor] = None,
               jobs: Optional[int] = None,
-              progress: Optional[ProgressFn] = None
+              progress: Optional[ProgressFn] = None,
+              store: Optional[StoreLike] = None
               ) -> List[SimTaskResult]:
     """Run ``tasks`` and return their results in task order.
 
     Exactly one of ``executor`` / ``jobs`` is normally given; with
     neither, the batch runs serially.  A passed-in executor is *not*
-    closed (it may be reused); a ``jobs``-created one is.
+    closed (it may be reused); a ``jobs``-created one is.  ``store``
+    layers disk-backed result persistence over either — a passed-in
+    executor is then wrapped for this batch but still not closed.
+    Callers issuing *many* batches against one store should pass an
+    open :class:`ResultStore` (or a long-lived
+    :class:`StoreExecutor`), not a path: a path is opened fresh each
+    call, re-parsing its shards from disk.
     """
     if executor is not None:
+        if store is not None:
+            # Wrap without taking ownership: StoreExecutor.close would
+            # close the caller's executor, so don't close the wrapper.
+            executor = StoreExecutor(executor, store=store)
         return executor.run_batch(tasks, progress=progress)
-    with executor_for(jobs) as owned:
+    with executor_for(jobs, store=store) as owned:
         return owned.run_batch(tasks, progress=progress)

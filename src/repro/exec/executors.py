@@ -9,28 +9,40 @@ where it runs (this process, a worker process, or a cache) can never
 change the answer.  The Remy optimizer's common-random-numbers
 comparisons and the experiment tables both rely on this.
 
-Three strategies ship today:
+Executors also expose a streaming view, :meth:`Executor.run_iter`,
+yielding ``(index, result)`` pairs *as tasks complete* (in any order).
+The disk-backed :class:`~repro.exec.store.StoreExecutor` consumes this
+to persist each result the moment it exists — which is what makes a
+killed sweep resumable from everything it finished, not just from the
+batches it completed.
+
+Four strategies ship today:
 
 * :class:`SerialExecutor` — run in-process, in order.  The reference
   implementation the others must match.
-* :class:`ProcessPoolExecutor` — chunked fan-out over a lazily-created,
-  reusable ``multiprocessing.Pool``.
-* :class:`CachingExecutor` — a wrapper keyed by task fingerprint; hits
-  skip execution entirely.
+* :class:`ProcessPoolExecutor` — cost-packed chunk fan-out over a
+  lazily-created, reusable ``multiprocessing.Pool``.
+* :class:`CachingExecutor` — an in-memory wrapper keyed by
+  :func:`~repro.exec.task.cache_key`; hits skip execution entirely.
+* :class:`~repro.exec.store.StoreExecutor` — the disk-backed analogue
+  (in :mod:`repro.exec.store`), sharing the same cache key.
 
-Future backends (sharded / multi-host dispatch) plug in by subclassing
-:class:`Executor`; callers only ever see ``run_batch``.
+Future backends (multi-host dispatch) plug in by subclassing
+:class:`Executor`; callers only ever see ``run_batch``/``run_iter``.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
-from .task import SimTask, SimTaskResult, run_sim_task
+from ..core.scale import PACKET_BYTES
+from .task import SimTask, SimTaskResult, cache_key, run_sim_task
 
 __all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutor",
-           "CachingExecutor", "default_jobs"]
+           "CachingExecutor", "default_jobs", "pack_chunks", "task_cost"]
 
 #: ``progress(done, total)`` — called after each task completes.
 ProgressFn = Callable[[int, int], None]
@@ -39,6 +51,58 @@ ProgressFn = Callable[[int, int], None]
 def default_jobs() -> int:
     """A sensible worker count for this machine (always >= 1)."""
     return max((multiprocessing.cpu_count() or 1) - 1, 1)
+
+
+def task_cost(task: SimTask) -> float:
+    """Expected cost of one task, in simulated packet-events.
+
+    The dominant cost of a pure-Python simulation is the number of
+    packet events, which is known *before* running: the task's duration
+    (already set via ``Scale.duration_for``) times the bottleneck packet
+    rate.  Used to pack pool chunks by cost instead of count, so one
+    1000 Mbps run doesn't straggle behind a chunk of 1 Mbps runs.
+    """
+    speeds = (1.0,)
+    if isinstance(task.config, dict):
+        speeds = task.config.get("link_speeds_mbps") or (1.0,)
+    rate_pps = max(speeds) * 1e6 / (8.0 * PACKET_BYTES)
+    return max(task.duration_s, 0.0) * max(rate_pps, 1.0)
+
+
+def pack_chunks(costs: Sequence[float], n_chunks: int) -> List[List[int]]:
+    """Partition task indices into at most ``n_chunks`` balanced chunks.
+
+    Greedy LPT (longest processing time first): indices are assigned in
+    decreasing cost order to the currently lightest chunk.  Guarantees:
+
+    * every index appears in exactly one chunk, no chunk is empty;
+    * the costliest chunk is at most 2x the ideal lower bound
+      ``max(sum(costs) / n_chunks, max(costs))`` (the classic
+      list-scheduling bound; LPT is in fact within 4/3);
+    * fully deterministic — ties break on index, so the same batch
+      always packs the same way on every machine.
+    """
+    n_chunks = max(int(n_chunks), 1)
+    if not costs:
+        return []
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    heap: List[Tuple[float, int]] = [
+        (0.0, j) for j in range(min(n_chunks, len(costs)))]
+    chunks: List[List[int]] = [[] for _ in heap]
+    for i in order:
+        load, j = heapq.heappop(heap)
+        chunks[j].append(i)
+        heapq.heappush(heap, (load + max(costs[i], 0.0), j))
+    # Zero-cost ties can starve a chunk; empties carry no work, drop
+    # them rather than ship them to a worker.
+    return [sorted(chunk) for chunk in chunks if chunk]
+
+
+def _run_chunk(payload: Tuple[List[int], List[SimTask]]
+               ) -> Tuple[List[int], List[SimTaskResult]]:
+    """Worker-side: run one packed chunk (module-level for pickling)."""
+    indices, tasks = payload
+    return indices, [run_sim_task(task) for task in tasks]
 
 
 class Executor:
@@ -54,6 +118,32 @@ class Executor:
                   ) -> List[SimTaskResult]:
         raise NotImplementedError
 
+    def run_iter(self, tasks: Sequence[SimTask]
+                 ) -> Iterator[Tuple[int, SimTaskResult]]:
+        """Yield ``(task index, result)`` as tasks complete, any order.
+
+        The streaming counterpart of :meth:`run_batch`, consumed by
+        wrappers that act on each result as soon as it exists (the disk
+        store persists per result, so a crash loses at most the tasks
+        still in flight).  The default buffers one blocking
+        ``run_batch``; executors that can genuinely stream override it.
+        """
+        yield from enumerate(self.run_batch(list(tasks)))
+
+    def _collect(self, tasks: Sequence[SimTask],
+                 progress: Optional[ProgressFn]) -> List[SimTaskResult]:
+        """``run_batch`` in terms of :meth:`run_iter`: reorder to task
+        order, fire ``progress`` once per completed task."""
+        tasks = list(tasks)
+        results: List[Optional[SimTaskResult]] = [None] * len(tasks)
+        done = 0
+        for i, result in self.run_iter(tasks):
+            results[i] = result
+            done += 1
+            if progress is not None:
+                progress(done, len(tasks))
+        return results  # type: ignore[return-value]
+
     def close(self) -> None:
         """Release workers/state.  Default: nothing to release."""
 
@@ -67,16 +157,15 @@ class Executor:
 class SerialExecutor(Executor):
     """Run every task in the calling process, in order."""
 
+    def run_iter(self, tasks: Sequence[SimTask]
+                 ) -> Iterator[Tuple[int, SimTaskResult]]:
+        for i, task in enumerate(list(tasks)):
+            yield i, run_sim_task(task)
+
     def run_batch(self, tasks: Sequence[SimTask],
                   progress: Optional[ProgressFn] = None
                   ) -> List[SimTaskResult]:
-        tasks = list(tasks)
-        results: List[SimTaskResult] = []
-        for i, task in enumerate(tasks):
-            results.append(run_sim_task(task))
-            if progress is not None:
-                progress(i + 1, len(tasks))
-        return results
+        return self._collect(tasks, progress)
 
 
 class ProcessPoolExecutor(Executor):
@@ -85,9 +174,16 @@ class ProcessPoolExecutor(Executor):
     The pool is created lazily on the first batch and reused across
     batches (worker start-up is the dominant fixed cost), so one
     executor can serve a whole training run or experiment sweep.
-    Tasks are dispatched in chunks — by default ~4 chunks per worker,
-    balancing scheduling overhead against stragglers — and results come
-    back in task order regardless of completion order.
+
+    Dispatch is chunked.  By default chunks are *cost-packed*: per-task
+    costs are known up front (simulated duration x bottleneck packet
+    rate, see :func:`task_cost`), so tasks are packed into ~4 chunks per
+    worker balanced by expected cost rather than count — a heterogeneous
+    sweep (or the cache-miss remainder of a resumed one) can't
+    degenerate into one straggler chunk holding all the expensive runs.
+    An explicit ``chunk_size`` opts back into contiguous count-based
+    chunks.  Results come back in task order regardless of completion
+    order.
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -103,28 +199,32 @@ class ProcessPoolExecutor(Executor):
             self._pool = multiprocessing.Pool(self.jobs)
         return self._pool
 
-    def _chunk_for(self, n_tasks: int) -> int:
+    def _chunks_for(self, tasks: List[SimTask]) -> List[List[int]]:
         if self.chunk_size is not None:
-            return max(self.chunk_size, 1)
-        return max(n_tasks // (self.jobs * 4), 1)
+            size = max(self.chunk_size, 1)
+            return [list(range(lo, min(lo + size, len(tasks))))
+                    for lo in range(0, len(tasks), size)]
+        n_chunks = min(len(tasks), self.jobs * 4)
+        return pack_chunks([task_cost(task) for task in tasks], n_chunks)
+
+    def run_iter(self, tasks: Sequence[SimTask]
+                 ) -> Iterator[Tuple[int, SimTaskResult]]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        pool = self._ensure_pool()
+        payloads = [(chunk, [tasks[i] for i in chunk])
+                    for chunk in self._chunks_for(tasks)]
+        # imap_unordered: completed chunks stream back immediately, so
+        # consumers (progress, the disk store) see results as they
+        # exist; _collect reorders to task order at the end.
+        for indices, results in pool.imap_unordered(_run_chunk, payloads):
+            yield from zip(indices, results)
 
     def run_batch(self, tasks: Sequence[SimTask],
                   progress: Optional[ProgressFn] = None
                   ) -> List[SimTaskResult]:
-        tasks = list(tasks)
-        if not tasks:
-            return []
-        pool = self._ensure_pool()
-        results: List[SimTaskResult] = []
-        # imap (not map): same chunked dispatch, but results stream
-        # back so progress can fire per task, still in task order.
-        for i, result in enumerate(pool.imap(
-                run_sim_task, tasks,
-                chunksize=self._chunk_for(len(tasks)))):
-            results.append(result)
-            if progress is not None:
-                progress(i + 1, len(tasks))
-        return results
+        return self._collect(tasks, progress)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -134,14 +234,17 @@ class ProcessPoolExecutor(Executor):
 
 
 class CachingExecutor(Executor):
-    """Memoize an inner executor by task fingerprint.
+    """Memoize an inner executor in memory, keyed by
+    :func:`~repro.exec.task.cache_key`.
 
-    Because the fingerprint covers *every* field of the task (config,
-    trees, seed, duration, flags), a hit is guaranteed to be the result
-    the inner executor would have produced — there is no way to get a
-    stale answer by changing evaluation settings, which is exactly the
-    bug the old tree-keyed score cache had.  Duplicate tasks within one
-    batch execute once.
+    Because the key covers *every* field of the task (config, trees,
+    seed, duration, flags), a hit is guaranteed to be the result the
+    inner executor would have produced — there is no way to get a stale
+    answer by changing evaluation settings, which is exactly the bug the
+    old tree-keyed score cache had.  Duplicate tasks within one batch
+    execute once.  The disk-backed analogue is
+    :class:`repro.exec.store.StoreExecutor`; both file results under the
+    same key, so memory and disk caches can never diverge.
     """
 
     def __init__(self, inner: Optional[Executor] = None):
@@ -160,7 +263,7 @@ class CachingExecutor(Executor):
                   progress: Optional[ProgressFn] = None
                   ) -> List[SimTaskResult]:
         tasks = list(tasks)
-        keys = [task.fingerprint() for task in tasks]
+        keys = [cache_key(task) for task in tasks]
         pending: List[SimTask] = []
         pending_keys: List[str] = []
         seen = set()

@@ -1,0 +1,451 @@
+"""Disk-backed result persistence for the execution layer.
+
+A :class:`ResultStore` is a directory of sharded JSON-lines files
+holding one :class:`~repro.exec.task.SimTaskResult` per task
+fingerprint, and a :class:`StoreExecutor` wraps any inner executor to
+serve cache hits from that store and persist misses *as they complete*.
+Together they make crashed sweeps resumable (rerun and only the missing
+fingerprints are simulated) and let separate processes — training in
+one terminal, experiments in another — share simulation results for
+free, because both key the store through the same
+:func:`~repro.exec.task.cache_key` the in-memory cache uses.
+
+On-disk layout::
+
+    <store>/
+      meta.json            {"magic": ..., "schema": SCHEMA_VERSION}
+      shards/
+        <2 hex chars>.jsonl   one record per line:
+                              {"schema": N, "key": <sha1>, "result": ...}
+
+Durability and concurrency come from the layout, not from locks:
+
+* records are appended as a single ``write`` of one complete line, so
+  concurrent writers interleave whole records (POSIX ``O_APPEND``) and
+  a crash can truncate at most the final line;
+* readers skip lines that fail to parse or carry a foreign schema
+  version, so a truncated or corrupted shard degrades into a smaller
+  cache, never an error;
+* duplicate keys (two processes racing on the same task) are benign —
+  fingerprint-equal tasks are result-equal by the determinism contract,
+  and ``gc`` rewrites shards down to one record per key;
+* ``meta.json`` is written atomically (temp file + rename) and pins the
+  schema: opening a store written by an incompatible version fails
+  loudly instead of quietly missing every key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..core.results import FlowStats, RunResult
+from .executors import Executor, ProgressFn, SerialExecutor
+from .task import SimTask, SimTaskResult, cache_key
+
+__all__ = ["SCHEMA_VERSION", "StoreSchemaError", "StoreStats",
+           "ResultStore", "StoreExecutor", "encode_result",
+           "decode_result", "store_main"]
+
+#: Version of the on-disk record format.  Bump whenever
+#: :func:`encode_result` / :func:`decode_result` change shape *or* the
+#: :func:`~repro.exec.task.cache_key` format changes — old stores are
+#: then rejected at open (meta) and old records skipped (per line)
+#: rather than silently misread.
+SCHEMA_VERSION = 1
+
+_MAGIC = "repro-result-store"
+_META = "meta.json"
+_SHARDS = "shards"
+
+
+class StoreSchemaError(RuntimeError):
+    """The directory is not a compatible result store."""
+
+
+# ----------------------------------------------------------------------
+# Serialization.  JSON round-trips Python floats exactly (repr is the
+# shortest string that parses back to the same IEEE double), so a result
+# read from disk is bitwise-identical to the one that was written —
+# which is what lets store hits participate in the determinism contract.
+
+def encode_result(out: SimTaskResult) -> dict:
+    """``SimTaskResult`` -> plain JSON-able dict."""
+    run = out.run
+    return {
+        "run": {
+            "flows": [dataclasses.asdict(flow) for flow in run.flows],
+            "seed": run.seed,
+            "duration_s": run.duration_s,
+            "bottleneck_drops": run.bottleneck_drops,
+            "bottleneck_utilization": run.bottleneck_utilization,
+            "metadata": run.metadata,
+        },
+        "usage_counts": list(out.usage_counts),
+        "usage_sums": [list(row) for row in out.usage_sums],
+    }
+
+
+def decode_result(data: dict) -> SimTaskResult:
+    """Inverse of :func:`encode_result`."""
+    run = data["run"]
+    return SimTaskResult(
+        run=RunResult(
+            flows=[FlowStats(**flow) for flow in run["flows"]],
+            seed=run["seed"],
+            duration_s=run["duration_s"],
+            bottleneck_drops=run["bottleneck_drops"],
+            bottleneck_utilization=run["bottleneck_utilization"],
+            metadata=dict(run.get("metadata") or {})),
+        usage_counts=list(data.get("usage_counts") or []),
+        usage_sums=[list(row) for row in data.get("usage_sums") or []])
+
+
+def _parse_record(line: bytes) -> Optional[dict]:
+    """One shard line -> record dict, or ``None`` if unusable.
+
+    Unusable covers truncated/garbled JSON (crash mid-append), records
+    from a different schema version, and records missing fields —
+    corruption tolerance means all of these read as cache misses.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) \
+            or record.get("schema") != SCHEMA_VERSION \
+            or not isinstance(record.get("key"), str) \
+            or not isinstance(record.get("result"), dict):
+        return None
+    return record
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    handle, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-")
+    try:
+        with os.fdopen(handle, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class StoreStats:
+    """What a scan of the store found (``stats``/``verify`` output)."""
+
+    path: str
+    schema: int
+    shards: int
+    records: int          # readable records (including duplicates)
+    distinct: int         # distinct fingerprints
+    corrupt: int          # unreadable / foreign-schema / undecodable lines
+    size_bytes: int
+
+    def lines(self) -> List[str]:
+        return [
+            f"store    {self.path}",
+            f"schema   {self.schema}",
+            f"shards   {self.shards}",
+            f"records  {self.records} ({self.distinct} distinct)",
+            f"corrupt  {self.corrupt}",
+            f"bytes    {self.size_bytes}",
+        ]
+
+
+class ResultStore:
+    """Fingerprint-keyed, disk-backed map of simulation results.
+
+    Parameters
+    ----------
+    path:
+        Store directory; created (with ``meta.json``) if absent.
+    require_exists:
+        Refuse to *create* — raise ``FileNotFoundError`` when no store
+        is there yet.  ``--resume`` uses this so a typo'd path fails
+        fast instead of silently recomputing a finished sweep.
+
+    Shards are loaded lazily and cached per process; appends from other
+    processes after a shard is cached are picked up on the next open
+    (the resume workflow: write during a run, read at the next start).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 require_exists: bool = False):
+        self.path = str(path)
+        self._shards_dir = os.path.join(self.path, _SHARDS)
+        self._cache: Dict[str, Dict[str, dict]] = {}
+        if os.path.exists(self.path) and not os.path.isdir(self.path):
+            raise StoreSchemaError(
+                f"{self.path} is a file, not a result-store directory")
+        meta_path = os.path.join(self.path, _META)
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "rb") as fh:
+                    meta = json.load(fh)
+            except ValueError as error:
+                raise StoreSchemaError(
+                    f"unreadable store meta {meta_path}: {error}")
+            if not isinstance(meta, dict) or meta.get("magic") != _MAGIC:
+                raise StoreSchemaError(
+                    f"{self.path} is not a result store "
+                    f"(bad magic in {_META})")
+            if meta.get("schema") != SCHEMA_VERSION:
+                raise StoreSchemaError(
+                    f"store {self.path} has schema "
+                    f"{meta.get('schema')!r}; this build reads only "
+                    f"schema {SCHEMA_VERSION} — use a fresh --store "
+                    f"path (old results cannot be trusted across "
+                    f"format changes)")
+        elif require_exists:
+            raise FileNotFoundError(
+                f"no result store at {self.path} (run once without "
+                f"--resume to create it)")
+        else:
+            os.makedirs(self._shards_dir, exist_ok=True)
+            _atomic_write(meta_path, json.dumps(
+                {"magic": _MAGIC, "schema": SCHEMA_VERSION},
+                sort_keys=True).encode() + b"\n")
+
+    # ------------------------------------------------------------------
+    def _shard_of(self, key: str) -> str:
+        return key[:2]
+
+    def _shard_path(self, shard: str) -> str:
+        return os.path.join(self._shards_dir, f"{shard}.jsonl")
+
+    def _shard_names(self) -> List[str]:
+        if not os.path.isdir(self._shards_dir):
+            return []
+        return sorted(name[:-len(".jsonl")]
+                      for name in os.listdir(self._shards_dir)
+                      if name.endswith(".jsonl"))
+
+    def _load_shard(self, shard: str) -> Dict[str, dict]:
+        loaded = self._cache.get(shard)
+        if loaded is not None:
+            return loaded
+        records: Dict[str, dict] = {}
+        path = self._shard_path(shard)
+        if os.path.exists(path):
+            with open(path, "rb") as fh:
+                for line in fh:
+                    record = _parse_record(line)
+                    if record is not None:
+                        records[record["key"]] = record["result"]
+        self._cache[shard] = records
+        return records
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[SimTaskResult]:
+        payload = self._load_shard(self._shard_of(key)).get(key)
+        return None if payload is None else decode_result(payload)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load_shard(self._shard_of(key))
+
+    def put(self, key: str, result: SimTaskResult) -> None:
+        """Persist one result (atomic single-line append)."""
+        records = self._load_shard(self._shard_of(key))
+        payload = encode_result(result)
+        line = json.dumps(
+            {"schema": SCHEMA_VERSION, "key": key, "result": payload},
+            sort_keys=True, separators=(",", ":")) + "\n"
+        os.makedirs(self._shards_dir, exist_ok=True)
+        with open(self._shard_path(self._shard_of(key)), "ab") as fh:
+            fh.write(line.encode())
+        records[key] = payload
+
+    def keys(self) -> Set[str]:
+        out: Set[str] = set()
+        for shard in self._shard_names():
+            out.update(self._load_shard(shard))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # ------------------------------------------------------------------
+    def _scan(self, deep: bool) -> StoreStats:
+        records = corrupt = size = 0
+        distinct: Set[str] = set()
+        shards = self._shard_names()
+        for shard in shards:
+            path = self._shard_path(shard)
+            size += os.path.getsize(path)
+            with open(path, "rb") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    record = _parse_record(line)
+                    if record is not None and deep:
+                        try:
+                            decode_result(record["result"])
+                        except (KeyError, TypeError, ValueError):
+                            record = None
+                    if record is None:
+                        corrupt += 1
+                    else:
+                        records += 1
+                        distinct.add(record["key"])
+        return StoreStats(path=self.path, schema=SCHEMA_VERSION,
+                          shards=len(shards), records=records,
+                          distinct=len(distinct), corrupt=corrupt,
+                          size_bytes=size)
+
+    def stats(self) -> StoreStats:
+        """Cheap scan: shard/record/corrupt counts and sizes."""
+        return self._scan(deep=False)
+
+    def verify(self) -> StoreStats:
+        """Deep scan: additionally decode every record, so a payload
+        that parses as JSON but no longer decodes counts as corrupt."""
+        return self._scan(deep=True)
+
+    def gc(self) -> int:
+        """Rewrite every shard down to one record per key.
+
+        Drops corrupt/foreign-schema lines and duplicate keys (last
+        write wins, matching read semantics); each shard is replaced
+        atomically.  Returns the number of lines dropped.
+        """
+        dropped = 0
+        for shard in self._shard_names():
+            path = self._shard_path(shard)
+            keep: Dict[str, dict] = {}
+            total = 0
+            with open(path, "rb") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    total += 1
+                    record = _parse_record(line)
+                    if record is not None:
+                        keep[record["key"]] = record["result"]
+            dropped += total - len(keep)
+            body = "".join(
+                json.dumps({"schema": SCHEMA_VERSION, "key": key,
+                            "result": keep[key]},
+                           sort_keys=True, separators=(",", ":")) + "\n"
+                for key in sorted(keep))
+            _atomic_write(path, body.encode())
+            self._cache[shard] = keep
+        return dropped
+
+
+class StoreExecutor(Executor):
+    """Serve hits from a :class:`ResultStore`; persist misses as they
+    complete.
+
+    The disk analogue of :class:`~repro.exec.executors.CachingExecutor`,
+    keyed by the same :func:`~repro.exec.task.cache_key` so memory and
+    disk entries can never diverge.  Misses stream through the inner
+    executor's :meth:`~repro.exec.executors.Executor.run_iter` and are
+    written to the store the moment each result exists — kill the
+    process mid-batch and everything finished so far is already on
+    disk, so the rerun simulates only the remainder.
+    """
+
+    def __init__(self, inner: Optional[Executor] = None,
+                 store: Union[ResultStore, str, os.PathLike, None] = None):
+        if store is None:
+            raise ValueError("StoreExecutor requires a store "
+                             "(a ResultStore or a directory path)")
+        self.inner = inner or SerialExecutor()
+        self.store = store if isinstance(store, ResultStore) \
+            else ResultStore(store)
+        self.hits = 0
+        self.misses = 0
+
+    def run_batch(self, tasks: Sequence[SimTask],
+                  progress: Optional[ProgressFn] = None
+                  ) -> List[SimTaskResult]:
+        tasks = list(tasks)
+        keys = [cache_key(task) for task in tasks]
+        fetched: Dict[str, SimTaskResult] = {}
+        pending: List[SimTask] = []
+        pending_keys: List[str] = []
+        seen = set()
+        for task, key in zip(tasks, keys):
+            if key in fetched:
+                self.hits += 1
+                continue
+            if key in seen:
+                continue
+            hit = self.store.get(key)
+            if hit is not None:
+                fetched[key] = hit
+                self.hits += 1
+            else:
+                seen.add(key)
+                pending.append(task)
+                pending_keys.append(key)
+        # Progress spans the submitted batch (hits and duplicates count
+        # as already done), mirroring CachingExecutor.
+        done_offset = len(tasks) - len(pending)
+        if pending:
+            self.misses += len(pending)
+            done = 0
+            for i, result in self.inner.run_iter(pending):
+                self.store.put(pending_keys[i], result)
+                fetched[pending_keys[i]] = result
+                done += 1
+                if progress is not None:
+                    progress(done_offset + done, len(tasks))
+        elif progress is not None and tasks:
+            progress(len(tasks), len(tasks))
+        return [fetched[key] for key in keys]
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+# ----------------------------------------------------------------------
+# CLI: both scripts expose this as their ``store`` subcommand.
+
+def store_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``store stats|gc|verify --store PATH`` — inspect or repair a
+    result store.  Returns a shell-style exit code (``verify`` exits 1
+    when corrupt records are found)."""
+    parser = argparse.ArgumentParser(
+        prog="store",
+        description="inspect or repair a disk-backed result store")
+    parser.add_argument("command", choices=("stats", "gc", "verify"),
+                        help="stats: cheap scan; verify: deep scan "
+                             "(decode every record); gc: drop corrupt "
+                             "lines and duplicate keys")
+    parser.add_argument("--store", required=True,
+                        help="result store directory")
+    args = parser.parse_args(argv)
+    try:
+        store = ResultStore(args.store, require_exists=True)
+    except (FileNotFoundError, StoreSchemaError) as error:
+        print(f"store {args.command}: {error}", file=sys.stderr)
+        return 2
+    if args.command == "gc":
+        dropped = store.gc()
+        print(f"gc: dropped {dropped} corrupt/duplicate line(s)")
+    stats = store.verify() if args.command == "verify" else store.stats()
+    for line in stats.lines():
+        print(line)
+    if args.command == "verify":
+        if stats.corrupt:
+            print(f"verify: FAILED — {stats.corrupt} corrupt record(s) "
+                  f"(run 'store gc' to drop them)")
+            return 1
+        print("verify: ok — every record decodes")
+    return 0

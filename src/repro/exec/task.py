@@ -10,8 +10,11 @@ possible: the same task always produces the same result, bit for bit,
 regardless of which worker runs it.
 
 Tasks carry a stable :meth:`SimTask.fingerprint` (a SHA-1 over the
-canonical JSON form) used by :class:`~repro.exec.executors.CachingExecutor`
-to key results and by the evaluator to avoid re-running incumbents.
+canonical JSON form), exposed to every cache through :func:`cache_key`:
+:class:`~repro.exec.executors.CachingExecutor` keys its in-memory memo
+with it, :class:`~repro.exec.store.StoreExecutor` keys the on-disk
+result store with it, and the evaluator uses it to avoid re-running
+incumbents.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["SimTask", "SimTaskResult", "run_sim_task"]
+__all__ = ["SimTask", "SimTaskResult", "run_sim_task", "cache_key"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,20 @@ class SimTask:
              "record_usage": self.record_usage},
             sort_keys=True, separators=(",", ":"))
         return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def cache_key(task: "SimTask") -> str:
+    """The one key every result cache uses, memory or disk.
+
+    Both :class:`~repro.exec.executors.CachingExecutor` and
+    :class:`~repro.exec.store.StoreExecutor` key results through this
+    helper, so an in-memory entry and an on-disk entry for the same task
+    can never be filed under different keys.  The format is pinned by
+    ``tests/test_exec.py::TestSimTask::test_fingerprint_format_pinned``;
+    changing it invalidates every existing on-disk store, so bump
+    :data:`repro.exec.store.SCHEMA_VERSION` alongside any change here.
+    """
+    return task.fingerprint()
 
 
 @dataclass

@@ -206,15 +206,18 @@ def run_seeds(config: NetworkConfig,
               trees: Optional[Dict[str, WhiskerTree]] = None,
               scale: Scale = DEFAULT,
               base_seed: int = 1,
-              executor: Optional[Executor] = None) -> List[RunResult]:
+              executor: Optional[Executor] = None,
+              store=None) -> List[RunResult]:
     """Run ``scale.n_seeds`` independent replications.
 
     ``executor`` fans the replications out through :mod:`repro.exec`;
     ``None`` runs them serially (and produces identical results — the
-    executors' determinism contract).
+    executors' determinism contract).  ``store`` persists results to a
+    disk-backed :class:`~repro.exec.ResultStore` (path or instance).
     """
     return run_seed_batch([(config, trees)], scale=scale,
-                          base_seed=base_seed, executor=executor)[0]
+                          base_seed=base_seed, executor=executor,
+                          store=store)[0]
 
 
 def run_seeds_parallel(config: NetworkConfig,
@@ -240,8 +243,8 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
                                          Optional[Dict[str, WhiskerTree]]]],
                    scale: Scale = DEFAULT,
                    base_seed: int = 1,
-                   executor: Optional[Executor] = None
-                   ) -> List[List[RunResult]]:
+                   executor: Optional[Executor] = None,
+                   store=None) -> List[List[RunResult]]:
     """Run a whole (config × seed) grid as one flat task batch.
 
     ``specs`` is a sequence of ``(config, trees)`` pairs — one per sweep
@@ -249,11 +252,18 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
     ``List[RunResult]`` per spec, aligned with the input, exactly as if
     :func:`run_seeds` had been called per spec — but submitted as a
     single batch so a pooled executor sees the full grid at once.
+
+    ``store`` (a :class:`~repro.exec.ResultStore` or directory path)
+    makes the grid resumable: results land on disk as they complete,
+    and a rerun — after a crash, or from another process — simulates
+    only the fingerprints the store doesn't already hold.  Every
+    experiment module inherits this, since their sweeps all flow
+    through here.
     """
     tasks: List[SimTask] = []
     for config, trees in specs:
         tasks.extend(_seed_tasks(config, trees, scale, base_seed))
-    outputs = run_batch(tasks, executor=executor)
+    outputs = run_batch(tasks, executor=executor, store=store)
     grouped: List[List[RunResult]] = []
     for i in range(len(specs)):
         chunk = outputs[i * scale.n_seeds:(i + 1) * scale.n_seeds]

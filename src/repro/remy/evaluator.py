@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.objective import Objective
 from ..core.scale import Scale
 from ..core.scenario import ScenarioRange
-from ..exec import Executor, SerialExecutor, SimTask
+from ..exec import Executor, SerialExecutor, SimTask, StoreExecutor
 from .tree import WhiskerTree
 
 __all__ = ["EvalSettings", "EvalResult", "TreeEvaluator",
@@ -112,14 +112,26 @@ class TreeEvaluator:
         memoizes each task's derived score and usage stats by task
         fingerprint, so repeated tasks — the incumbent tree under
         common random numbers — are never re-simulated.
+    store:
+        Optional disk-backed :class:`~repro.exec.ResultStore` (or a
+        directory path).  The executor is wrapped in a
+        :class:`~repro.exec.StoreExecutor`, so whisker evaluations
+        persist across crashes and are shared with any other process
+        pointed at the same store (e.g. ``run_experiments.py`` reusing
+        training simulations) — the in-memory memo above stays the
+        first, cheaper layer.
     """
 
     def __init__(self, scenario_range: ScenarioRange,
                  settings: EvalSettings = EvalSettings(),
-                 executor: Optional[Executor] = None):
+                 executor: Optional[Executor] = None,
+                 store=None):
         self.scenario_range = scenario_range
         self.settings = settings
-        self.executor = executor or SerialExecutor()
+        executor = executor or SerialExecutor()
+        if store is not None:
+            executor = StoreExecutor(executor, store=store)
+        self.executor = executor
         self.configs = scenario_range.sample_many(
             settings.n_configs, settings.config_seed)
         # fingerprint -> (score, usage_counts, usage_sums): a few

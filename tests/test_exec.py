@@ -10,11 +10,15 @@ import dataclasses
 
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.core.scale import Scale
 from repro.core.scenario import NetworkConfig, ScenarioRange
 from repro.exec import (CachingExecutor, Executor, ProcessPoolExecutor,
-                        SerialExecutor, SimTask, executor_for,
-                        run_batch, run_sim_task)
+                        SerialExecutor, SimTask, cache_key,
+                        executor_for, pack_chunks, run_batch,
+                        run_sim_task, task_cost)
 from repro.remy.action import Action
 from repro.remy.evaluator import EvalSettings, TreeEvaluator
 from repro.remy.optimizer import OptimizerSettings, RemyOptimizer
@@ -58,6 +62,19 @@ class TestSimTask:
         base = small_batch(1)[0]
         changed = dataclasses.replace(base, **change)
         assert changed.fingerprint() != base.fingerprint()
+
+    def test_fingerprint_format_pinned(self):
+        """The fingerprint IS the cache key, in memory and on disk.
+
+        This literal pins the format: if it changes, every existing
+        result store silently misses on all its entries, so a change
+        here must come with a SCHEMA_VERSION bump in repro.exec.store
+        (and a very good reason).
+        """
+        task = small_batch(1)[0]
+        assert task.fingerprint() \
+            == "0d7308ddd6a34eafb01e6c55162d02c436ea3d5b"
+        assert cache_key(task) == task.fingerprint()
 
     def test_run_sim_task_returns_flow_stats(self):
         out = run_sim_task(small_batch(1)[0])
@@ -135,6 +152,106 @@ class TestExecutorEquivalence:
                                     scale=scale, jobs=2)
         assert [[f.delivered_bytes for f in r.flows] for r in serial] \
             == [[f.delivered_bytes for f in r.flows] for r in pooled]
+
+
+def _ideal_makespan(costs, n_chunks):
+    """Lower bound no partition into n_chunks chunks can beat."""
+    return max(sum(costs) / max(min(n_chunks, len(costs)), 1),
+               max(costs))
+
+
+class TestChunkPacking:
+    """Property tests for the cost-aware chunk packer.
+
+    The pool's default dispatch packs tasks into chunks by expected
+    cost; these pin the two load-bearing guarantees — exact cover
+    (every task runs exactly once) and bounded makespan (no straggler
+    chunk more than 2x the ideal, even for adversarial cost mixes).
+    """
+
+    @given(costs=st.lists(
+               st.floats(min_value=0.0, max_value=1e9,
+                         allow_nan=False, allow_infinity=False),
+               max_size=200),
+           n_chunks=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_chunks_cover_all_tasks_exactly_once(self, costs, n_chunks):
+        chunks = pack_chunks(costs, n_chunks)
+        flat = [i for chunk in chunks for i in chunk]
+        assert sorted(flat) == list(range(len(costs)))
+        assert len(chunks) <= n_chunks
+        assert all(chunks)                       # no empty chunk
+
+    @given(costs=st.lists(
+               st.floats(min_value=0.0, max_value=1e9,
+                         allow_nan=False, allow_infinity=False),
+               min_size=1, max_size=200),
+           n_chunks=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_makespan_within_2x_ideal(self, costs, n_chunks):
+        chunks = pack_chunks(costs, n_chunks)
+        worst = max(sum(costs[i] for i in chunk) for chunk in chunks)
+        ideal = _ideal_makespan(costs, n_chunks)
+        assert worst <= 2.0 * ideal + 1e-6 * max(ideal, 1.0)
+
+    def test_adversarial_mix_does_not_straggle(self):
+        """One 1000x task among dwarfs: count-based chunking would put
+        it in a chunk with ~25 others; cost packing must isolate it."""
+        costs = [1000.0] + [1.0] * 99
+        chunks = pack_chunks(costs, 4)
+        heavy = next(c for c in chunks if 0 in c)
+        assert sum(costs[i] for i in heavy) <= 2 * _ideal_makespan(
+            costs, 4)
+        assert heavy == [0]                      # LPT isolates it
+
+    def test_deterministic(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        assert pack_chunks(costs, 3) == pack_chunks(list(costs), 3)
+
+    def test_task_cost_tracks_duration_and_rate(self):
+        slow, = small_batch(1, duration=2.0)
+        slower, = small_batch(1, duration=4.0)
+        assert task_cost(slower) == 2 * task_cost(slow)
+        fast = SimTask.build(
+            NetworkConfig(link_speeds_mbps=(100.0,), rtt_ms=100.0,
+                          sender_kinds=("learner",), buffer_bdp=5.0),
+            trees={"learner": TREE}, seed=1, duration_s=2.0)
+        assert task_cost(fast) == 10 * task_cost(slow)
+
+    def test_pool_cost_packing_preserves_determinism(self):
+        """Heterogeneous durations exercise the cost-packed dispatch
+        path; results must still match serial bitwise, in task order."""
+        tasks = [SimTask.build(CONFIG, trees={"learner": TREE},
+                               seed=1 + k, duration_s=duration)
+                 for k, duration in enumerate((4.0, 2.0, 3.0, 2.0, 2.0))]
+        serial = SerialExecutor().run_batch(tasks)
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pooled = pool.run_batch(tasks)
+        assert flows_key(serial) == flows_key(pooled)
+        assert [out.run.seed for out in pooled] == [1, 2, 3, 4, 5]
+
+
+class TestRunIter:
+    def test_serial_streams_in_order(self):
+        tasks = small_batch(3)
+        seen = list(SerialExecutor().run_iter(tasks))
+        assert [i for i, _ in seen] == [0, 1, 2]
+        assert flows_key([r for _, r in seen]) \
+            == flows_key(SerialExecutor().run_batch(tasks))
+
+    def test_pool_streams_every_task_once(self):
+        tasks = small_batch(4)
+        with ProcessPoolExecutor(jobs=2) as pool:
+            seen = dict(pool.run_iter(tasks))
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert flows_key([seen[i] for i in range(4)]) \
+            == flows_key(SerialExecutor().run_batch(tasks))
+
+    def test_default_run_iter_wraps_run_batch(self):
+        caching = CachingExecutor(SerialExecutor())
+        tasks = small_batch(2)
+        seen = dict(caching.run_iter(tasks))
+        assert sorted(seen) == [0, 1]
 
 
 class CountingExecutor(Executor):

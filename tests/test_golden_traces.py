@@ -1,0 +1,158 @@
+"""Determinism regression harness: golden result fingerprints.
+
+One pinned scenario per experiment module, each digested to a SHA-1
+over the canonical serialized :class:`SimTaskResult`.  The committed
+GOLDEN table is the contract the whole reproduction stands on:
+
+* the simulator is a pure function of the task — any change to the
+  engine, transport, queues, or workload that shifts a single float
+  shows up here as a digest mismatch (bump the goldens *knowingly*);
+* serial, pooled, and store-backed execution all reproduce the same
+  digests — the common-random-numbers property the Remy optimizer's
+  candidate comparisons depend on;
+* a result written to disk and read back is bitwise-identical — the
+  store may substitute persisted results for live simulation.
+
+If a legitimate simulator change lands, regenerate with::
+
+    PYTHONPATH=src python tests/test_golden_traces.py
+"""
+
+import hashlib
+import json
+
+from repro.core.scenario import NetworkConfig
+from repro.exec import (ProcessPoolExecutor, SerialExecutor, SimTask,
+                        StoreExecutor)
+from repro.exec.store import encode_result
+from repro.experiments.calibration import CALIBRATION_CONFIG
+from repro.remy.action import Action
+from repro.remy.tree import WhiskerTree
+
+#: The same stand-in rule table run_experiments.py --fake-taos uses.
+TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+
+_LEARNER = {"learner": TREE}
+_DURATION = 2.0
+
+
+def _dumbbell(speed, rtt_ms, kinds, queue="droptail", buffer_bdp=5.0,
+              deltas=()):
+    return NetworkConfig(
+        link_speeds_mbps=(speed,), rtt_ms=rtt_ms, sender_kinds=kinds,
+        deltas=deltas, mean_on_s=1.0, mean_off_s=1.0,
+        buffer_bdp=buffer_bdp, queue=queue)
+
+
+#: One scenario per experiment module, mirroring that module's network
+#: family (speeds/RTTs/mixes/queues from the module's own constants) at
+#: a 2-simulated-second budget.
+SCENARIOS = {
+    # E1 calibration: the paper's 32 Mbps / 150 ms / 2-learner network.
+    "calibration": SimTask.build(
+        CALIBRATION_CONFIG, trees=_LEARNER, seed=1,
+        duration_s=_DURATION),
+    # E2 link_speed: one point of the 1-1000 Mbps sweep (150 ms RTT).
+    "link_speed": SimTask.build(
+        _dumbbell(10.0, 150.0, ("learner", "learner")),
+        trees=_LEARNER, seed=1, duration_s=_DURATION),
+    # E3 multiplexing: 15 Mbps, more senders, the "no drop" buffer.
+    "multiplexing": SimTask.build(
+        _dumbbell(15.0, 150.0, ("learner",) * 3, buffer_bdp=None),
+        trees=_LEARNER, seed=1, duration_s=_DURATION),
+    # E4 rtt: the 33 Mbps dumbbell at an off-training 50 ms RTT.
+    "rtt": SimTask.build(
+        _dumbbell(33.0, 50.0, ("learner", "learner")),
+        trees=_LEARNER, seed=1, duration_s=_DURATION),
+    # E5 structure: the two-bottleneck parking lot (75 ms per hop).
+    "structure": SimTask.build(
+        NetworkConfig(topology="parking_lot",
+                      link_speeds_mbps=(10.0, 20.0), rtt_ms=150.0,
+                      sender_kinds=("learner",) * 3,
+                      deltas=(1.0,) * 3, mean_on_s=1.0, mean_off_s=1.0,
+                      buffer_bdp=5.0),
+        trees=_LEARNER, seed=1, duration_s=_DURATION),
+    # E6/E7 tcp_awareness: a Tao sharing the link with NewReno.
+    "tcp_awareness": SimTask.build(
+        _dumbbell(10.0, 100.0, ("learner", "newreno")),
+        trees=_LEARNER, seed=1, duration_s=_DURATION),
+    # E8 diversity: mixed objectives (delta 0.1 vs 10) on an infinite
+    # buffer, learner + peer trees.
+    "diversity": SimTask.build(
+        _dumbbell(10.0, 100.0, ("learner", "peer"),
+                  buffer_bdp=None, deltas=(0.1, 10.0)),
+        trees={"learner": TREE, "peer": TREE}, seed=1,
+        duration_s=_DURATION),
+    # E9 signals: the calibration network with per-whisker usage
+    # recording on (the path the knockout training runs exercise).
+    "signals": SimTask.build(
+        CALIBRATION_CONFIG, trees=_LEARNER, seed=2,
+        duration_s=_DURATION, record_usage=True),
+}
+
+#: name -> SHA-1 of the canonical serialized result.  Regenerate by
+#: running this file as a script — but only after convincing yourself
+#: the simulator change behind the mismatch is intentional.
+GOLDEN = {
+    "calibration": "48d59864b2ad2111d27f6753116e2384897c1048",
+    "link_speed": "ff018da7fd61b9c51e6551a0d70287ef199120c8",
+    "multiplexing": "6bef938d7172d20502f46d76ba9620a1c7556502",
+    "rtt": "21d6478b30858f7cb6344be790a7ba734792b84e",
+    "structure": "5769c43d166243d7e43db24a1d20a5940a028d7e",
+    "tcp_awareness": "e91183a85f17c3f7b9cf072ab19b14d35716586c",
+    "diversity": "f749def2366abb41d3313591b31bf4798106c7ce",
+    "signals": "b13307dd764739faeaeacf7ae52aa94907b0bdea",
+}
+
+
+def result_digest(result) -> str:
+    """Canonical SHA-1 of everything a result carries."""
+    payload = json.dumps(encode_result(result), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def _digests(results):
+    return {name: result_digest(result)
+            for name, result in zip(SCENARIOS, results)}
+
+
+NAMES = list(SCENARIOS)
+TASKS = [SCENARIOS[name] for name in NAMES]
+
+
+class TestGoldenTraces:
+    def test_scenarios_cover_every_experiment_module(self):
+        """A new experiment module must bring a golden scenario along."""
+        import inspect
+
+        import repro.experiments as experiments
+        modules = {name for name in dir(experiments)
+                   if not name.startswith("_") and name != "common"
+                   and inspect.ismodule(getattr(experiments, name))}
+        assert set(SCENARIOS) == modules
+
+    def test_serial_matches_golden(self):
+        digests = _digests(SerialExecutor().run_batch(TASKS))
+        assert digests == GOLDEN
+
+    def test_pooled_matches_golden(self):
+        with ProcessPoolExecutor(jobs=2) as pool:
+            digests = _digests(pool.run_batch(TASKS))
+        assert digests == GOLDEN
+
+    def test_store_backed_matches_golden(self, tmp_path):
+        """Persist, then serve everything from disk: both the freshly
+        computed and the decoded-from-disk results must digest to the
+        goldens (disk round-trip is bitwise)."""
+        first = StoreExecutor(SerialExecutor(), store=tmp_path / "s")
+        assert _digests(first.run_batch(TASKS)) == GOLDEN
+        replay = StoreExecutor(SerialExecutor(), store=tmp_path / "s")
+        assert _digests(replay.run_batch(TASKS)) == GOLDEN
+        assert (replay.hits, replay.misses) == (len(TASKS), 0)
+
+
+if __name__ == "__main__":
+    for name, task in SCENARIOS.items():
+        from repro.exec import run_sim_task
+        print(f'    "{name}": "{result_digest(run_sim_task(task))}",')
