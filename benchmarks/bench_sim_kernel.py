@@ -2,60 +2,54 @@
 
 Not a paper artifact: these time the discrete-event core that every
 experiment rests on, so performance regressions in the hot path
-(event loop, link forwarding, transport ACK processing) are caught.
+(event loop, link forwarding, transport ACK processing, whisker
+lookup) are caught.
+
+The workloads live in :mod:`kernel_workloads`, shared with
+``compare.py`` — the committed-baseline regression gate CI runs; use
+``pytest benchmarks/bench_sim_kernel.py --benchmark-only`` for
+interactive numbers and ``python benchmarks/compare.py --check`` for
+the pass/fail verdict.
 """
 
-from repro.core.scenario import NetworkConfig
-from repro.experiments.common import build_simulation
-from repro.sim.engine import Simulator
+import kernel_workloads as workloads
 
 
 def test_event_loop_throughput(benchmark):
     """Raw schedule/execute cycles per second."""
-
-    def spin():
-        sim = Simulator()
-
-        def reschedule(depth):
-            if depth > 0:
-                sim.schedule(0.001, reschedule, depth - 1)
-
-        for _ in range(100):
-            sim.schedule(0.0, reschedule, 1000)
-        sim.run_until_idle()
-        return sim.events_processed
-
-    events = benchmark(spin)
+    events = benchmark(workloads.spin_event_loop)
     assert events >= 100_000
+
+
+def test_whisker_lookup_interpreted(benchmark):
+    """Node-walking ``WhiskerTree.lookup`` on a 46-leaf table."""
+    hits = benchmark(workloads.run_whisker_lookups)
+    assert hits == 100_000
+
+
+def test_whisker_lookup_compiled(benchmark):
+    """Flat-array ``CompiledTree.lookup`` over the same vectors."""
+    hits = benchmark(workloads.run_compiled_lookups)
+    assert hits == 100_000
 
 
 def test_single_flow_simulation_rate(benchmark):
     """Packets simulated per second for a saturated dumbbell flow."""
-    config = NetworkConfig(
-        link_speeds_mbps=(15.0,), rtt_ms=100.0,
-        sender_kinds=("newreno",), mean_on_s=100.0, mean_off_s=0.0,
-        buffer_bdp=5.0)
-
-    def run_once():
-        handle = build_simulation(config, seed=1)
-        result = handle.run(10.0)
-        return result.flows[0].packets_delivered
-
-    delivered = benchmark(run_once)
+    delivered = benchmark(workloads.run_newreno_flow)
     assert delivered > 5_000
 
 
+def test_remycc_single_flow_rate(benchmark):
+    """The acceptance workload: a saturated RemyCC dumbbell flow.
+
+    Every ACK exercises Memory.on_ack, the compiled whisker lookup,
+    and the action application — the training inner loop's unit cost.
+    """
+    delivered = benchmark(workloads.run_remycc_flow)
+    assert delivered > 1_000
+
+
 def test_many_sender_simulation_rate(benchmark):
-    """The 100-sender multiplexing scenario's cost per simulated second."""
-    config = NetworkConfig(
-        link_speeds_mbps=(15.0,), rtt_ms=150.0,
-        sender_kinds=("newreno",) * 50,
-        mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0)
-
-    def run_once():
-        handle = build_simulation(config, seed=1)
-        result = handle.run(3.0)
-        return sum(f.packets_delivered for f in result.flows)
-
-    delivered = benchmark(run_once)
+    """The 50-sender multiplexing scenario's cost per simulated second."""
+    delivered = benchmark(workloads.run_many_senders)
     assert delivered > 500

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate for the simulation kernel.
+
+Times the :mod:`kernel_workloads` suite and diffs the rates against the
+committed ``BENCH_kernel.json`` baseline::
+
+    PYTHONPATH=src python benchmarks/compare.py --check
+    PYTHONPATH=src python benchmarks/compare.py --update
+    PYTHONPATH=src python benchmarks/compare.py --list
+
+``--check`` (the CI smoke job) exits non-zero when any workload's
+*normalized* rate fell more than ``--tolerance`` (default 30%) below the
+baseline.  Rates are normalized by a pure-interpreter calibration spin
+measured in the same session, so a slower CI runner or laptop shifts
+both sides of the comparison and only genuine kernel regressions trip
+the gate.  Raw rates are recorded too — they are what
+``docs/PERFORMANCE.md`` quotes — and each baseline entry may carry a
+``pre_pr_rate``: the same workload timed at the commit *before* the
+compiled hot path landed, preserving the speedup context the baseline
+was accepted against.
+
+``--update`` rewrites the baseline in place (keeping any ``pre_pr_rate``
+fields) — run it after an intentional kernel change, in the same commit,
+so the gate always measures against the current code's expectations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import kernel_workloads as workloads
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
+
+SCHEMA = 1
+
+#: name -> zero-argument callable returning a unit count.
+BENCHMARKS = {
+    "event_loop": workloads.spin_event_loop,
+    "whisker_lookup": workloads.run_whisker_lookups,
+    "compiled_lookup": workloads.run_compiled_lookups,
+    "newreno_flow": workloads.run_newreno_flow,
+    "remycc_flow": workloads.run_remycc_flow,
+    "many_senders": workloads.run_many_senders,
+}
+
+
+def _calibration_spin(n: int = 2_000_000) -> int:
+    """Pure-interpreter speed probe; never touches repro code."""
+    total = 0
+    for i in range(n):
+        total += i & 7
+    return n
+
+
+def best_rate(fn, repeats: int) -> tuple[float, int]:
+    """(units per second, units) for the fastest of ``repeats`` runs."""
+    best = None
+    units = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        units = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return units / best, units
+
+
+def measure(repeats: int) -> dict:
+    """Time every workload; returns the baseline-file payload."""
+    calibration_rate, _ = best_rate(_calibration_spin, repeats)
+    benchmarks = {}
+    for name, fn in BENCHMARKS.items():
+        rate, units = best_rate(fn, repeats)
+        benchmarks[name] = {
+            "rate": round(rate, 1),
+            "normalized": round(rate / calibration_rate, 6),
+            "units": units,
+        }
+        print(f"  {name:16s} {rate:12.1f}/s "
+              f"(normalized {rate / calibration_rate:.4f})", flush=True)
+    return {
+        "schema": SCHEMA,
+        "recorded_with": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "calibration_rate": round(calibration_rate, 1),
+        "benchmarks": benchmarks,
+    }
+
+
+def load_baseline() -> dict:
+    if not BASELINE_PATH.exists():
+        sys.exit(f"no baseline at {BASELINE_PATH}; create one with "
+                 f"'python benchmarks/compare.py --update'")
+    with open(BASELINE_PATH) as handle:
+        data = json.load(handle)
+    if data.get("schema") != SCHEMA:
+        sys.exit(f"baseline schema {data.get('schema')!r} != {SCHEMA}; "
+                 f"regenerate with --update")
+    return data
+
+
+def cmd_check(tolerance: float, repeats: int) -> int:
+    baseline = load_baseline()
+    recorded = baseline.get("recorded_with", {}).get("python", "")
+    running = platform.python_version()
+    if recorded.split(".")[:2] != running.split(".")[:2]:
+        print(f"warning: baseline recorded under Python {recorded}, "
+              f"checking under {running}; interpreters shift the "
+              f"kernel/calibration ratio unevenly, so normalized "
+              f"comparisons may drift — re-record with --update on the "
+              f"gating interpreter", file=sys.stderr)
+    print("measuring current kernel rates...")
+    current = measure(repeats)
+    failures = [
+        f"{name}: in the suite but not in the baseline; run "
+        f"'compare.py --update' and commit BENCH_kernel.json"
+        for name in current["benchmarks"]
+        if name not in baseline["benchmarks"]]
+    print(f"\n{'benchmark':16s} {'baseline':>12s} {'current':>12s} "
+          f"{'norm ratio':>10s}")
+    for name, base in baseline["benchmarks"].items():
+        now = current["benchmarks"].get(name)
+        if now is None:
+            failures.append(f"{name}: workload disappeared from the suite")
+            continue
+        ratio = now["normalized"] / base["normalized"]
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: normalized rate fell {100 * (1 - ratio):.0f}% "
+                f"(tolerance {100 * tolerance:.0f}%)")
+        print(f"{name:16s} {base['rate']:12.1f} {now['rate']:12.1f} "
+              f"{ratio:10.2f}{flag}")
+        pre = base.get("pre_pr_rate")
+        if pre:
+            print(f"{'':16s} ({now['rate'] / pre:.2f}x the pre-compiled-"
+                  f"hot-path rate of {pre:.0f}/s)")
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all {len(baseline['benchmarks'])} workloads within "
+          f"{100 * tolerance:.0f}% of baseline")
+    return 0
+
+
+def cmd_update(repeats: int) -> int:
+    previous = {}
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH) as handle:
+            previous = json.load(handle).get("benchmarks", {})
+    print("recording new baseline...")
+    data = measure(repeats)
+    for name, entry in data["benchmarks"].items():
+        pre = previous.get(name, {}).get("pre_pr_rate")
+        if pre is not None:
+            entry["pre_pr_rate"] = pre
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"baseline written to {BASELINE_PATH}")
+    return 0
+
+
+def cmd_list() -> int:
+    baseline = load_baseline()
+    print(json.dumps(baseline, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--check", action="store_true",
+                       help="fail if any workload regressed past "
+                            "--tolerance vs the committed baseline")
+    group.add_argument("--update", action="store_true",
+                       help="re-measure and rewrite the baseline")
+    group.add_argument("--list", action="store_true",
+                       help="print the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop in normalized rate "
+                             "(default 0.30)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats per workload; the fastest "
+                             "run counts (default 5)")
+    args = parser.parse_args(argv)
+    if args.check:
+        return cmd_check(args.tolerance, args.repeats)
+    if args.update:
+        return cmd_update(args.repeats)
+    return cmd_list()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ import time
 from repro.core.scale import Scale
 from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
                         store_main)
+from repro.profiling import add_profile_argument, maybe_profile
 from repro.experiments import (calibration, diversity, link_speed,
                                multiplexing, rtt, signals, structure,
                                tcp_awareness)
@@ -153,6 +154,7 @@ def main(argv=None) -> int:
                         help="require --store to exist already (guards "
                              "against a typo'd path silently recomputing "
                              "a finished sweep)")
+    add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
         parser.error("--resume requires --store PATH")
@@ -169,7 +171,7 @@ def main(argv=None) -> int:
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2
-    with executor:
+    with executor, maybe_profile(args.profile):
         for title, runner in EXPERIMENTS:
             if args.only and not any(needle.lower() in title.lower()
                                      for needle in args.only):

@@ -39,6 +39,7 @@ from dataclasses import asdict
 from repro.core.scale import Scale
 from repro.exec import (StoreExecutor, StoreSchemaError, default_jobs,
                         executor_for, store_main)
+from repro.profiling import add_profile_argument, maybe_profile
 from repro.remy.assets import save_asset
 from repro.remy.catalog import CATALOG
 from repro.remy.evaluator import EvalSettings
@@ -74,6 +75,7 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--resume", action="store_true",
                         help="require --store to exist already (typo "
                              "guard)")
+    add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
         parser.error("--resume requires --store PATH")
@@ -158,7 +160,7 @@ def main(argv=None) -> int:
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2
-    with executor:
+    with executor, maybe_profile(args.profile):
         for name in names:
             if name in done:
                 continue

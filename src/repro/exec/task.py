@@ -109,10 +109,18 @@ def run_sim_task(task: SimTask) -> SimTaskResult:
     # import time but not at call time.
     from ..core.scenario import NetworkConfig
     from ..experiments.common import build_simulation
+    from ..remy.compiled import compiled_from_json
     from ..remy.tree import WhiskerTree
 
-    trees: Dict[str, WhiskerTree] = {
-        kind: WhiskerTree.from_json(text) for kind, text in task.trees}
+    trees: Dict[str, WhiskerTree] = {}
+    for kind, text in task.trees:
+        tree = WhiskerTree.from_json(text)
+        # The task's tree JSON is the canonical serialization its
+        # fingerprint hashes, so it keys a process-wide compilation
+        # memo: evaluating one candidate over a (config x seed) grid
+        # compiles it once per worker, not once per task.
+        tree.adopt_compiled(compiled_from_json(text))
+        trees[kind] = tree
     config = NetworkConfig.from_dict(task.config)
     handle = build_simulation(config, trees=trees, seed=task.seed,
                               record_usage=task.record_usage)

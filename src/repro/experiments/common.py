@@ -27,6 +27,7 @@ from ..protocols.base import CongestionController
 from ..protocols.registry import make_controller
 from ..protocols.remycc import RemyCCController
 from ..protocols.transport import DATA_PACKET_BYTES, FlowReceiver, FlowSender
+from ..remy.compiled import UsageStats
 from ..remy.tree import WhiskerTree
 from ..sim.codel import CoDelQueue
 from ..sim.engine import Simulator
@@ -54,7 +55,9 @@ class SimulationHandle:
                  receivers: List[FlowReceiver],
                  workloads: List[object],
                  traces: Dict[str, QueueTrace],
-                 seed: int):
+                 seed: int,
+                 usage_accumulators: Optional[
+                     List[Tuple[WhiskerTree, UsageStats]]] = None):
         self.sim = sim
         self.built = built
         self.config = config
@@ -64,6 +67,10 @@ class SimulationHandle:
         self.workloads = workloads
         self.traces = traces
         self.seed = seed
+        #: (tree, shared flat stats) per distinct rule table, merged
+        #: back into the tree's whiskers after every run() — the
+        #: compiled fast path for record_usage.
+        self._usage_accumulators = usage_accumulators or []
 
     def bottleneck_links(self):
         """The capacitated links of the configured topology."""
@@ -74,6 +81,8 @@ class SimulationHandle:
     def run(self, duration_s: float) -> RunResult:
         """Run to ``duration_s`` and collect per-flow statistics."""
         self.sim.run(until=duration_s)
+        for tree, stats in self._usage_accumulators:
+            stats.merge_into(tree)
         flows: List[FlowStats] = []
         for i, kind in enumerate(self.config.sender_kinds):
             sender = self.senders[i]
@@ -117,9 +126,24 @@ def _queue_factory(config: NetworkConfig, link_index: int):
 
 
 def _controller_for(kind: str, trees: Dict[str, WhiskerTree],
-                    record_usage: bool) -> CongestionController:
+                    record_usage: bool,
+                    accumulators: Dict[int, Tuple[WhiskerTree, UsageStats]]
+                    ) -> CongestionController:
     if kind in trees:
-        return RemyCCController(trees[kind], record_usage=record_usage)
+        tree = trees[kind]
+        stats = None
+        if record_usage:
+            # One shared flat accumulator per tree *instance*: senders
+            # driving the same table interleave their hits in event
+            # order, exactly as they did when they shared the whisker
+            # objects directly.
+            entry = accumulators.get(id(tree))
+            if entry is None:
+                entry = (tree, UsageStats(len(tree)))
+                accumulators[id(tree)] = entry
+            stats = entry[1]
+        return RemyCCController(tree, record_usage=record_usage,
+                                usage_stats=stats)
     return make_controller(kind)
 
 
@@ -161,8 +185,10 @@ def build_simulation(
     senders: List[FlowSender] = []
     receivers: List[FlowReceiver] = []
     workloads: List[object] = []
+    accumulators: Dict[int, Tuple[WhiskerTree, UsageStats]] = {}
     for i, kind in enumerate(config.sender_kinds):
-        controller = _controller_for(kind, trees, record_usage)
+        controller = _controller_for(kind, trees, record_usage,
+                                     accumulators)
         sender = FlowSender(sim, built.network, i, controller)
         receiver = FlowReceiver(sim, built.network, i)
         if workload_intervals is not None and i in workload_intervals:
@@ -188,7 +214,8 @@ def build_simulation(
             traces[link.name] = QueueTrace(link.queue)
 
     return SimulationHandle(sim, built, config, controllers, senders,
-                            receivers, workloads, traces, seed)
+                            receivers, workloads, traces, seed,
+                            usage_accumulators=list(accumulators.values()))
 
 
 def run_config(config: NetworkConfig,

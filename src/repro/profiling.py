@@ -1,0 +1,63 @@
+"""cProfile plumbing shared by the CLI scripts.
+
+Both ``scripts/run_experiments.py`` and ``scripts/train_assets.py``
+accept ``--profile [PATH]``:
+
+* bare ``--profile`` prints the top cumulative-time functions to
+  stderr when the run finishes (quick "where did the time go?");
+* ``--profile run.prof`` dumps binary profile data for ``pstats`` or
+  snakeviz, and still prints a one-line pointer.
+
+Profiling observes only the submitting process: simulations fanned out
+to pool workers (``--jobs N > 1``) appear as time spent waiting in the
+executor, so profile hot-path work with ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["maybe_profile", "add_profile_argument"]
+
+#: Functions shown by the bare --profile stderr report.
+_TOP_FUNCTIONS = 40
+
+
+def add_profile_argument(parser) -> None:
+    """Install the shared ``--profile [PATH]`` option on ``parser``."""
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="profile the run with cProfile; with PATH, dump binary "
+             "stats there (pstats/snakeviz format), otherwise print "
+             "the top functions to stderr (use --jobs 1 to see "
+             "simulation internals rather than pool waiting)")
+
+
+@contextmanager
+def maybe_profile(spec: Optional[str]) -> Iterator[None]:
+    """Run the body under cProfile when ``spec`` is set.
+
+    ``spec`` is ``None`` (disabled), ``"-"`` (report to stderr), or a
+    path for a binary stats dump.
+    """
+    if spec is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        if spec == "-":
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(_TOP_FUNCTIONS)
+        else:
+            profiler.dump_stats(spec)
+            print(f"profile written to {spec} "
+                  f"(inspect with python -m pstats, or snakeviz)",
+                  file=sys.stderr)

@@ -2,11 +2,27 @@
 
 A RemyCC sender keeps the paper's four congestion signals
 (:class:`~repro.remy.memory.Memory`), and on every arriving ACK looks the
-signal vector up in a :class:`~repro.remy.tree.WhiskerTree` and applies
-the matched action (paper sections 3.3 and 3.5):
+signal vector up in the rule table and applies the matched action (paper
+sections 3.3 and 3.5):
 
 * congestion window becomes ``m * cwnd + b`` (clamped to [1, cap]),
 * outgoing packets are paced at least ``tau`` seconds apart.
+
+The per-ACK path runs against the tree's compiled form
+(:class:`~repro.remy.compiled.CompiledTree`): an iterative index walk
+over flat arrays instead of node-object chasing, with the clipped
+signal vector written into a reusable scratch buffer
+(:meth:`Memory.signals_into`) so the steady state allocates nothing.
+Results are bitwise-identical to ``WhiskerTree.lookup`` — the golden
+trace suite pins this.
+
+Usage recording has two modes.  By default each lookup write-throughs to
+the matched :class:`~repro.remy.whisker.Whisker` exactly as the
+interpreted path did, so direct users of the controller see stats on the
+tree immediately.  The simulation builder instead passes a shared
+:class:`~repro.remy.compiled.UsageStats` accumulator (one per tree per
+run), which turns recording into flat array increments and merges back
+into the tree once per run.
 
 On a retransmission timeout the memory and window reset, mirroring the
 watchdog behaviour of the authors' ns-2 RemyCC port.
@@ -14,6 +30,9 @@ watchdog behaviour of the authors' ns-2 RemyCC port.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..remy.compiled import UsageStats
 from ..remy.memory import Memory
 from ..remy.tree import WhiskerTree
 from .base import AckContext, CongestionController
@@ -32,17 +51,28 @@ class RemyCCController(CongestionController):
     Parameters
     ----------
     tree:
-        The rule table (pre-trained asset or optimizer output).
+        The rule table (pre-trained asset or optimizer output).  Its
+        compiled form is taken once at construction; mutating the tree
+        mid-simulation is not supported.
     record_usage:
         When True, every lookup updates the matched whisker's usage
         statistics — the optimizer needs this; plain evaluation runs
         leave it off for speed.
+    usage_stats:
+        Optional shared flat accumulator (see
+        :class:`~repro.remy.compiled.UsageStats`).  When given, hits are
+        recorded there instead of written through to the whiskers; the
+        owner is responsible for merging it back into the tree after the
+        run (``SimulationHandle.run`` does).  All controllers driving
+        the same tree in one run must share one instance so the float
+        accumulation order matches the interpreted path's.
     """
 
     name = "remycc"
 
     def __init__(self, tree: WhiskerTree, record_usage: bool = False,
-                 initial_window: float = 1.0):
+                 initial_window: float = 1.0,
+                 usage_stats: Optional[UsageStats] = None):
         super().__init__()
         self.tree = tree
         self.record_usage = record_usage
@@ -50,6 +80,22 @@ class RemyCCController(CongestionController):
         self.memory = Memory()
         self.window = initial_window
         self._intersend = 0.0
+        compiled = tree.compiled()
+        self._compiled = compiled
+        # Hot-path state unpacked into slots-free locals-per-lookup.
+        self._root_ref = compiled.root_ref
+        self._dims = compiled.dims
+        self._thresholds = compiled.thresholds
+        self._left = compiled.left
+        self._right = compiled.right
+        self._m = compiled.action_m
+        self._b = compiled.action_b
+        self._tau = compiled.action_tau
+        self._signals = [0.0, 0.0, 0.0, 1.0]
+        self._stats = usage_stats
+        #: Leaves in compiled order, for write-through recording.
+        self._leaf_whiskers = tree.whiskers() if record_usage \
+            and usage_stats is None else None
 
     def on_flow_start(self, now: float) -> None:
         self.memory.reset()
@@ -65,15 +111,41 @@ class RemyCCController(CongestionController):
         self._update(ctx)
 
     def _update(self, ctx: AckContext) -> None:
-        self.memory.on_ack(ctx.now, ctx.echo_sent_at, ctx.rtt_sample)
-        vector = self.memory.vector()
-        whisker = self.tree.lookup(vector)
+        memory = self.memory
+        memory.on_ack(ctx.now, ctx.echo_sent_at, ctx.rtt_sample)
+        signals = self._signals
+        memory.signals_into(signals)
+
+        node = self._root_ref
+        dims = self._dims
+        thresholds = self._thresholds
+        left = self._left
+        right = self._right
+        while node >= 0:
+            node = left[node] if signals[dims[node]] < thresholds[node] \
+                else right[node]
+        leaf = ~node
+
         if self.record_usage:
-            whisker.record_use(vector)
-        action = whisker.action
-        new_window = action.apply_to_window(self.window)
-        self.window = min(max(new_window, 1.0), REMY_MAX_WINDOW)
-        self._intersend = action.intersend_s
+            stats = self._stats
+            if stats is not None:
+                stats.counts[leaf] += 1
+                base = leaf * 4
+                sums = stats.sums
+                sums[base] += signals[0]
+                sums[base + 1] += signals[1]
+                sums[base + 2] += signals[2]
+                sums[base + 3] += signals[3]
+            else:
+                self._leaf_whiskers[leaf].record_use(signals)
+
+        window = self.window * self._m[leaf] + self._b[leaf]
+        if window < 1.0:
+            window = 1.0
+        elif window > REMY_MAX_WINDOW:
+            window = REMY_MAX_WINDOW
+        self.window = window
+        self._intersend = self._tau[leaf]
 
     def on_timeout(self, now: float) -> None:
         self.memory.reset()

@@ -1,0 +1,209 @@
+"""Compiled whisker trees: the rule-table hot path as flat arrays.
+
+:class:`~repro.remy.tree.WhiskerTree` is the right structure for the
+*optimizer* — it splits, clones, and serializes — but its per-ACK
+``lookup`` walks ``isinstance``-dispatched node objects and its
+``record_use`` pays a method call plus a Python loop per hit.  Every
+simulated packet in training and evaluation funnels through those two
+operations, which makes them the constant factor the whole reproduction
+is bottlenecked on.
+
+:class:`CompiledTree` flattens a tree once into parallel arrays:
+
+* internal node ``i`` carries ``dims[i]`` / ``thresholds[i]`` and two
+  child references ``left[i]`` / ``right[i]``;
+* a child reference ``>= 0`` is another internal node index, and ``< 0``
+  encodes a leaf as ``~leaf_index`` (so a pure index walk needs no tag
+  checks at all);
+* leaf ``j`` carries its action unpacked into ``action_m[j]`` /
+  ``action_b[j]`` / ``action_tau[j]``.
+
+Leaves are numbered in the tree's canonical depth-first left-first
+order — the exact order :meth:`WhiskerTree.whiskers` yields — so a leaf
+index is interchangeable with a whisker list index everywhere (usage
+merging, ``set_action``, stats extraction).
+
+Usage statistics accumulate into a :class:`UsageStats` pair of flat
+arrays (one integer increment plus four float adds per ACK) and merge
+back into the tree's whiskers once per run via
+:meth:`UsageStats.merge_into`.  The float additions happen in the same
+per-dimension order as ``Whisker.record_use``, so for a fresh tree the
+merged sums are bitwise-identical to the interpreted path's — the golden
+trace suite pins this.
+
+A ``CompiledTree`` is immutable and holds no references back to any
+whisker, so one compiled instance can be shared by every simulation of
+the same rule table; :func:`compiled_from_json` memoizes compilation on
+the tree's canonical JSON (the same text the task fingerprint hashes),
+which is how the evaluator's workers compile each candidate tree once
+per process rather than once per (config, seed) task.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .memory import NUM_SIGNALS
+
+__all__ = ["CompiledTree", "UsageStats", "compiled_from_json"]
+
+# The record paths below unroll the four signal dimensions by hand.
+assert NUM_SIGNALS == 4
+
+#: Bound on the JSON -> CompiledTree memo (structures are small — tens
+#: of floats per leaf — but worker processes are long-lived).
+_JSON_CACHE_MAX = 256
+
+_JSON_CACHE: dict = {}
+
+
+class CompiledTree:
+    """A whisker tree flattened into parallel arrays (immutable)."""
+
+    __slots__ = ("n_leaves", "root_ref", "dims", "thresholds",
+                 "left", "right", "action_m", "action_b", "action_tau")
+
+    def __init__(self, root_ref: int, dims: List[int],
+                 thresholds: List[float], left: List[int],
+                 right: List[int], action_m: List[float],
+                 action_b: List[float], action_tau: List[float]):
+        self.root_ref = root_ref
+        self.dims = dims
+        self.thresholds = thresholds
+        self.left = left
+        self.right = right
+        self.action_m = action_m
+        self.action_b = action_b
+        self.action_tau = action_tau
+        self.n_leaves = len(action_m)
+
+    @classmethod
+    def from_tree(cls, tree) -> "CompiledTree":
+        """Flatten ``tree`` (a :class:`WhiskerTree`).
+
+        Prefer :meth:`WhiskerTree.compiled`, which caches the result on
+        the tree and invalidates it on mutation.
+        """
+        from .tree import _Leaf
+
+        dims: List[int] = []
+        thresholds: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        action_m: List[float] = []
+        action_b: List[float] = []
+        action_tau: List[float] = []
+
+        def emit(node) -> int:
+            """Flatten ``node``; returns its child reference encoding."""
+            if isinstance(node, _Leaf):
+                action = node.whisker.action
+                leaf_index = len(action_m)
+                action_m.append(action.window_multiple)
+                action_b.append(action.window_increment)
+                action_tau.append(action.intersend_s)
+                return ~leaf_index
+            index = len(dims)
+            dims.append(node.dim)
+            thresholds.append(node.value)
+            left.append(0)       # patched below
+            right.append(0)
+            # Children are emitted left-first so leaves come out in the
+            # same depth-first order as WhiskerTree.whiskers().
+            left[index] = emit(node.left)
+            right[index] = emit(node.right)
+            return index
+
+        root_ref = emit(tree._root)
+        return cls(root_ref, dims, thresholds, left, right,
+                   action_m, action_b, action_tau)
+
+    def lookup(self, vector: Sequence[float]) -> int:
+        """Index of the leaf whose box contains ``vector``.
+
+        Equivalent to ``tree.whiskers().index(tree.lookup(vector))``,
+        as one iterative index walk with no attribute dispatch.
+        """
+        node = self.root_ref
+        dims = self.dims
+        thresholds = self.thresholds
+        left = self.left
+        right = self.right
+        while node >= 0:
+            node = left[node] if vector[dims[node]] < thresholds[node] \
+                else right[node]
+        return ~node
+
+    def new_stats(self) -> "UsageStats":
+        """A zeroed flat usage accumulator sized for this tree."""
+        return UsageStats(self.n_leaves)
+
+
+class UsageStats:
+    """Flat per-run usage accumulator for one compiled tree.
+
+    One instance is shared by every sender driving the same rule table
+    in a run, so the interleaving of their hits — and therefore the
+    float addition order — matches the interpreted path, where the
+    senders shared the tree's whisker objects.
+    """
+
+    __slots__ = ("counts", "sums")
+
+    def __init__(self, n_leaves: int):
+        self.counts = [0] * n_leaves
+        self.sums = [0.0] * (NUM_SIGNALS * n_leaves)
+
+    def record(self, leaf: int, signals: Sequence[float]) -> None:
+        """Fold one hit of ``leaf`` in (hot callers inline this)."""
+        self.counts[leaf] += 1
+        base = leaf * 4
+        sums = self.sums
+        sums[base] += signals[0]
+        sums[base + 1] += signals[1]
+        sums[base + 2] += signals[2]
+        sums[base + 3] += signals[3]
+
+    def merge_into(self, tree) -> None:
+        """Add the accumulated stats to ``tree``'s whiskers and reset.
+
+        Delegates to :meth:`WhiskerTree.merge_stats` — the same fold the
+        evaluator applies to worker results — so there is exactly one
+        merge implementation to keep bitwise-faithful.  Resetting makes
+        repeated run/merge cycles accumulate correctly (each merge folds
+        only the hits since the previous one).
+        """
+        counts, sums = self.as_lists()
+        tree.merge_stats(counts, sums)
+        self.counts = [0] * len(self.counts)
+        self.sums = [0.0] * len(self.sums)
+
+    def as_lists(self) -> Tuple[List[int], List[List[float]]]:
+        """(counts, per-leaf sums) in whisker order, like
+        :meth:`WhiskerTree.extract_stats`."""
+        sums = self.sums
+        return (list(self.counts),
+                [list(sums[i * 4:i * 4 + 4])
+                 for i in range(len(self.counts))])
+
+
+def compiled_from_json(text: str) -> CompiledTree:
+    """Compile a serialized tree, memoized on the exact JSON text.
+
+    The executors ship trees to workers as the canonical JSON produced
+    by :meth:`WhiskerTree.to_json` — the same bytes the task fingerprint
+    hashes — so the text itself is a fingerprint-strength cache key,
+    minus the SHA-1.  Evaluating one candidate tree over an N-config x
+    M-seed grid compiles it once per worker process instead of N*M
+    times.
+    """
+    compiled = _JSON_CACHE.get(text)
+    if compiled is None:
+        from .tree import WhiskerTree
+
+        compiled = CompiledTree.from_tree(WhiskerTree.from_json(text))
+        if len(_JSON_CACHE) >= _JSON_CACHE_MAX:
+            # Insertion-ordered dict: evict the oldest entry.
+            _JSON_CACHE.pop(next(iter(_JSON_CACHE)))
+        _JSON_CACHE[text] = compiled
+    return compiled

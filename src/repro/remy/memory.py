@@ -41,6 +41,17 @@ ALL_SIGNALS: SignalMask = (True, True, True, True)
 _FAST_GAIN = 1.0 / 8.0
 _SLOW_GAIN = 1.0 / 256.0
 
+#: Clip bounds unpacked to module-level scalars so the per-ACK hot path
+#: pays no tuple indexing.  The caps are the exact float `_clip` used to
+#: compute per call: strictly inside the domain so the half-open whisker
+#: boxes always contain the vector.
+_LO0, _LO1, _LO2, _LO3 = SIGNAL_LOWER_BOUNDS
+_HI0, _HI1, _HI2, _HI3 = SIGNAL_UPPER_BOUNDS
+_CAP0 = _HI0 * (1.0 - 1e-9)
+_CAP1 = _HI1 * (1.0 - 1e-9)
+_CAP2 = _HI2 * (1.0 - 1e-9)
+_CAP3 = _HI3 * (1.0 - 1e-9)
+
 
 class Memory:
     """Per-sender congestion-signal state.
@@ -101,15 +112,37 @@ class Memory:
 
     def vector(self) -> Tuple[float, float, float, float]:
         """The signal vector used for whisker-tree lookup (clipped)."""
+        v0 = self.rec_ewma
+        v1 = self.slow_rec_ewma
+        v2 = self.send_ewma
+        v3 = self.rtt_ratio
         return (
-            _clip(self.rec_ewma, 0),
-            _clip(self.slow_rec_ewma, 1),
-            _clip(self.send_ewma, 2),
-            _clip(self.rtt_ratio, 3),
+            _LO0 if v0 < _LO0 else (_CAP0 if v0 >= _HI0 else v0),
+            _LO1 if v1 < _LO1 else (_CAP1 if v1 >= _HI1 else v1),
+            _LO2 if v2 < _LO2 else (_CAP2 if v2 >= _HI2 else v2),
+            _LO3 if v3 < _LO3 else (_CAP3 if v3 >= _HI3 else v3),
         )
+
+    def signals_into(self, out: list) -> None:
+        """Write the clipped signal vector into ``out[0:4]`` in place.
+
+        The allocation-free twin of :meth:`vector` for the compiled
+        lookup path: callers reuse one scratch list per flow instead of
+        building a fresh tuple on every ACK.  Values are identical to
+        :meth:`vector`'s.
+        """
+        v0 = self.rec_ewma
+        v1 = self.slow_rec_ewma
+        v2 = self.send_ewma
+        v3 = self.rtt_ratio
+        out[0] = _LO0 if v0 < _LO0 else (_CAP0 if v0 >= _HI0 else v0)
+        out[1] = _LO1 if v1 < _LO1 else (_CAP1 if v1 >= _HI1 else v1)
+        out[2] = _LO2 if v2 < _LO2 else (_CAP2 if v2 >= _HI2 else v2)
+        out[3] = _LO3 if v3 < _LO3 else (_CAP3 if v3 >= _HI3 else v3)
 
 
 def _clip(value: float, dim: int) -> float:
+    """Reference clip (kept for tests/tools; the hot paths inline it)."""
     low = SIGNAL_LOWER_BOUNDS[dim]
     high = SIGNAL_UPPER_BOUNDS[dim]
     if value < low:

@@ -58,6 +58,13 @@ class WhiskerTree:
         lower, upper = full_domain()
         self.mask = tuple(mask)
         self._root: _Node = _Leaf(Whisker(lower, upper, default_action))
+        self._leaves: Optional[List[Whisker]] = None
+        self._compiled = None
+
+    def _invalidate_caches(self) -> None:
+        """Drop derived views after any structural or action change."""
+        self._leaves = None
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Lookup and traversal
@@ -73,17 +80,49 @@ class WhiskerTree:
         return node.whisker
 
     def whiskers(self) -> List[Whisker]:
-        """All leaves in deterministic (depth-first, left-first) order."""
-        out: List[Whisker] = []
-        stack: List[_Node] = [self._root]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, _Leaf):
-                out.append(node.whisker)
-            else:
-                stack.append(node.right)
-                stack.append(node.left)
-        return out
+        """All leaves in deterministic (depth-first, left-first) order.
+
+        The list is cached (``split`` invalidates it) because the
+        optimizer calls this on every ``set_action`` /
+        ``most_used_whisker``, which used to rebuild it by walking the
+        whole tree each time.  Treat the result as read-only.
+        """
+        leaves = self._leaves
+        if leaves is None:
+            leaves = []
+            stack: List[_Node] = [self._root]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, _Leaf):
+                    leaves.append(node.whisker)
+                else:
+                    stack.append(node.right)
+                    stack.append(node.left)
+            self._leaves = leaves
+        return leaves
+
+    def compiled(self):
+        """This tree flattened to a :class:`~repro.remy.compiled.CompiledTree`.
+
+        Cached; ``split`` and ``set_action`` invalidate it.  Mutating a
+        whisker's ``action`` attribute directly does *not* — use
+        ``set_action``.
+        """
+        if self._compiled is None:
+            from .compiled import CompiledTree
+            self._compiled = CompiledTree.from_tree(self)
+        return self._compiled
+
+    def adopt_compiled(self, compiled) -> None:
+        """Install a pre-built compiled form for this tree.
+
+        Only valid when ``compiled`` was flattened from a tree with
+        identical structure and actions (e.g. the memoized compilation
+        of the exact JSON this tree was parsed from — see
+        :func:`repro.remy.compiled.compiled_from_json`); there is no
+        verification, a mismatch silently corrupts lookups.
+        """
+        self._compiled = compiled
 
     def __len__(self) -> int:
         return len(self.whiskers())
@@ -143,6 +182,9 @@ class WhiskerTree:
     def set_action(self, index: int, action: Action) -> None:
         """Replace the action of the ``index``-th whisker in-place."""
         self.whiskers()[index].action = action.clamped()
+        # The leaf list is still valid (same boxes), but any compiled
+        # form now carries a stale action table.
+        self._compiled = None
 
     def split(self, whisker: Whisker) -> int:
         """Split ``whisker`` into one child per half-space of every
@@ -152,6 +194,7 @@ class WhiskerTree:
         dims = [d for d in range(NUM_SIGNALS) if self.mask[d]]
         subtree = self._build_split(whisker, dims)
         self._root = self._replace(self._root, whisker, subtree)
+        self._invalidate_caches()
         return 2 ** len(dims)
 
     def _build_split(self, whisker: Whisker, dims: List[int]) -> _Node:
@@ -196,6 +239,7 @@ class WhiskerTree:
     def from_dict(cls, data: dict) -> "WhiskerTree":
         tree = cls(mask=tuple(bool(x) for x in data["mask"]))
         tree._root = _node_from_dict(data["root"])
+        tree._invalidate_caches()
         return tree
 
     def to_json(self) -> str:

@@ -60,7 +60,7 @@ class Link:
     """
 
     __slots__ = ("sim", "rate_bps", "delay_s", "queue", "name",
-                 "deliver", "stats", "_busy")
+                 "deliver", "stats", "_busy", "_instant")
 
     def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
                  queue: Optional[QueueDiscipline] = None,
@@ -78,6 +78,7 @@ class Link:
         self.deliver: Callable[[Packet], None] = _unconnected
         self.stats = LinkStats()
         self._busy = False
+        self._instant = math.isinf(rate_bps)
 
     @property
     def busy(self) -> bool:
@@ -92,26 +93,34 @@ class Link:
 
     def send(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link.  Returns False if the queue drops it."""
-        admitted = self.queue.enqueue(packet, self.sim.now)
+        # sim._now, not sim.now: this runs once per packet per hop, and
+        # the property dispatch shows up in kernel profiles.
+        admitted = self.queue.enqueue(packet, self.sim._now)
         if admitted and not self._busy:
             self._start_next()
         return admitted
 
     def _start_next(self) -> None:
-        packet = self.queue.dequeue(self.sim.now)
+        sim = self.sim
+        packet = self.queue.dequeue(sim._now)
         if packet is None:
             self._busy = False
             return
         self._busy = True
-        tx_time = self.transmission_time(packet.size_bytes)
+        # Serialization is never cancelled: take the handle-free agenda
+        # fast path, with the rate math inlined (same float expression
+        # as transmission_time, so trajectories are unchanged).
+        tx_time = 0.0 if self._instant \
+            else packet.size_bytes * 8.0 / self.rate_bps
         self.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, self._transmission_done, packet)
+        sim.schedule_call(tx_time, self._transmission_done, packet)
 
     def _transmission_done(self, packet: Packet) -> None:
-        self.stats.packets_forwarded += 1
-        self.stats.bytes_forwarded += packet.size_bytes
+        stats = self.stats
+        stats.packets_forwarded += 1
+        stats.bytes_forwarded += packet.size_bytes
         if self.delay_s > 0:
-            self.sim.schedule(self.delay_s, self.deliver, packet)
+            self.sim.schedule_call(self.delay_s, self.deliver, packet)
         else:
             self.deliver(packet)
         self._start_next()

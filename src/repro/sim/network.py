@@ -124,9 +124,11 @@ class Network:
         return route[0].send(packet)
 
     def _on_deliver(self, packet: Packet) -> None:
-        packet.hop += 1
-        if packet.hop < len(packet.route):
-            packet.route[packet.hop].send(packet)
+        hop = packet.hop + 1
+        packet.hop = hop
+        route = packet.route
+        if hop < len(route):
+            route[hop].send(packet)
             return
         path = self.flows[packet.flow_id]
         endpoint = path.ack_endpoint if packet.is_ack else path.data_endpoint

@@ -122,36 +122,48 @@ class DropTailQueue(QueueDiscipline):
         return self._bytes
 
     def enqueue(self, packet: Packet, now: float) -> bool:
+        stats = self.stats
+        size = packet.size_bytes
         would_overflow = (
-            len(self) + 1 > self.capacity_packets
-            or self._bytes + packet.size_bytes > self.capacity_bytes
+            len(self._queue) - self._head + 1 > self.capacity_packets
+            or self._bytes + size > self.capacity_bytes
         )
+        listener = self.occupancy_listener
         if would_overflow:
-            self.stats.dropped += 1
-            self.stats.dropped_at_arrival += 1
-            self.stats.bytes_dropped += packet.size_bytes
-            self._notify(now)
+            stats.dropped += 1
+            stats.dropped_at_arrival += 1
+            stats.bytes_dropped += size
+            if listener is not None:
+                listener(now, len(self))
             return False
         packet.enqueued_at = now
         self._queue.append(packet)
-        self._bytes += packet.size_bytes
-        self.stats.enqueued += 1
-        self.stats.bytes_enqueued += packet.size_bytes
-        self._notify(now)
+        self._bytes += size
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        if listener is not None:
+            listener(now, len(self))
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
-        if self._head >= len(self._queue):
+        queue = self._queue
+        head = self._head
+        if head >= len(queue):
             return None
-        packet = self._queue[self._head]
-        self._queue[self._head] = None  # allow the packet to be collected
-        self._head += 1
-        if self._head > 64 and self._head * 2 > len(self._queue):
+        packet = queue[head]
+        queue[head] = None  # allow the packet to be collected
+        head += 1
+        if head > 64 and head * 2 > len(queue):
             # Compact the backing list once the dead prefix dominates.
-            self._queue = self._queue[self._head:]
-            self._head = 0
-        self._bytes -= packet.size_bytes
-        self.stats.dequeued += 1
-        self.stats.bytes_dequeued += packet.size_bytes
-        self._notify(now)
+            self._queue = queue[head:]
+            head = 0
+        self._head = head
+        size = packet.size_bytes
+        self._bytes -= size
+        stats = self.stats
+        stats.dequeued += 1
+        stats.bytes_dequeued += size
+        listener = self.occupancy_listener
+        if listener is not None:
+            listener(now, len(self))
         return packet

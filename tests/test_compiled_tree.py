@@ -1,0 +1,256 @@
+"""Compiled whisker trees: equivalence with the interpreted path.
+
+The compiled fast path is only allowed to exist because it is
+*indistinguishable* from ``WhiskerTree.lookup`` + ``Whisker.record_use``
+— these properties pin that, on randomized trees crossed with
+randomized and boundary signal vectors (exact split thresholds, domain
+corners, clip caps).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.remycc import RemyCCController
+from repro.remy.action import Action
+from repro.remy.compiled import (CompiledTree, UsageStats,
+                                 compiled_from_json)
+from repro.remy.memory import (SIGNAL_LOWER_BOUNDS, SIGNAL_UPPER_BOUNDS,
+                               Memory)
+from repro.remy.tree import WhiskerTree
+
+#: Strictly-inside caps, exactly as Memory clips them.
+CAPS = tuple(high * (1.0 - 1e-9) for high in SIGNAL_UPPER_BOUNDS)
+
+
+def random_tree(rng: random.Random, n_splits: int) -> WhiskerTree:
+    """A tree grown by ``n_splits`` random splits with random actions.
+
+    Split points come from randomly recorded usage (the optimizer's
+    mean-signal rule), so thresholds land at arbitrary floats rather
+    than tidy box centres.
+    """
+    mask = tuple(rng.random() < 0.7 for _ in range(4))
+    if not any(mask):
+        mask = (True, True, True, True)
+    tree = WhiskerTree(mask=mask)
+    for _ in range(n_splits):
+        whisker = rng.choice(tree.whiskers())
+        for _ in range(rng.randint(0, 4)):
+            whisker.record_use(tuple(
+                rng.uniform(low, high) for low, high
+                in zip(whisker.lower, whisker.upper)))
+        tree.split(whisker)
+    for index in range(len(tree)):
+        tree.set_action(index, Action(rng.uniform(0.0, 2.0),
+                                      rng.uniform(-32.0, 64.0),
+                                      rng.uniform(2e-5, 1.0)))
+    tree.reset_stats()
+    return tree
+
+
+def probe_vectors(tree: WhiskerTree, rng: random.Random,
+                  n_random: int) -> list:
+    """Random vectors plus boundary ones built from the tree's own
+    split thresholds, the domain corners, and the clip caps."""
+    compiled = tree.compiled()
+    per_dim = [[SIGNAL_LOWER_BOUNDS[d], CAPS[d]] for d in range(4)]
+    for dim, threshold in zip(compiled.dims, compiled.thresholds):
+        per_dim[dim].append(threshold)
+    vectors = []
+    for _ in range(n_random):
+        vectors.append(tuple(
+            rng.uniform(SIGNAL_LOWER_BOUNDS[d], CAPS[d]) for d in range(4)))
+    for _ in range(n_random):
+        vectors.append(tuple(rng.choice(per_dim[d]) for d in range(4)))
+    return vectors
+
+
+class TestLookupEquivalence:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_lookup_matches_interpreted(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng, n_splits=rng.randint(0, 4))
+        compiled = tree.compiled()
+        leaves = tree.whiskers()
+        assert compiled.n_leaves == len(leaves)
+        for vector in probe_vectors(tree, rng, n_random=30):
+            assert leaves[compiled.lookup(vector)] is tree.lookup(vector)
+
+    def test_leaf_indices_follow_whisker_order(self):
+        rng = random.Random(7)
+        tree = random_tree(rng, n_splits=3)
+        compiled = tree.compiled()
+        for index, whisker in enumerate(tree.whiskers()):
+            centre = tuple((low + high) / 2.0 for low, high
+                           in zip(whisker.lower, whisker.upper))
+            assert compiled.lookup(centre) == index
+
+    def test_actions_flattened_in_leaf_order(self):
+        rng = random.Random(11)
+        tree = random_tree(rng, n_splits=2)
+        compiled = tree.compiled()
+        for index, whisker in enumerate(tree.whiskers()):
+            assert compiled.action_m[index] == whisker.action.window_multiple
+            assert compiled.action_b[index] == whisker.action.window_increment
+            assert compiled.action_tau[index] == whisker.action.intersend_s
+
+
+class TestFlatStats:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_merged_stats_equal_record_use_exactly(self, seed):
+        """Flat accumulation + one merge == per-hit record_use, bitwise."""
+        rng = random.Random(seed)
+        tree = random_tree(rng, n_splits=rng.randint(0, 3))
+        reference = tree.clone()
+        compiled = tree.compiled()
+        stats = compiled.new_stats()
+        record = stats.record
+        for vector in probe_vectors(tree, rng, n_random=60):
+            reference.lookup(vector).record_use(vector)
+            record(compiled.lookup(vector), vector)
+        stats.merge_into(tree)
+        for mine, theirs in zip(tree.whiskers(), reference.whiskers()):
+            assert mine.use_count == theirs.use_count
+            assert mine.signal_sums == theirs.signal_sums
+
+    def test_merge_resets_the_accumulator(self):
+        tree = WhiskerTree()
+        stats = tree.compiled().new_stats()
+        stats.record(0, (1.0, 2.0, 3.0, 4.0))
+        stats.merge_into(tree)
+        stats.merge_into(tree)   # second merge must be a no-op
+        whisker = tree.whiskers()[0]
+        assert whisker.use_count == 1
+        assert whisker.signal_sums == [1.0, 2.0, 3.0, 4.0]
+
+    def test_size_mismatch_rejected(self):
+        tree = WhiskerTree()
+        with pytest.raises(ValueError):
+            UsageStats(5).merge_into(tree)
+
+    def test_as_lists_matches_extract_stats_shape(self):
+        rng = random.Random(3)
+        tree = random_tree(rng, n_splits=1)
+        stats = tree.compiled().new_stats()
+        stats.record(1, (0.5, 0.25, 0.125, 2.0))
+        counts, sums = stats.as_lists()
+        assert len(counts) == len(tree) and len(sums) == len(tree)
+        assert counts[1] == 1
+        assert sums[1] == [0.5, 0.25, 0.125, 2.0]
+
+
+class TestTreeCaches:
+    def test_whisker_list_cached_until_split(self):
+        tree = WhiskerTree()
+        first = tree.whiskers()
+        assert tree.whiskers() is first
+        tree.split(first[0])
+        second = tree.whiskers()
+        assert second is not first
+        assert len(second) == 16
+
+    def test_set_action_keeps_leaves_but_recompiles(self):
+        tree = WhiskerTree()
+        leaves = tree.whiskers()
+        old_compiled = tree.compiled()
+        tree.set_action(0, Action(0.5, 2.0, 0.01))
+        assert tree.whiskers() is leaves
+        new_compiled = tree.compiled()
+        assert new_compiled is not old_compiled
+        assert new_compiled.action_m[0] == 0.5
+
+    def test_clone_does_not_share_caches(self):
+        tree = WhiskerTree()
+        tree.compiled()
+        twin = tree.clone()
+        twin.set_action(0, Action(0.25, 1.0, 0.01))
+        assert tree.compiled().action_m[0] != 0.25
+
+    def test_json_memo_returns_shared_structure(self):
+        rng = random.Random(5)
+        tree = random_tree(rng, n_splits=2)
+        text = tree.to_json()
+        assert compiled_from_json(text) is compiled_from_json(text)
+        other = compiled_from_json(random_tree(rng, 1).to_json())
+        assert other is not compiled_from_json(text)
+
+    def test_adopted_compiled_form_is_used(self):
+        tree = WhiskerTree()
+        compiled = CompiledTree.from_tree(tree)
+        tree.adopt_compiled(compiled)
+        assert tree.compiled() is compiled
+
+
+class TestMemoryClipping:
+    @given(st.floats(min_value=-10.0, max_value=100.0,
+                     allow_nan=False),
+           st.floats(min_value=-10.0, max_value=100.0,
+                     allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_signals_into_matches_vector(self, ewma, ratio):
+        memory = Memory()
+        memory.rec_ewma = ewma
+        memory.slow_rec_ewma = ewma / 2.0
+        memory.send_ewma = ewma * 3.0
+        memory.rtt_ratio = ratio
+        scratch = [0.0] * 4
+        memory.signals_into(scratch)
+        assert tuple(scratch) == memory.vector()
+
+    def test_clip_caps_stay_inside_every_whisker_box(self):
+        memory = Memory()
+        memory.rec_ewma = 1e9
+        memory.slow_rec_ewma = -5.0
+        memory.send_ewma = 16.0
+        memory.rtt_ratio = 0.5
+        vector = memory.vector()
+        assert vector == (CAPS[0], 0.0, CAPS[2], 1.0)
+        tree = WhiskerTree()
+        assert tree.lookup(vector) is tree.whiskers()[0]
+
+
+class TestControllerRecordingModes:
+    @staticmethod
+    def _ack(now, rtt=0.1):
+        from repro.protocols.base import AckContext
+        return AckContext(now=now, rtt_sample=rtt, newly_acked=1,
+                          cum_ack=0, echo_sent_at=now - rtt,
+                          receiver_time=now, in_recovery=False,
+                          base_rtt=rtt)
+
+    def test_shared_stats_defer_until_merge(self):
+        tree = WhiskerTree(default_action=Action(1.0, 1.0, 0.001))
+        stats = tree.compiled().new_stats()
+        cc = RemyCCController(tree, record_usage=True, usage_stats=stats)
+        cc.on_ack(self._ack(1.0))
+        cc.on_ack(self._ack(1.1))
+        assert tree.whiskers()[0].use_count == 0   # not merged yet
+        assert stats.counts[0] == 2
+        stats.merge_into(tree)
+        assert tree.whiskers()[0].use_count == 2
+
+    def test_write_through_equals_shared_stats(self):
+        """Both recording modes leave identical stats on the tree."""
+        def drive(cc):
+            now = 0.0
+            for _ in range(40):
+                now += 0.01
+                cc.on_ack(self._ack(now))
+
+        tree_a = WhiskerTree(default_action=Action(1.0, 1.0, 0.001))
+        tree_a.whiskers()[0].record_use((0.05, 0.05, 0.05, 1.1))
+        tree_a.split(tree_a.whiskers()[0])
+        tree_b = tree_a.clone()
+
+        drive(RemyCCController(tree_a, record_usage=True))
+        stats = tree_b.compiled().new_stats()
+        drive(RemyCCController(tree_b, record_usage=True,
+                               usage_stats=stats))
+        stats.merge_into(tree_b)
+        for a, b in zip(tree_a.whiskers(), tree_b.whiskers()):
+            assert a.use_count == b.use_count
+            assert a.signal_sums == b.signal_sums

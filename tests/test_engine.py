@@ -174,6 +174,50 @@ class TestTimer:
         assert hits == [1.0, 2.0, 3.0]
 
 
+class TestScheduleCall:
+    def test_interleaves_fifo_with_schedule(self):
+        """Handle-free and handled events share one sequence counter,
+        so same-time events fire in submission order regardless of API."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule_call(1.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "c")
+        sim.schedule_call(1.0, fired.append, "d")
+        sim.run(until=2.0)
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_returns_no_handle(self):
+        sim = Simulator()
+        assert sim.schedule_call(1.0, lambda: None) is None
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_call(-0.5, lambda: None)
+
+    def test_counts_toward_events_processed(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule_call(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.events_processed == 3
+
+    def test_survives_compaction(self):
+        """Compaction must keep handle-free entries (they can never be
+        cancelled) while evicting dead handled ones."""
+        sim = Simulator()
+        fired = []
+        sim.schedule_call(10.0, fired.append, "keep")
+        dead = [sim.schedule(10.0, lambda: None) for _ in range(200)]
+        for event in dead:
+            event.cancel()
+        sim.schedule(10.0, fired.append, "also")
+        assert sim.pending_events == 2   # compaction ran on the push
+        sim.run(until=11.0)
+        assert fired == ["keep", "also"]
+
+
 class TestEventOrderingProperty:
     @given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
                               allow_nan=False), min_size=1, max_size=50))
