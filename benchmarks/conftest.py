@@ -14,9 +14,10 @@ import pytest
 from repro.core.scale import Scale
 from repro.remy.assets import available_assets
 
-#: Benchmarks trade statistical tightness for wall-clock time.
-BENCH_SCALE = Scale(duration_s=10.0, packet_budget=30_000,
-                    min_duration_s=4.0, n_seeds=2, sweep_points=5)
+#: Benchmarks trade statistical tightness for wall-clock time — the
+#: same named "quick" budget the CLI scripts run (one lookup, no
+#: second SCALES dict to drift).
+BENCH_SCALE = Scale.named("quick")
 
 #: A finer scale for the cheap, single-scenario benches.
 BENCH_SCALE_FINE = Scale(duration_s=30.0, packet_budget=60_000,

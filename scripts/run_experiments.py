@@ -1,17 +1,28 @@
 #!/usr/bin/env python
-"""Run every experiment and emit the EXPERIMENTS.md results block.
+"""Run the registered experiments and emit the EXPERIMENTS.md block.
 
 Usage::
 
+    python scripts/run_experiments.py --list
     python scripts/run_experiments.py --scale quick
     python scripts/run_experiments.py --scale quick --jobs 4
+    python scripts/run_experiments.py --only E2 E4
     python scripts/run_experiments.py --scale default -o results.md
     python scripts/run_experiments.py --scale default --store results.store
     python scripts/run_experiments.py --scale default --store results.store --resume
     python scripts/run_experiments.py store stats --store results.store
 
+The script iterates the experiment registry
+(:mod:`repro.experiments.api`) generically: every reproduced
+figure/table is a registered :class:`ExperimentSpec` (plus one custom
+queue-trace runner), so ``--list`` enumerates them and ``--only``
+selects by eid (``E2``), name (``link_speed``), or title substring.
 Each experiment prints its table as it completes, and the combined
-markdown lands on stdout (or ``-o``).  ``quick`` matches the benchmark
+markdown lands on stdout (or ``-o``).  For grids the paper never ran,
+see ``scripts/sweep.py``.
+
+``--scale`` picks a named simulation budget
+(:meth:`repro.core.scale.Scale.named`): ``quick`` matches the benchmark
 harness's budget; ``default`` is the scale EXPERIMENTS.md records.
 
 ``--jobs N`` fans each experiment's (scenario × seed) grid out over an
@@ -43,88 +54,38 @@ import time
 from repro.core.scale import Scale
 from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
                         store_main)
+from repro.experiments.api import FAKE_TREE, experiments
 from repro.profiling import add_profile_argument, maybe_profile
-from repro.experiments import (calibration, diversity, link_speed,
-                               multiplexing, rtt, signals, structure,
-                               tcp_awareness)
-from repro.experiments.tcp_awareness import run_queue_trace
-from repro.remy.action import Action
-from repro.remy.memory import SIGNAL_NAMES
-from repro.remy.tree import WhiskerTree
-
-SCALES = {
-    "quick": Scale(duration_s=10.0, packet_budget=30_000,
-                   min_duration_s=4.0, n_seeds=2, sweep_points=5),
-    "default": Scale(duration_s=30.0, packet_budget=90_000,
-                     min_duration_s=4.0, n_seeds=3, sweep_points=7),
-    "full": Scale(duration_s=60.0, packet_budget=300_000,
-                  min_duration_s=4.0, n_seeds=5, sweep_points=10),
-}
 
 
-#: Stand-in rule table used by ``--fake-taos`` (matches the test
-#: suite's sane rate-matching action).
-_FAKE_TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
-
-#: Every trained asset each experiment consumes (for ``--fake-taos``).
-_ASSETS = {
-    "link_speed": tuple(link_speed.TAO_RANGES),
-    "multiplexing": tuple(multiplexing.TAO_RANGES),
-    "rtt": tuple(rtt.TAO_RANGES),
-    "structure": ("tao_structure_one", "tao_structure_two"),
-    "tcp_awareness": ("tao_tcp_naive", "tao_tcp_aware"),
-    "diversity": ("tao_delta_tpt_naive", "tao_delta_del_naive",
-                  "tao_delta_tpt_coopt", "tao_delta_del_coopt"),
-    "signals": ("tao_calibration",) + tuple(
-        f"tao_knockout_{signal}" for signal in SIGNAL_NAMES),
-}
-
-
-def _fake_trees(experiment: str, fake: bool):
-    if not fake:
-        return None
-    return {name: _FAKE_TREE for name in _ASSETS[experiment]}
+def _selected(entries, only):
+    """Filter registry entries by eid, name, or title substring."""
+    if not only:
+        return list(entries)
+    needles = [piece.strip().lower()
+               for token in only for piece in token.split(",")
+               if piece.strip()]
+    picked = []
+    for entry in entries:
+        for needle in needles:
+            if (needle in (entry.eid.lower(), entry.name.lower())
+                    or needle in entry.title.lower()):
+                picked.append(entry)
+                break
+    return picked
 
 
-def _fig8_block(scale, executor, fake) -> str:
-    lines = ["Figure 8 — queue traces (TCP on during [5 s, 10 s)):"]
-    for scheme in ("tao_tcp_aware", "tao_tcp_naive"):
-        trace = run_queue_trace(
-            scheme, tree=_FAKE_TREE if fake else None, seed=1)
-        lines.append(
-            f"{scheme:<15} queue alone={trace.mean_queue(1, 5):7.1f} "
-            f"pkts  with TCP={trace.mean_queue(6, 10):7.1f} pkts  "
-            f"drops={len(trace.drop_times)}")
-    return "\n".join(lines)
-
-
-def _runner(module, name):
-    return lambda scale, executor, fake: module.format_table(
-        module.run(scale=scale, trees=_fake_trees(name, fake),
-                   executor=executor))
-
-
-EXPERIMENTS = [
-    ("E1 Figure 1 / Table 1 — calibration",
-     lambda s, ex, fake: calibration.format_table(calibration.run(
-         scale=s, tree=_FAKE_TREE if fake else None, executor=ex))),
-    ("E2 Figure 2 / Table 2 — link-speed ranges",
-     _runner(link_speed, "link_speed")),
-    ("E3 Figure 3 / Table 3 — multiplexing",
-     _runner(multiplexing, "multiplexing")),
-    ("E4 Figure 4 / Table 4 — propagation delay",
-     _runner(rtt, "rtt")),
-    ("E5 Figure 6 / Table 5 — structural knowledge",
-     _runner(structure, "structure")),
-    ("E6 Figure 7 / Table 6 — TCP-awareness",
-     _runner(tcp_awareness, "tcp_awareness")),
-    ("E7 Figure 8 — queue traces",
-     _fig8_block),
-    ("E8 Figure 9 / Table 7 — sender diversity",
-     _runner(diversity, "diversity")),
-    ("E9 Section 3.4 — signal knockouts",
-     _runner(signals, "signals")),
-]
+def _list_experiments(scale: Scale) -> None:
+    for entry in experiments():
+        if entry.spec is None:
+            shape = "custom runner"
+        else:
+            axes = entry.spec.axes_for(scale)
+            grid = " × ".join(f"{axis.name}[{len(axis.values)}]"
+                              for axis in axes) or "1 point"
+            shape = f"{len(entry.spec.schemes)} schemes × {grid}"
+        print(f"{entry.eid:<3} {entry.name:<16} {shape}")
+        print(f"    {entry.title}")
 
 
 def main(argv=None) -> int:
@@ -133,15 +94,19 @@ def main(argv=None) -> int:
     if argv and argv[0] == "store":
         return store_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", choices=sorted(SCALES),
+    parser.add_argument("--scale", choices=sorted(Scale.names()),
                         default="quick")
     parser.add_argument("-j", "--jobs", type=int, default=1,
                         help="worker processes for the simulation grid "
                              "(1 = serial)")
     parser.add_argument("-o", "--output", default=None,
                         help="also write the combined report here")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered experiments and exit")
     parser.add_argument("--only", nargs="*", default=None,
-                        help="substring filter on experiment titles")
+                        help="run a subset: eids (E2), names "
+                             "(link_speed), or title substrings; "
+                             "comma-separated or repeated")
     parser.add_argument("--fake-taos", action="store_true",
                         help="substitute a fixed hand-built rule table "
                              "for every trained asset (plumbing check, "
@@ -158,7 +123,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.resume and not args.store:
         parser.error("--resume requires --store PATH")
-    scale = SCALES[args.scale]
+    scale = Scale.named(args.scale)
+    if args.list:
+        _list_experiments(scale)
+        return 0
 
     report = io.StringIO()
     report.write(f"Results at scale={args.scale!r} "
@@ -172,20 +140,21 @@ def main(argv=None) -> int:
         print(f"--store: {error}", file=sys.stderr)
         return 2
     with executor, maybe_profile(args.profile):
-        for title, runner in EXPERIMENTS:
-            if args.only and not any(needle.lower() in title.lower()
-                                     for needle in args.only):
-                continue
+        for entry in _selected(experiments(), args.only):
+            overrides = None
+            if args.fake_taos:
+                overrides = {asset: FAKE_TREE
+                             for asset in entry.assets}
             started = time.time()
-            print(f"\n### {title}", flush=True)
+            print(f"\n### {entry.title}", flush=True)
             try:
-                block = runner(scale, executor, args.fake_taos)
+                block = entry.render(scale, overrides, executor)
             except FileNotFoundError as error:
                 block = f"SKIPPED: {error}"
             print(block, flush=True)
             elapsed = time.time() - started
             print(f"({elapsed:.0f}s)", flush=True)
-            report.write(f"\n### {title}\n```\n{block}\n```\n")
+            report.write(f"\n### {entry.title}\n```\n{block}\n```\n")
         if isinstance(executor, StoreExecutor):
             # To stdout only, never the report: hit counts vary between
             # a fresh and a resumed run, the tables must not.

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Compose and run ad-hoc scenario grids the paper never measured.
+
+Usage::
+
+    python scripts/sweep.py --axis rtt_ms=log:1:300:7 \
+        --axis queue=droptail,codel --schemes cubic,tao_rtt_50_250
+    python scripts/sweep.py --axis link_mbps=log:1:1000:9 \
+        --schemes cubic,newreno,vegas --jobs 8 --csv sweep.csv
+    python scripts/sweep.py --axis senders=logint:1:100:6 \
+        --schemes cubic --store sweep.store --resume
+    python scripts/sweep.py store stats --store sweep.store
+
+Every ``--axis NAME=SPEC`` adds one grid dimension; ``SPEC`` is either a
+spacing rule (``log:LO:HI:N``, ``lin:LO:HI:N``, ``logint:``/``linint:``
+for rounded deduplicated integers) or an explicit comma-separated value
+list.  Axes sweep any dumbbell knob: ``link_mbps``, ``rtt_ms``,
+``senders``, ``queue``, ``buffer_bdp`` (``none`` = infinite),
+``buffer_bytes``, ``mean_on_s``, ``mean_off_s``, ``delta``; whatever
+isn't swept comes from the matching ``--link-mbps``/``--rtt-ms``/...
+flag (defaults: the calibration network).
+
+``--schemes`` mixes registered protocols (``cubic``, ``newreno``,
+``aimd``, ``vegas``) with trained Tao asset names (run as homogeneous
+``learner`` senders); ``--fake-taos`` substitutes a hand-built rule
+table for any asset so plumbing can be exercised before training.
+
+The grid is expanded by the same engine the registered experiments run
+on (:func:`repro.experiments.api.run_experiment`), so ``--jobs`` fans
+the whole (cell × seed) batch over a process pool and ``--store`` /
+``--resume`` make it resumable for free.  Output: an aligned table on
+stdout (or ``-o``), plus optional ``--csv`` / ``--json`` exports of the
+long-form rows.  An analytic omniscient reference row is added per grid
+point unless ``--no-bound``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.scale import Scale
+from repro.experiments.api import (FAKE_TREE, AdhocBase, Axis,
+                                   _adhoc_setting, adhoc_spec,
+                                   run_experiment)
+from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
+                        store_main)
+from repro.profiling import add_profile_argument, maybe_profile
+from repro.protocols.registry import available_schemes
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=SPEC",
+                        help="add a grid dimension (repeatable); SPEC = "
+                             "log:LO:HI:N | lin:LO:HI:N | logint:... | "
+                             "linint:... | v1,v2,...")
+    parser.add_argument("--schemes", required=False, default="cubic",
+                        help="comma-separated protocols and/or Tao "
+                             "asset names (default: cubic)")
+    parser.add_argument("--name", default="sweep",
+                        help="sweep name used in the table/JSON header")
+    parser.add_argument("--scale", choices=sorted(Scale.names()),
+                        default="quick")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="override the scale's replication count")
+    parser.add_argument("--base-seed", type=int, default=1)
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for the grid "
+                             "(1 = serial)")
+    parser.add_argument("--no-bound", action="store_true",
+                        help="skip the analytic omniscient reference "
+                             "rows")
+    parser.add_argument("--fake-taos", action="store_true",
+                        help="substitute a hand-built rule table for "
+                             "every non-protocol scheme name")
+    # defaults for everything not swept
+    parser.add_argument("--link-mbps", type=float,
+                        default=AdhocBase.link_mbps)
+    parser.add_argument("--rtt-ms", type=float,
+                        default=AdhocBase.rtt_ms)
+    parser.add_argument("--senders", type=int,
+                        default=AdhocBase.n_senders)
+    parser.add_argument("--queue", default=AdhocBase.queue)
+    parser.add_argument("--buffer-bdp", default=AdhocBase.buffer_bdp,
+                        help="bottleneck buffer in BDPs ('none' = "
+                             "infinite)")
+    parser.add_argument("--buffer-bytes", default=None,
+                        help="bottleneck buffer in bytes (overrides "
+                             "--buffer-bdp)")
+    parser.add_argument("--mean-on-s", type=float,
+                        default=AdhocBase.mean_on_s)
+    parser.add_argument("--mean-off-s", type=float,
+                        default=AdhocBase.mean_off_s)
+    parser.add_argument("--delta", type=float, default=AdhocBase.delta)
+    # output
+    parser.add_argument("-o", "--output", default=None,
+                        help="also write the table here")
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="write the long-form rows as CSV")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the long-form rows as JSON")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="disk-backed result store (makes killed "
+                             "sweeps resumable)")
+    parser.add_argument("--resume", action="store_true",
+                        help="require --store to exist already (typo "
+                             "guard)")
+    add_profile_argument(parser)
+    args = parser.parse_args(argv)
+    if args.resume and not args.store:
+        parser.error("--resume requires --store PATH")
+    if not args.axis:
+        parser.error("need at least one --axis NAME=SPEC")
+    if args.seeds is not None and args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    for flag in ("buffer_bdp", "buffer_bytes"):
+        try:
+            setattr(args, flag,
+                    _adhoc_setting(flag, getattr(args, flag)))
+        except ValueError:
+            parser.error(f"--{flag.replace('_', '-')}: expected a "
+                         f"number or 'none', got "
+                         f"{getattr(args, flag)!r}")
+    return args
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
+    args = parse_args(argv)
+
+    base = AdhocBase(
+        link_mbps=args.link_mbps, rtt_ms=args.rtt_ms,
+        n_senders=args.senders, queue=args.queue,
+        buffer_bdp=args.buffer_bdp, buffer_bytes=args.buffer_bytes,
+        mean_on_s=args.mean_on_s, mean_off_s=args.mean_off_s,
+        delta=args.delta)
+    schemes = [name.strip() for name in args.schemes.split(",")
+               if name.strip()]
+    try:
+        axes = [Axis.parse(text) for text in args.axis]
+        spec = adhoc_spec(axes, schemes, name=args.name, base=base,
+                          bound=not args.no_bound)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scale = Scale.named(args.scale)
+    if args.seeds is not None:
+        scale = scale.with_seeds(args.seeds)
+    overrides = None
+    if args.fake_taos:
+        protocols = set(available_schemes())
+        overrides = {name: FAKE_TREE for name in schemes
+                     if name not in protocols}
+
+    try:
+        executor = executor_for(args.jobs, store=args.store,
+                                resume=args.resume)
+    except (FileNotFoundError, StoreSchemaError) as error:
+        print(f"--store: {error}", file=sys.stderr)
+        return 2
+    started = time.time()
+    with executor, maybe_profile(args.profile):
+        try:
+            result = run_experiment(
+                spec, scale=scale, trees=overrides,
+                base_seed=args.base_seed, executor=executor)
+        except FileNotFoundError as error:
+            print(f"missing asset: {error}", file=sys.stderr)
+            print("(train it with scripts/train_assets.py, or pass "
+                  "--fake-taos to exercise the plumbing)",
+                  file=sys.stderr)
+            return 2
+        table = result.format_table()
+        print(table, flush=True)
+        print(f"({time.time() - started:.0f}s)", flush=True)
+        if isinstance(executor, StoreExecutor):
+            print(f"store: {executor.hits} hit(s), "
+                  f"{executor.misses} miss(es) -> "
+                  f"{executor.store.path}", flush=True)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(table + "\n")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(result.to_csv())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(result.to_json(indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

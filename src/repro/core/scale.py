@@ -11,10 +11,12 @@ in each run for the statistics to mean something.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict, Tuple
 
 from .scenario import NetworkConfig
 
-__all__ = ["Scale", "QUICK", "DEFAULT", "FULL", "PACKET_BYTES"]
+__all__ = ["Scale", "QUICK", "DEFAULT", "FULL", "NAMED_SCALES",
+           "PACKET_BYTES"]
 
 #: On-the-wire data packet size used for packet-rate math (matches
 #: :data:`repro.protocols.transport.DATA_PACKET_BYTES`).
@@ -49,15 +51,46 @@ class Scale:
     def with_seeds(self, n_seeds: int) -> "Scale":
         return replace(self, n_seeds=n_seeds)
 
+    # ------------------------------------------------------------------
+    @classmethod
+    def named(cls, name: str) -> "Scale":
+        """The canonical scale registered under ``name``.
 
-#: Benchmark scale: seconds per experiment.
-QUICK = Scale(duration_s=12.0, packet_budget=40_000, n_seeds=2,
-              sweep_points=6)
+        This is the single named-scale lookup shared by the CLI scripts
+        (``--scale quick|default|full``), the benchmark harness, and the
+        sweep engine — there is deliberately no second SCALES dict
+        anywhere else.
+        """
+        try:
+            return NAMED_SCALES[name]
+        except KeyError:
+            raise ValueError(f"unknown scale {name!r}; "
+                             f"available: {sorted(NAMED_SCALES)}") from None
 
-#: Default scale for examples and EXPERIMENTS.md numbers.
-DEFAULT = Scale(duration_s=60.0, packet_budget=300_000, n_seeds=4,
-                sweep_points=12)
+    @classmethod
+    def names(cls) -> Tuple[str, ...]:
+        """Registered scale names, smallest budget first."""
+        return tuple(NAMED_SCALES)
 
-#: Full scale, approaching the paper's statistics.
-FULL = Scale(duration_s=120.0, packet_budget=1_500_000, n_seeds=8,
-             sweep_points=24)
+
+#: Smoke/benchmark scale: seconds per experiment (the budget the CI
+#: smoke job and the parity tables run at).
+QUICK = Scale(duration_s=10.0, packet_budget=30_000, min_duration_s=4.0,
+              n_seeds=2, sweep_points=5)
+
+#: Default scale for examples and EXPERIMENTS.md numbers.  (Unified
+#: with the CLI's former SCALES["default"]; smaller than the pre-PR-4
+#: library DEFAULT — pass an explicit Scale for bigger budgets.)
+DEFAULT = Scale(duration_s=30.0, packet_budget=90_000, min_duration_s=4.0,
+                n_seeds=3, sweep_points=7)
+
+#: The largest named budget (the CLI's --scale full): minutes per
+#: experiment on one core.  Still far below the paper's statistics —
+#: scale n_seeds/duration_s up explicitly for publication-grade runs.
+FULL = Scale(duration_s=60.0, packet_budget=300_000, min_duration_s=4.0,
+             n_seeds=5, sweep_points=10)
+
+#: The :meth:`Scale.named` registry, smallest budget first.
+NAMED_SCALES: Dict[str, Scale] = {
+    "quick": QUICK, "default": DEFAULT, "full": FULL,
+}

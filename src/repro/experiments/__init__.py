@@ -12,8 +12,11 @@ One module per figure/table; see DESIGN.md section 4 for the index:
 * :mod:`repro.experiments.signals` — section 3.4
 """
 
+from . import api
 from . import (calibration, diversity, link_speed, multiplexing, rtt,
                signals, structure, tcp_awareness)
+from .api import (Axis, ExperimentSpec, SweepResult, adhoc_spec,
+                  experiments, get_experiment, run_experiment)
 from .common import (DEFAULT, FULL, QUICK, Scale, SimulationHandle,
                      build_simulation, mean_normalized_score, run_config,
                      run_seeds, scored_flows)
@@ -23,6 +26,8 @@ __all__ = [
     "SimulationHandle", "build_simulation",
     "run_config", "run_seeds",
     "scored_flows", "mean_normalized_score",
+    "api", "Axis", "ExperimentSpec", "SweepResult", "adhoc_spec",
+    "experiments", "get_experiment", "run_experiment",
     "calibration", "link_speed", "multiplexing", "rtt",
     "structure", "tcp_awareness", "diversity", "signals",
 ]

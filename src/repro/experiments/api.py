@@ -1,0 +1,737 @@
+"""Declarative sweep API: one experiment spec, one engine.
+
+The paper's core method is a *sweep*: vary one scenario axis (link
+speed, RTT, degree of multiplexing, sender mix) and compare Taos against
+baselines and the omniscient bound.  This module is the single substrate
+every such sweep runs on:
+
+* :class:`Axis` — one named sweep parameter: a value list (with
+  log/linear/integer spacing constructors and a CLI parser), plus an
+  optional per-scheme in-training-range predicate.
+* :class:`ExperimentSpec` — a declarative experiment: schemes, axes,
+  a ``build`` hook turning one ``(scheme, grid point)`` into a
+  :class:`Cell` (a :class:`~repro.core.scenario.NetworkConfig` plus the
+  rule-table assets each sender kind runs), a per-cell ``metrics`` hook,
+  and an optional analytic ``reference`` bound.
+* :func:`run_experiment` — the one generic engine: expands
+  ``spec × Scale`` into a single flat ``(config, trees, seed)`` batch
+  through :func:`~repro.experiments.common.run_seed_batch` (so ``--jobs``
+  fan-out and ``--store``/``--resume`` come for free) and returns a
+  uniform long-form :class:`SweepResult` with shared ``format_table``,
+  ``to_csv``, and ``to_json``.
+* the experiment **registry** — every reproduced figure/table registers
+  an :class:`Experiment` here; ``scripts/run_experiments.py --list`` and
+  ``--only`` iterate it generically.
+* :func:`adhoc_spec` — compose grids the paper never ran
+  (``scripts/sweep.py --axis rtt_ms=log:1:300:7 --axis
+  queue=droptail,codel --schemes cubic,tao_rtt_50_250``).
+
+The eight experiment modules define specs on these types and keep thin
+back-compat ``run()``/``format_table()`` wrappers whose output is
+byte-identical to the pre-spec code (pinned by
+``tests/test_table_parity.py``).  See ``docs/EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field, fields
+from itertools import product
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from ..core.objective import normalized_objective
+from ..core.omniscient import dumbbell_expected_throughput
+from ..core.results import EllipsePoint, RunResult
+from ..core.scale import DEFAULT, Scale
+from ..core.scenario import NetworkConfig
+from ..exec import Executor
+from ..protocols.registry import available_schemes
+from ..remy.action import Action
+from ..remy.assets import load_tree
+from ..remy.tree import WhiskerTree
+from .common import mean_normalized_score, run_seed_batch, scored_flows
+
+__all__ = [
+    "Axis", "Cell", "CellPlan", "ExperimentSpec", "SweepResult",
+    "expand", "run_experiment",
+    "Experiment", "register", "get_experiment", "experiments",
+    "AdhocBase", "adhoc_spec",
+    "ellipse_row", "ellipse_from_row",
+    "objective_metrics", "baseline_queue", "FAKE_TREE",
+]
+
+#: The stand-in rule table ``--fake-taos`` (both CLIs) and the parity /
+#: golden test suites substitute for untrained assets — a sane
+#: rate-matching action.  One definition: the parity contract assumes
+#: every consumer simulates the *same* tree.
+FAKE_TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
+
+#: ``(scheme, axis value) -> bool`` — is this value inside the scheme's
+#: training range?  Schemes without a range return True.
+InRangeFn = Callable[[str, object], bool]
+
+
+# ----------------------------------------------------------------------
+# Axis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Axis:
+    """One named sweep parameter and its value grid.
+
+    ``in_range`` (optional) classifies each value per scheme; the engine
+    ANDs the flags of every axis into the row's ``in_training_range``
+    column (the ``*`` markers of the paper's tables).
+    """
+
+    name: str
+    values: Tuple[object, ...]
+    in_range: Optional[InRangeFn] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis needs a name")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def of(cls, name: str, values: Sequence[object],
+           in_range: Optional[InRangeFn] = None) -> "Axis":
+        """An axis over explicit values (kept in the given order)."""
+        return cls(name, tuple(values), in_range)
+
+    @classmethod
+    def linear(cls, name: str, lo: float, hi: float, n: int, *,
+               integer: bool = False,
+               in_range: Optional[InRangeFn] = None) -> "Axis":
+        """``n`` linearly spaced values over ``[lo, hi]``, inclusive."""
+        cls._check_spacing(name, lo, hi, n)
+        raw = [lo + (hi - lo) * k / (n - 1) for k in range(n)]
+        return cls(name, cls._spaced(raw, integer), in_range)
+
+    @classmethod
+    def log(cls, name: str, lo: float, hi: float, n: int, *,
+            integer: bool = False,
+            in_range: Optional[InRangeFn] = None) -> "Axis":
+        """``n`` log-spaced values over ``[lo, hi]``, inclusive.
+
+        ``integer=True`` rounds and deduplicates (preserving ascending
+        order) — the multiplexing experiment's denser-at-the-low-end
+        sender counts.
+        """
+        cls._check_spacing(name, lo, hi, n)
+        if lo <= 0:
+            raise ValueError(f"axis {name!r}: log spacing needs lo > 0")
+        raw = [lo * (hi / lo) ** (k / (n - 1)) for k in range(n)]
+        return cls(name, cls._spaced(raw, integer), in_range)
+
+    @staticmethod
+    def _check_spacing(name: str, lo: float, hi: float, n: int) -> None:
+        if n < 2:
+            raise ValueError("need at least two sweep points")
+        if not lo <= hi:
+            raise ValueError(f"axis {name!r}: need lo <= hi, "
+                             f"got {lo} > {hi}")
+
+    @staticmethod
+    def _spaced(raw: Sequence[float], integer: bool) -> Tuple[object, ...]:
+        if not integer:
+            return tuple(raw)
+        out: List[int] = []
+        for value in raw:
+            rounded = round(value)
+            if rounded not in out:
+                out.append(rounded)
+        return tuple(out)
+
+    # -- CLI form ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Axis":
+        """Parse the CLI form ``name=SPEC``.
+
+        ``SPEC`` is either a spacing rule —
+
+        * ``log:LO:HI:N`` / ``logint:LO:HI:N`` (log-spaced, optionally
+          rounded to deduplicated integers),
+        * ``lin:LO:HI:N`` / ``linint:LO:HI:N`` (``linear``/``int``
+          accepted as aliases) —
+
+        or a comma-separated value list (``droptail,codel`` or
+        ``50,150,250``; numeric tokens become numbers).
+        """
+        name, eq, spec = text.partition("=")
+        name, spec = name.strip(), spec.strip()
+        if not eq or not name or not spec:
+            raise ValueError(f"axis {text!r}: expected NAME=SPEC")
+        head, *rest = spec.split(":")
+        spacings = {"log": (cls.log, False), "logint": (cls.log, True),
+                    "lin": (cls.linear, False), "linear": (cls.linear, False),
+                    "int": (cls.linear, True), "linint": (cls.linear, True)}
+        if head in spacings:
+            if len(rest) != 3:
+                raise ValueError(
+                    f"axis {text!r}: expected {head}:LO:HI:N")
+            maker, integer = spacings[head]
+            try:
+                lo, hi = float(rest[0]), float(rest[1])
+                n = int(rest[2])
+            except ValueError:
+                raise ValueError(
+                    f"axis {text!r}: LO/HI must be numbers, N an int"
+                ) from None
+            return maker(name, lo, hi, n, integer=integer)
+        values = [cls._coerce_token(token.strip())
+                  for token in spec.split(",") if token.strip()]
+        if not values:
+            raise ValueError(f"axis {text!r}: empty value list")
+        return cls.of(name, values)
+
+    @staticmethod
+    def _coerce_token(token: str) -> object:
+        for kind in (int, float):
+            try:
+                return kind(token)
+            except ValueError:
+                continue
+        return token
+
+    # -- helpers -------------------------------------------------------
+    def ensure(self, *extra: object) -> "Axis":
+        """A copy guaranteed to contain ``extra``, sorted ascending.
+
+        For numeric axes that must hit a landmark value — e.g. the RTT
+        sweep always includes 150 ms so the exactly-150 Tao has an
+        in-range point.
+        """
+        values = list(self.values)
+        for value in extra:
+            if value not in values:
+                values.append(value)
+        return Axis(self.name, tuple(sorted(values)), self.in_range)
+
+    def flag(self, scheme: str, value: object) -> bool:
+        """``in_training_range`` of ``value`` for ``scheme``."""
+        if self.in_range is None:
+            return True
+        return bool(self.in_range(scheme, value))
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+@dataclass
+class Cell:
+    """One concrete simulation: a network plus the rule-table *assets*
+    each sender kind runs (``None`` — registry schemes only).
+
+    Trees are referenced by asset name, not object, so specs stay
+    declarative; the engine resolves names through the caller's
+    overrides or :func:`~repro.remy.assets.load_tree` (overrides are how
+    ``--fake-taos`` and tests substitute hand-built tables)."""
+
+    config: NetworkConfig
+    trees: Optional[Mapping[str, str]] = None   # sender kind -> asset
+
+
+@dataclass
+class CellPlan:
+    """One expanded ``(scheme, grid point)`` cell of a sweep."""
+
+    scheme: str
+    point: Dict[str, object]
+    cell: Cell
+    in_range: bool
+
+
+#: ``(scheme, point) -> Cell`` (or None to skip that combination).
+BuildFn = Callable[[str, Mapping[str, object]], Optional[Cell]]
+#: ``(scheme, point, config, runs) -> metric row(s)``.
+MetricsFn = Callable[
+    [str, Mapping[str, object], NetworkConfig, Sequence[RunResult]],
+    Union[Mapping[str, object], Sequence[Mapping[str, object]]]]
+#: ``point -> reference row(s)`` — the analytic (omniscient) bound.
+ReferenceFn = Callable[
+    [Mapping[str, object]],
+    Union[Mapping[str, object], Sequence[Mapping[str, object]]]]
+#: Static axes, or a hook deriving them from the run's Scale.
+AxesLike = Union[Sequence[Axis], Callable[[Scale], Sequence[Axis]]]
+
+
+@dataclass
+class ExperimentSpec:
+    """A declarative experiment: what to sweep, build, and measure.
+
+    The engine guarantees a deterministic cell order — grid points in
+    axis-major order (first axis outermost), schemes innermost, then one
+    reference row block per point — which is what makes the ported
+    experiment tables byte-identical to their hand-rolled ancestors.
+    """
+
+    name: str
+    schemes: Tuple[str, ...]
+    axes: AxesLike
+    build: BuildFn
+    metrics: MetricsFn
+    title: str = ""
+    reference: Optional[ReferenceFn] = None
+    reference_scheme: str = "omniscient"
+    #: Every trained asset the spec's cells may reference (what
+    #: ``--fake-taos`` substitutes).
+    assets: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            raise ValueError(f"spec {self.name!r} needs schemes")
+
+    def axes_for(self, scale: Scale) -> Tuple[Axis, ...]:
+        axes = self.axes(scale) if callable(self.axes) else self.axes
+        return tuple(axes)
+
+
+def expand(spec: ExperimentSpec, scale: Scale = DEFAULT
+           ) -> Tuple[List[Dict[str, object]], List[CellPlan]]:
+    """``spec × scale`` -> (grid points, runnable cell plans).
+
+    Points iterate in axis-major order; within a point, schemes in spec
+    order; ``build`` returning ``None`` skips a combination.
+    """
+    axes = spec.axes_for(scale)
+    names = [axis.name for axis in axes]
+    points = [dict(zip(names, combo))
+              for combo in product(*(axis.values for axis in axes))]
+    plans: List[CellPlan] = []
+    for point in points:
+        for scheme in spec.schemes:
+            cell = spec.build(scheme, point)
+            if cell is None:
+                continue
+            in_range = all(axis.flag(scheme, point[axis.name])
+                           for axis in axes)
+            plans.append(CellPlan(scheme, dict(point), cell, in_range))
+    return points, plans
+
+
+def _resolve_trees(plans: Sequence[CellPlan],
+                   overrides: Optional[Mapping[str, WhiskerTree]]
+                   ) -> List[Optional[Dict[str, WhiskerTree]]]:
+    """Asset names -> tree objects, loading each shipped asset once."""
+    overrides = overrides or {}
+    loaded: Dict[str, WhiskerTree] = {}
+    maps: List[Optional[Dict[str, WhiskerTree]]] = []
+    for plan in plans:
+        if plan.cell.trees is None:
+            maps.append(None)
+            continue
+        tree_map: Dict[str, WhiskerTree] = {}
+        for kind, asset in plan.cell.trees.items():
+            if asset not in loaded:
+                loaded[asset] = overrides.get(asset) or load_tree(asset)
+            tree_map[kind] = loaded[asset]
+        maps.append(tree_map)
+    return maps
+
+
+def _as_rows(value: Union[Mapping[str, object],
+                          Sequence[Mapping[str, object]]]
+             ) -> List[Mapping[str, object]]:
+    if isinstance(value, Mapping):
+        return [value]
+    return list(value)
+
+
+def run_experiment(spec: ExperimentSpec,
+                   scale: Scale = DEFAULT,
+                   trees: Optional[Mapping[str, WhiskerTree]] = None,
+                   base_seed: int = 1,
+                   executor: Optional[Executor] = None,
+                   store=None,
+                   jobs: Optional[int] = None) -> "SweepResult":
+    """The one generic sweep engine.
+
+    Expands the spec, resolves its assets (``trees`` overrides beat
+    shipped assets, and a missing asset raises ``FileNotFoundError``
+    *before* any simulation runs), submits the whole
+    ``(cell × scale.n_seeds)`` grid as one flat batch through
+    :func:`~repro.experiments.common.run_seed_batch` — inheriting
+    executor fan-out and store-backed resume — and folds each cell's
+    replications into long-form :class:`SweepResult` rows.
+    """
+    points, plans = expand(spec, scale)
+    tree_maps = _resolve_trees(plans, trees)
+    batches = run_seed_batch(
+        [(plan.cell.config, tree_map)
+         for plan, tree_map in zip(plans, tree_maps)],
+        scale=scale, base_seed=base_seed, executor=executor,
+        store=store, jobs=jobs)
+    rows: List[Dict[str, object]] = []
+    for plan, runs in zip(plans, batches):
+        for metric_row in _as_rows(
+                spec.metrics(plan.scheme, plan.point,
+                             plan.cell.config, runs)):
+            row: Dict[str, object] = {"scheme": plan.scheme}
+            row.update(plan.point)
+            row.update(metric_row)
+            row["in_training_range"] = plan.in_range
+            rows.append(row)
+    if spec.reference is not None:
+        for point in points:
+            for metric_row in _as_rows(spec.reference(point)):
+                row = {"scheme": spec.reference_scheme}
+                row.update(point)
+                row.update(metric_row)
+                row["in_training_range"] = True
+                rows.append(row)
+    axis_names = tuple(axis.name for axis in spec.axes_for(scale))
+    return SweepResult(name=spec.name, axis_names=axis_names, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Result
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """A sweep in long form: one dict per (scheme, point, metric row).
+
+    Every row carries ``scheme``, the axis coordinates, whatever the
+    spec's metrics emitted (plus optional labels like ``kind``), and
+    ``in_training_range``.  The three shared renderers —
+    :meth:`format_table`, :meth:`to_csv`, :meth:`to_json` — work for
+    every spec, registered or ad-hoc.
+    """
+
+    name: str
+    axis_names: Tuple[str, ...] = ()
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    # -- access --------------------------------------------------------
+    def schemes(self) -> List[str]:
+        """Scheme names in first-appearance order."""
+        return list(dict.fromkeys(row["scheme"] for row in self.rows))
+
+    def select(self, scheme: Optional[str] = None,
+               **coords: object) -> Iterator[Dict[str, object]]:
+        """Rows matching a scheme and/or exact axis coordinates."""
+        for row in self.rows:
+            if scheme is not None and row["scheme"] != scheme:
+                continue
+            if all(row.get(key) == value
+                   for key, value in coords.items()):
+                yield row
+
+    def columns(self) -> List[str]:
+        """Stable column order: scheme, axes, metrics/labels, range."""
+        out = ["scheme", *self.axis_names]
+        for row in self.rows:
+            for key in row:
+                if key not in out and key != "in_training_range":
+                    out.append(key)
+        out.append("in_training_range")
+        return out
+
+    # -- renderers -----------------------------------------------------
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        if isinstance(value, tuple):
+            return "x".join(SweepResult._fmt(v) for v in value)
+        return str(value)
+
+    def format_table(self) -> str:
+        """One aligned text table over :meth:`columns`.
+
+        ``in_training_range`` renders as the paper-style trailing ``*``
+        marker column (only shown when some row is out of range).
+        """
+        columns = self.columns()[:-1]
+        flagged = any(not row["in_training_range"] for row in self.rows)
+        header = columns + (["range"] if flagged else [])
+        grid = [header]
+        for row in self.rows:
+            cells = [self._fmt(row.get(column)) for column in columns]
+            if flagged:
+                cells.append("" if row["in_training_range"] else "*")
+            grid.append(cells)
+        widths = [max(len(line[i]) for line in grid)
+                  for i in range(len(header))]
+        lines = [f"sweep {self.name!r}: {len(self.rows)} rows"]
+        for line in grid:
+            lines.append("  ".join(
+                cell.rjust(width)
+                for cell, width in zip(line, widths)).rstrip())
+        if flagged:
+            lines.append("(* = outside that scheme's training range)")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Long-form CSV with the :meth:`columns` header."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        columns = self.columns()
+        writer.writerow(columns)
+        for row in self.rows:
+            writer.writerow([row.get(column, "") for column in columns])
+        return buffer.getvalue()
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """``{"experiment", "axes", "rows"}`` as canonical JSON."""
+        payload = {"experiment": self.name,
+                   "axes": list(self.axis_names),
+                   "rows": self.rows}
+        return json.dumps(payload, indent=indent, default=_jsonable)
+
+
+def _jsonable(value: object) -> object:
+    try:
+        return float(value)   # numpy scalars and friends
+    except (TypeError, ValueError):
+        return str(value)
+
+
+# ----------------------------------------------------------------------
+# Shared spec building blocks
+# ----------------------------------------------------------------------
+def objective_metrics(scheme: str, point: Mapping[str, object],
+                      config: NetworkConfig,
+                      runs: Sequence[RunResult]) -> Dict[str, object]:
+    """The Figures 2-4 metric: mean normalized objective per cell."""
+    return {"normalized_objective": mean_normalized_score(runs, config)}
+
+
+def baseline_queue(scheme: str) -> str:
+    """Queue discipline a human-baseline scheme column implies."""
+    return "sfq_codel" if scheme == "cubic_sfqcodel" else "droptail"
+
+
+# ----------------------------------------------------------------------
+# EllipsePoint <-> row plumbing (Figures 1/7/9-style summaries)
+# ----------------------------------------------------------------------
+_ELLIPSE_FIELDS = tuple(f.name for f in fields(EllipsePoint))
+
+
+def ellipse_row(point: EllipsePoint) -> Dict[str, object]:
+    """Flatten an :class:`EllipsePoint` into sweep-row columns."""
+    return {name: getattr(point, name) for name in _ELLIPSE_FIELDS}
+
+
+def ellipse_from_row(row: Mapping[str, object]) -> EllipsePoint:
+    """Rebuild the :class:`EllipsePoint` a row was flattened from."""
+    return EllipsePoint(**{name: row[name] for name in _ELLIPSE_FIELDS})
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+#: ``(scale, asset overrides, executor) -> legacy table text``.
+RenderFn = Callable[
+    [Scale, Optional[Mapping[str, WhiskerTree]], Optional[Executor]], str]
+
+
+@dataclass
+class Experiment:
+    """One registered reproduction: a spec plus its legacy renderer.
+
+    ``render`` produces the module's classic table text (byte-identical
+    to the pre-spec code); ``spec`` is the declarative form the generic
+    engine and ad-hoc tooling consume.  ``spec`` is ``None`` for the one
+    non-sweep entry (the Figure 8 queue trace)."""
+
+    eid: str            # paper ordinal, "E1".."E9"
+    name: str           # module-ish key, e.g. "link_speed"
+    title: str          # the CLI/report section heading
+    render: RenderFn
+    spec: Optional[ExperimentSpec] = None
+    assets: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add (or replace) a registry entry; eids must stay unique."""
+    for other in _REGISTRY.values():
+        if other.name != experiment.name and other.eid == experiment.eid:
+            raise ValueError(
+                f"eid {experiment.eid!r} already taken by {other.name!r}")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def get_experiment(key: str) -> Experiment:
+    """Look an entry up by name (``"rtt"``) or eid (``"E4"``)."""
+    needle = key.strip().lower()
+    for entry in _REGISTRY.values():
+        if needle in (entry.eid.lower(), entry.name.lower()):
+            return entry
+    raise KeyError(f"no experiment {key!r}; "
+                   f"known: {[e.eid for e in experiments()]}")
+
+
+def experiments() -> List[Experiment]:
+    """Every registered experiment, in paper (eid) order."""
+    def order(entry: Experiment):
+        digits = entry.eid[1:]
+        # Numeric eids sort naturally (E10 after E9, not after E1);
+        # anything else sorts after the numbered entries.
+        numeric = (0, int(digits)) if digits.isdigit() else (1, 0)
+        return (numeric, entry.eid, entry.name)
+
+    return sorted(_REGISTRY.values(), key=order)
+
+
+# ----------------------------------------------------------------------
+# Ad-hoc sweeps: grids the paper never ran
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdhocBase:
+    """Defaults for every scenario knob an ad-hoc sweep doesn't vary
+    (the calibration network's dumbbell)."""
+
+    link_mbps: float = 32.0
+    rtt_ms: float = 150.0
+    n_senders: int = 2
+    queue: str = "droptail"
+    buffer_bdp: Optional[float] = 5.0
+    buffer_bytes: Optional[float] = None
+    mean_on_s: float = 1.0
+    mean_off_s: float = 1.0
+    delta: float = 1.0
+
+
+#: Axis-name aliases -> AdhocBase field.
+_ADHOC_KEYS: Dict[str, str] = {
+    "link_mbps": "link_mbps", "speed_mbps": "link_mbps",
+    "link_speed_mbps": "link_mbps",
+    "rtt_ms": "rtt_ms",
+    "senders": "n_senders", "n_senders": "n_senders",
+    "num_senders": "n_senders",
+    "queue": "queue",
+    "buffer_bdp": "buffer_bdp", "buffer_bytes": "buffer_bytes",
+    "mean_on_s": "mean_on_s", "mean_off_s": "mean_off_s",
+    "delta": "delta",
+}
+
+_ADHOC_NONE = ("none", "inf", "nodrop")
+
+
+def _adhoc_setting(key: str, value: object) -> object:
+    target = _ADHOC_KEYS[key]
+    if target in ("buffer_bdp", "buffer_bytes"):
+        if value is None or (isinstance(value, str)
+                             and value.lower() in _ADHOC_NONE):
+            return None
+        return float(value)
+    if target == "n_senders":
+        return int(value)
+    if target == "queue":
+        return str(value)
+    return float(value)
+
+
+def adhoc_spec(axes: Sequence[Axis],
+               schemes: Sequence[str],
+               name: str = "sweep",
+               base: Optional[AdhocBase] = None,
+               bound: bool = True) -> ExperimentSpec:
+    """A spec for an arbitrary dumbbell grid.
+
+    ``axes`` sweep any :data:`AdhocBase` knob (aliases: ``link_mbps`` /
+    ``speed_mbps``, ``senders`` / ``n_senders``, ...); everything not
+    swept comes from ``base``.  ``schemes`` mixes registered protocol
+    names (``cubic``, ``newreno``, ...) with trained Tao asset names
+    (run as homogeneous ``"learner"`` senders).  ``bound=True`` adds the
+    analytic omniscient reference row per grid point.
+
+    The result plugs into :func:`run_experiment` exactly like a
+    registered spec — jobs fan-out, store resume, and the shared
+    renderers included.
+    """
+    base = base or AdhocBase()
+    axes = tuple(axes)
+    for axis in axes:
+        if axis.name not in _ADHOC_KEYS:
+            raise ValueError(
+                f"unknown sweep axis {axis.name!r}; "
+                f"known: {sorted(_ADHOC_KEYS)}")
+    schemes = tuple(schemes)
+    if not schemes:
+        raise ValueError("need at least one scheme")
+    named = set(available_schemes())
+
+    def settings_for(point: Mapping[str, object]) -> Dict[str, object]:
+        settings = {f.name: getattr(base, f.name)
+                    for f in fields(AdhocBase)}
+        for key, value in point.items():
+            settings[_ADHOC_KEYS[key]] = _adhoc_setting(key, value)
+        return settings
+
+    def build(scheme: str, point: Mapping[str, object]) -> Cell:
+        settings = settings_for(point)
+        n = int(settings["n_senders"])
+        if scheme in named:
+            kinds: Tuple[str, ...] = (scheme,) * n
+            trees = None
+        else:
+            kinds = ("learner",) * n
+            trees = {"learner": scheme}
+        config = NetworkConfig(
+            link_speeds_mbps=(float(settings["link_mbps"]),),
+            rtt_ms=float(settings["rtt_ms"]),
+            sender_kinds=kinds,
+            deltas=(float(settings["delta"]),) * n,
+            mean_on_s=float(settings["mean_on_s"]),
+            mean_off_s=float(settings["mean_off_s"]),
+            buffer_bdp=settings["buffer_bdp"],
+            buffer_bytes=settings["buffer_bytes"],
+            queue=str(settings["queue"]))
+        return Cell(config, trees)
+
+    def metrics(scheme: str, point: Mapping[str, object],
+                config: NetworkConfig,
+                runs: Sequence[RunResult]) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "mean_objective": mean_normalized_score(runs, config)}
+        tpts: List[float] = []
+        delays: List[float] = []
+        utils: List[float] = []
+        for result in runs:
+            utils.append(result.bottleneck_utilization)
+            for flow in scored_flows(result):
+                if flow.packets_delivered == 0:
+                    continue
+                tpts.append(flow.throughput_bps)
+                delays.append(flow.queueing_delay_s)
+        if tpts:
+            row["tpt_mbps"] = sum(tpts) / len(tpts) / 1e6
+            row["qdelay_ms"] = sum(delays) / len(delays) * 1e3
+        row["utilization"] = sum(utils) / len(utils)
+        return row
+
+    reference: Optional[ReferenceFn] = None
+    if bound:
+        def reference(point: Mapping[str, object]) -> Dict[str, object]:
+            settings = settings_for(point)
+            n = int(settings["n_senders"])
+            speed_bps = float(settings["link_mbps"]) * 1e6
+            p_on = settings["mean_on_s"] / (settings["mean_on_s"]
+                                            + settings["mean_off_s"])
+            expected = dumbbell_expected_throughput(speed_bps, n, p_on)
+            min_delay = float(settings["rtt_ms"]) / 2e3
+            return {
+                "mean_objective": normalized_objective(
+                    expected, min_delay, speed_bps / n, min_delay),
+                "tpt_mbps": expected / 1e6,
+                "qdelay_ms": 0.0,
+            }
+
+    return ExperimentSpec(
+        name=name, schemes=schemes, axes=axes, build=build,
+        metrics=metrics, reference=reference,
+        title=f"ad-hoc sweep {name!r}")

@@ -12,17 +12,18 @@ throughput *and* delay simultaneously.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.omniscient import omniscient_dumbbell
-from ..core.results import EllipsePoint, summarize_ellipse
+from ..core.results import EllipsePoint, RunResult, summarize_ellipse
 from ..core.scenario import NetworkConfig
 from ..exec import Executor
-from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, run_seed_batch
+from .api import (Cell, Experiment, ExperimentSpec, ellipse_from_row,
+                  ellipse_row, register, run_experiment)
+from .common import DEFAULT, Scale
 
-__all__ = ["CALIBRATION_CONFIG", "CalibrationResult", "run",
+__all__ = ["CALIBRATION_CONFIG", "SPEC", "CalibrationResult", "run",
            "format_table"]
 
 #: Table 1's network parameters.
@@ -53,6 +54,46 @@ class CalibrationResult:
                 / self.omniscient_throughput_bps)
 
 
+def _build(scheme: str, point: Mapping[str, object]) -> Cell:
+    kinds, queue = _SCHEMES[scheme]
+    config = replace(CALIBRATION_CONFIG, sender_kinds=kinds,
+                     deltas=tuple(1.0 for _ in kinds), queue=queue)
+    return Cell(config, {"learner": "tao_calibration"})
+
+
+def _metrics(scheme: str, point: Mapping[str, object],
+             config: NetworkConfig,
+             runs: Sequence[RunResult]) -> Dict[str, object]:
+    throughputs: List[float] = []
+    delays: List[float] = []
+    for run_result in runs:
+        for flow in run_result.flows:
+            if flow.packets_delivered == 0:
+                continue
+            throughputs.append(flow.throughput_bps)
+            delays.append(flow.queueing_delay_s)
+    return ellipse_row(summarize_ellipse(throughputs, delays))
+
+
+def _reference(point: Mapping[str, object]) -> Dict[str, object]:
+    omni = omniscient_dumbbell(CALIBRATION_CONFIG)[0]
+    # Zero queueing by construction.
+    return {"median_throughput_bps": omni.throughput_bps,
+            "median_delay_s": 0.0}
+
+
+SPEC = ExperimentSpec(
+    name="calibration",
+    title="E1 Figure 1 / Table 1 — calibration",
+    schemes=tuple(_SCHEMES),
+    axes=(),
+    build=_build,
+    metrics=_metrics,
+    reference=_reference,
+    assets=("tao_calibration",),
+)
+
+
 def run(scale: Scale = DEFAULT,
         tree: Optional[WhiskerTree] = None,
         base_seed: int = 1,
@@ -63,29 +104,17 @@ def run(scale: Scale = DEFAULT,
     ``executor`` fans the (scheme × seed) grid out through
     :mod:`repro.exec`.
     """
-    if tree is None:
-        tree = load_tree("tao_calibration")
+    overrides = {"tao_calibration": tree} if tree is not None else None
+    sweep = run_experiment(SPEC, scale=scale, trees=overrides,
+                           base_seed=base_seed, executor=executor)
     result = CalibrationResult()
-    specs = []
-    for scheme, (kinds, queue) in _SCHEMES.items():
-        config = replace(CALIBRATION_CONFIG, sender_kinds=kinds,
-                         deltas=tuple(1.0 for _ in kinds), queue=queue)
-        specs.append((config, {"learner": tree}))
-    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
-                             executor=executor)
-    for scheme, runs in zip(_SCHEMES, batches):
-        throughputs: List[float] = []
-        delays: List[float] = []
-        for run_result in runs:
-            for flow in run_result.flows:
-                if flow.packets_delivered == 0:
-                    continue
-                throughputs.append(flow.throughput_bps)
-                delays.append(flow.queueing_delay_s)
-        result.points[scheme] = summarize_ellipse(throughputs, delays)
-    omni = omniscient_dumbbell(CALIBRATION_CONFIG)[0]
-    result.omniscient_throughput_bps = omni.throughput_bps
-    result.omniscient_delay_s = 0.0   # zero queueing by construction
+    for row in sweep.rows:
+        if row["scheme"] == SPEC.reference_scheme:
+            result.omniscient_throughput_bps = \
+                row["median_throughput_bps"]
+            result.omniscient_delay_s = row["median_delay_s"]
+        else:
+            result.points[row["scheme"]] = ellipse_from_row(row)
     return result
 
 
@@ -106,3 +135,12 @@ def format_table(result: CalibrationResult) -> str:
         f"{result.omniscient_throughput_bps / 1e6:>12.2f} "
         f"{0.0:>12.1f} {'100%':>14}")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    tree = (trees or {}).get("tao_calibration")
+    return format_table(run(scale=scale, tree=tree, executor=executor))
+
+
+register(Experiment(eid="E1", name="calibration", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

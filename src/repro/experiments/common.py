@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.objective import normalized_objective
@@ -234,17 +235,20 @@ def run_seeds(config: NetworkConfig,
               scale: Scale = DEFAULT,
               base_seed: int = 1,
               executor: Optional[Executor] = None,
-              store=None) -> List[RunResult]:
+              store=None,
+              jobs: Optional[int] = None) -> List[RunResult]:
     """Run ``scale.n_seeds`` independent replications.
 
-    ``executor`` fans the replications out through :mod:`repro.exec`;
-    ``None`` runs them serially (and produces identical results — the
-    executors' determinism contract).  ``store`` persists results to a
-    disk-backed :class:`~repro.exec.ResultStore` (path or instance).
+    The single seed-fanout path: ``executor`` fans the replications out
+    through :mod:`repro.exec` (``jobs=N`` is the shorthand for a
+    throwaway ``N``-worker pool when you don't hold an executor);
+    serial, pooled, and store-backed runs produce identical results —
+    the executors' determinism contract.  ``store`` persists results to
+    a disk-backed :class:`~repro.exec.ResultStore` (path or instance).
     """
     return run_seed_batch([(config, trees)], scale=scale,
                           base_seed=base_seed, executor=executor,
-                          store=store)[0]
+                          store=store, jobs=jobs)[0]
 
 
 def run_seeds_parallel(config: NetworkConfig,
@@ -252,9 +256,12 @@ def run_seeds_parallel(config: NetworkConfig,
                        scale: Scale = DEFAULT,
                        base_seed: int = 1,
                        jobs: Optional[int] = None) -> List[RunResult]:
-    """:func:`run_seeds` over a throwaway ``jobs``-worker pool."""
-    tasks = _seed_tasks(config, trees, scale, base_seed)
-    return [out.run for out in run_batch(tasks, jobs=jobs)]
+    """Deprecated alias for :func:`run_seeds` with ``jobs=``."""
+    warnings.warn("run_seeds_parallel is deprecated; use "
+                  "run_seeds(..., jobs=N)", DeprecationWarning,
+                  stacklevel=2)
+    return run_seeds(config, trees=trees, scale=scale,
+                     base_seed=base_seed, jobs=jobs)
 
 
 def _seed_tasks(config: NetworkConfig,
@@ -271,7 +278,8 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
                    scale: Scale = DEFAULT,
                    base_seed: int = 1,
                    executor: Optional[Executor] = None,
-                   store=None) -> List[List[RunResult]]:
+                   store=None,
+                   jobs: Optional[int] = None) -> List[List[RunResult]]:
     """Run a whole (config × seed) grid as one flat task batch.
 
     ``specs`` is a sequence of ``(config, trees)`` pairs — one per sweep
@@ -279,6 +287,7 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
     ``List[RunResult]`` per spec, aligned with the input, exactly as if
     :func:`run_seeds` had been called per spec — but submitted as a
     single batch so a pooled executor sees the full grid at once.
+    ``jobs`` spins up a throwaway pool when no ``executor`` is passed.
 
     ``store`` (a :class:`~repro.exec.ResultStore` or directory path)
     makes the grid resumable: results land on disk as they complete,
@@ -290,7 +299,7 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
     tasks: List[SimTask] = []
     for config, trees in specs:
         tasks.extend(_seed_tasks(config, trees, scale, base_seed))
-    outputs = run_batch(tasks, executor=executor, store=store)
+    outputs = run_batch(tasks, executor=executor, store=store, jobs=jobs)
     grouped: List[List[RunResult]] = []
     for i in range(len(specs)):
         chunk = outputs[i * scale.n_seeds:(i + 1) * scale.n_seeds]

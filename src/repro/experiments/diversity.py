@@ -15,16 +15,18 @@ of playing nice"), both alone and mixed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.results import EllipsePoint, summarize_ellipse
+from ..core.results import (EllipsePoint, RunResult,
+                            summarize_ellipse)
 from ..core.scenario import NetworkConfig
 from ..exec import Executor
-from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, run_seed_batch
+from .api import (Cell, Experiment, ExperimentSpec, ellipse_from_row,
+                  ellipse_row, register, run_experiment)
+from .common import DEFAULT, Scale
 
-__all__ = ["DiversityResult", "run", "format_table", "SETTINGS"]
+__all__ = ["SPEC", "DiversityResult", "run", "format_table", "SETTINGS"]
 
 _TPT_DELTA = 0.1
 _DEL_DELTA = 10.0
@@ -85,6 +87,43 @@ class DiversityResult:
         return self.points[(setting, kind)].median_delay_s * 1e3
 
 
+def _build(setting: str, point: Mapping[str, object]) -> Cell:
+    kinds, assets, deltas = SETTINGS[setting]
+    return Cell(_config_for(kinds, deltas), dict(assets))
+
+
+def _metrics(setting: str, point: Mapping[str, object],
+             config: NetworkConfig,
+             runs: Sequence[RunResult]) -> List[Dict[str, object]]:
+    kinds, _, _ = SETTINGS[setting]
+    rows: List[Dict[str, object]] = []
+    for kind in dict.fromkeys(kinds):
+        tpts, delays = [], []
+        for run_result in runs:
+            for flow in run_result.flows_of_kind(kind):
+                if flow.packets_delivered == 0:
+                    continue
+                tpts.append(flow.throughput_bps)
+                delays.append(flow.queueing_delay_s)
+        if tpts:
+            rows.append({"kind": kind,
+                         **ellipse_row(summarize_ellipse(tpts,
+                                                         delays))})
+    return rows
+
+
+SPEC = ExperimentSpec(
+    name="diversity",
+    title="E8 Figure 9 / Table 7 — sender diversity",
+    schemes=tuple(SETTINGS),
+    axes=(),
+    build=_build,
+    metrics=_metrics,
+    assets=("tao_delta_tpt_naive", "tao_delta_del_naive",
+            "tao_delta_tpt_coopt", "tao_delta_del_coopt"),
+)
+
+
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
         base_seed: int = 1,
@@ -94,33 +133,12 @@ def run(scale: Scale = DEFAULT,
     The (setting × seed) grid goes out as one batch through
     ``executor``.
     """
-    if trees is None:
-        trees = {}
-
-    def tree_for(asset: str) -> WhiskerTree:
-        return trees.get(asset) or load_tree(asset)
-
-    specs = []
-    for setting, (kinds, assets, deltas) in SETTINGS.items():
-        tree_map = {kind: tree_for(asset)
-                    for kind, asset in assets.items()}
-        specs.append((_config_for(kinds, deltas), tree_map))
-    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
-                             executor=executor)
+    sweep = run_experiment(SPEC, scale=scale, trees=trees,
+                           base_seed=base_seed, executor=executor)
     result = DiversityResult()
-    for (setting, (kinds, _, _)), runs in zip(SETTINGS.items(),
-                                              batches):
-        for kind in dict.fromkeys(kinds):
-            tpts, delays = [], []
-            for run_result in runs:
-                for flow in run_result.flows_of_kind(kind):
-                    if flow.packets_delivered == 0:
-                        continue
-                    tpts.append(flow.throughput_bps)
-                    delays.append(flow.queueing_delay_s)
-            if tpts:
-                result.points[(setting, kind)] = summarize_ellipse(
-                    tpts, delays)
+    for row in sweep.rows:
+        result.points[(row["scheme"], row["kind"])] = \
+            ellipse_from_row(row)
     return result
 
 
@@ -145,3 +163,11 @@ def format_table(result: DiversityResult) -> str:
             f"{point.median_throughput_bps / 1e6:>11.2f} "
             f"{point.median_delay_s * 1e3:>12.1f}")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    return format_table(run(scale=scale, trees=trees, executor=executor))
+
+
+register(Experiment(eid="E8", name="diversity", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

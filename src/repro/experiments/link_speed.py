@@ -13,17 +13,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.objective import normalized_objective
 from ..core.omniscient import dumbbell_expected_throughput
 from ..core.scenario import NetworkConfig
 from ..exec import Executor
-from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, mean_normalized_score, run_seed_batch
+from .api import (Axis, Cell, Experiment, ExperimentSpec,
+                  baseline_queue, objective_metrics, register,
+                  run_experiment)
+from .common import DEFAULT, Scale
 
-__all__ = ["TAO_RANGES", "SweepPoint", "LinkSpeedResult", "run",
+__all__ = ["TAO_RANGES", "SPEC", "SweepPoint", "LinkSpeedResult", "run",
            "format_table", "sweep_speeds"]
 
 #: Design ranges of the four Taos (Table 2a), in Mbps.
@@ -88,6 +90,46 @@ def _omniscient_point(speed: float) -> float:
                                 config.fair_share_bps(), min_delay)
 
 
+def _in_range(scheme: str, speed: object) -> bool:
+    bounds = TAO_RANGES.get(scheme)
+    return bounds is None or bounds[0] <= speed <= bounds[1]
+
+
+def _axes(scale: Scale) -> Tuple[Axis, ...]:
+    # Explicit values (not Axis.log) to keep the legacy sweep's exact
+    # floats — 10**(3k/(n-1)) and lo*(hi/lo)**(k/(n-1)) differ in the
+    # last bit, and bitwise-identical configs are the parity contract.
+    return (Axis.of("speed_mbps", sweep_speeds(scale.sweep_points),
+                    in_range=_in_range),)
+
+
+def _build(scheme: str, point: Mapping[str, object]) -> Cell:
+    speed = point["speed_mbps"]
+    if scheme in TAO_RANGES:
+        return Cell(_config_for(speed, ("learner",) * _SENDERS,
+                                "droptail"),
+                    {"learner": scheme})
+    return Cell(_config_for(speed, ("cubic",) * _SENDERS,
+                            baseline_queue(scheme)), None)
+
+
+def _reference(point: Mapping[str, object]) -> Dict[str, object]:
+    return {"normalized_objective":
+            _omniscient_point(point["speed_mbps"])}
+
+
+SPEC = ExperimentSpec(
+    name="link_speed",
+    title="E2 Figure 2 / Table 2 — link-speed ranges",
+    schemes=tuple(TAO_RANGES) + _BASELINES,
+    axes=_axes,
+    build=_build,
+    metrics=objective_metrics,
+    reference=_reference,
+    assets=tuple(TAO_RANGES),
+)
+
+
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
         base_seed: int = 1,
@@ -98,38 +140,13 @@ def run(scale: Scale = DEFAULT,
     The whole (scheme × speed × seed) grid goes out as one batch
     through ``executor``.
     """
-    if trees is None:
-        trees = {}
-    loaded = {name: trees.get(name) or load_tree(name)
-              for name in TAO_RANGES}
-    cells = []   # (scheme, speed, config, trees, in_training_range)
-    for speed in sweep_speeds(scale.sweep_points):
-        for name, (lo, hi) in TAO_RANGES.items():
-            config = _config_for(speed, ("learner",) * _SENDERS,
-                                 "droptail")
-            cells.append((name, speed, config,
-                          {"learner": loaded[name]},
-                          lo <= speed <= hi))
-        for baseline in _BASELINES:
-            queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
-                else "droptail"
-            config = _config_for(speed, ("cubic",) * _SENDERS, queue)
-            cells.append((baseline, speed, config, None, True))
-    batches = run_seed_batch(
-        [(config, tree_map) for _, _, config, tree_map, _ in cells],
-        scale=scale, base_seed=base_seed, executor=executor)
-    result = LinkSpeedResult()
-    for (scheme, speed, config, _, in_range), runs in zip(cells, batches):
-        result.points.append(SweepPoint(
-            scheme=scheme, speed_mbps=speed,
-            normalized_objective=mean_normalized_score(runs, config),
-            in_training_range=in_range))
-    for speed in sweep_speeds(scale.sweep_points):
-        result.points.append(SweepPoint(
-            scheme="omniscient", speed_mbps=speed,
-            normalized_objective=_omniscient_point(speed),
-            in_training_range=True))
-    return result
+    sweep = run_experiment(SPEC, scale=scale, trees=trees,
+                           base_seed=base_seed, executor=executor)
+    return LinkSpeedResult(points=[
+        SweepPoint(scheme=row["scheme"], speed_mbps=row["speed_mbps"],
+                   normalized_objective=row["normalized_objective"],
+                   in_training_range=row["in_training_range"])
+        for row in sweep.rows])
 
 
 def format_table(result: LinkSpeedResult) -> str:
@@ -148,3 +165,11 @@ def format_table(result: LinkSpeedResult) -> str:
         lines.append(f"{speed:>8.1f} " + " ".join(cells))
     lines.append("(* = outside that Tao's training range)")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    return format_table(run(scale=scale, trees=trees, executor=executor))
+
+
+register(Experiment(eid="E2", name="link_speed", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

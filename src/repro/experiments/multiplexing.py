@@ -14,20 +14,21 @@ the no-drop buffer or loss storms on the finite one.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.objective import normalized_objective
 from ..core.omniscient import dumbbell_expected_throughput
 from ..core.scenario import NetworkConfig
 from ..exec import Executor
-from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, mean_normalized_score, run_seed_batch
+from .api import (Axis, Cell, Experiment, ExperimentSpec,
+                  baseline_queue, objective_metrics, register,
+                  run_experiment)
+from .common import DEFAULT, Scale
 
-__all__ = ["TAO_RANGES", "BUFFER_CASES", "MuxPoint", "MultiplexingResult",
-           "run", "format_table", "sweep_senders"]
+__all__ = ["TAO_RANGES", "BUFFER_CASES", "SPEC", "MuxPoint",
+           "MultiplexingResult", "run", "format_table", "sweep_senders"]
 
 #: Design ranges (Table 3a): name -> max trained sender count.
 TAO_RANGES: Dict[str, int] = {
@@ -69,14 +70,17 @@ class MultiplexingResult:
 
 def sweep_senders(points: int) -> List[int]:
     """Sender counts covering 1-100, denser at the low end."""
-    if points < 2:
-        raise ValueError("need at least two sweep points")
-    raw = [round(100 ** (k / (points - 1))) for k in range(points)]
-    out: List[int] = []
-    for value in raw:
-        if value not in out:
-            out.append(value)
-    return out
+    return list(_senders_axis(points).values)
+
+
+def _in_range(scheme: str, n: object) -> bool:
+    top = TAO_RANGES.get(scheme)
+    return top is None or n <= top
+
+
+def _senders_axis(points: int) -> Axis:
+    return Axis.log("n_senders", 1, 100, points, integer=True,
+                    in_range=_in_range)
 
 
 def _config_for(n: int, kinds_base: str, buffer_bdp: Optional[float],
@@ -98,6 +102,39 @@ def _omniscient_point(n: int) -> float:
                                 config.fair_share_bps(), min_delay)
 
 
+def _axes(scale: Scale) -> Tuple[Axis, ...]:
+    return (Axis.of("buffer_case",
+                    tuple(name for name, _ in BUFFER_CASES)),
+            _senders_axis(scale.sweep_points))
+
+
+def _build(scheme: str, point: Mapping[str, object]) -> Cell:
+    n = point["n_senders"]
+    buffer_bdp = dict(BUFFER_CASES)[point["buffer_case"]]
+    if scheme in TAO_RANGES:
+        return Cell(_config_for(n, "learner", buffer_bdp, "droptail"),
+                    {"learner": scheme})
+    return Cell(_config_for(n, "cubic", buffer_bdp,
+                            baseline_queue(scheme)), None)
+
+
+def _reference(point: Mapping[str, object]) -> Dict[str, object]:
+    return {"normalized_objective":
+            _omniscient_point(point["n_senders"])}
+
+
+SPEC = ExperimentSpec(
+    name="multiplexing",
+    title="E3 Figure 3 / Table 3 — multiplexing",
+    schemes=tuple(TAO_RANGES) + _BASELINES,
+    axes=_axes,
+    build=_build,
+    metrics=objective_metrics,
+    reference=_reference,
+    assets=tuple(TAO_RANGES),
+)
+
+
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
         base_seed: int = 1,
@@ -107,42 +144,14 @@ def run(scale: Scale = DEFAULT,
     The (buffer case × scheme × sender count × seed) grid goes out as
     one batch through ``executor``.
     """
-    if trees is None:
-        trees = {}
-    loaded = {name: trees.get(name) or load_tree(name)
-              for name in TAO_RANGES}
-    cells = []   # (scheme, n, case_name, config, trees, in_range)
-    for case_name, buffer_bdp in BUFFER_CASES:
-        for n in sweep_senders(scale.sweep_points):
-            for name, top in TAO_RANGES.items():
-                config = _config_for(n, "learner", buffer_bdp,
-                                     "droptail")
-                cells.append((name, n, case_name, config,
-                              {"learner": loaded[name]}, n <= top))
-            for baseline in _BASELINES:
-                queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
-                    else "droptail"
-                config = _config_for(n, "cubic", buffer_bdp, queue)
-                cells.append((baseline, n, case_name, config, None,
-                              True))
-    batches = run_seed_batch(
-        [(config, tree_map)
-         for _, _, _, config, tree_map, _ in cells],
-        scale=scale, base_seed=base_seed, executor=executor)
-    result = MultiplexingResult()
-    for (scheme, n, case_name, config, _, in_range), runs \
-            in zip(cells, batches):
-        result.points.append(MuxPoint(
-            scheme=scheme, n_senders=n, buffer_case=case_name,
-            normalized_objective=mean_normalized_score(runs, config),
-            in_training_range=in_range))
-    for case_name, _ in BUFFER_CASES:
-        for n in sweep_senders(scale.sweep_points):
-            result.points.append(MuxPoint(
-                scheme="omniscient", n_senders=n, buffer_case=case_name,
-                normalized_objective=_omniscient_point(n),
-                in_training_range=True))
-    return result
+    sweep = run_experiment(SPEC, scale=scale, trees=trees,
+                           base_seed=base_seed, executor=executor)
+    return MultiplexingResult(points=[
+        MuxPoint(scheme=row["scheme"], n_senders=row["n_senders"],
+                 buffer_case=row["buffer_case"],
+                 normalized_objective=row["normalized_objective"],
+                 in_training_range=row["in_training_range"])
+        for row in sweep.rows])
 
 
 def format_table(result: MultiplexingResult) -> str:
@@ -166,3 +175,11 @@ def format_table(result: MultiplexingResult) -> str:
             lines.append(f"{n:>8d} " + " ".join(cells))
     lines.append("(* = outside that Tao's training range)")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    return format_table(run(scale=scale, trees=trees, executor=executor))
+
+
+register(Experiment(eid="E3", name="multiplexing", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

@@ -14,18 +14,20 @@ delay is not particularly valuable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.objective import normalized_objective
 from ..core.omniscient import dumbbell_expected_throughput
 from ..core.scenario import NetworkConfig
 from ..exec import Executor
-from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, mean_normalized_score, run_seed_batch
+from .api import (Axis, Cell, Experiment, ExperimentSpec,
+                  baseline_queue, objective_metrics, register,
+                  run_experiment)
+from .common import DEFAULT, Scale
 
-__all__ = ["TAO_RANGES", "RttPoint", "RttResult", "run", "format_table",
-           "sweep_rtts"]
+__all__ = ["TAO_RANGES", "SPEC", "RttPoint", "RttResult", "run",
+           "format_table", "sweep_rtts"]
 
 #: Design ranges (Table 4a), in milliseconds.
 TAO_RANGES: Dict[str, Tuple[float, float]] = {
@@ -65,13 +67,12 @@ def sweep_rtts(points: int) -> List[float]:
     point, and always including the 1 ms short-RTT extreme where
     Figure 4's cliffs live.
     """
-    if points < 2:
-        raise ValueError("need at least two sweep points")
-    lo, hi = 1.0, 300.0
-    sweep = [lo + (hi - lo) * k / (points - 1) for k in range(points)]
-    if not any(abs(value - 150.0) < 1e-9 for value in sweep):
-        sweep.append(150.0)
-    return sorted(sweep)
+    return list(_rtt_axis(points).values)
+
+
+def _rtt_axis(points: int) -> Axis:
+    return Axis.linear("rtt_ms", 1.0, 300.0, points,
+                       in_range=_in_range).ensure(150.0)
 
 
 def _config_for(rtt_ms: float, kind: str, queue: str) -> NetworkConfig:
@@ -90,6 +91,40 @@ def _omniscient_point(rtt_ms: float) -> float:
                                 config.fair_share_bps(), min_delay)
 
 
+def _in_range(scheme: str, rtt_ms: object) -> bool:
+    bounds = TAO_RANGES.get(scheme)
+    return bounds is None or bounds[0] <= rtt_ms <= bounds[1]
+
+
+def _axes(scale: Scale) -> Tuple[Axis, ...]:
+    return (_rtt_axis(scale.sweep_points),)
+
+
+def _build(scheme: str, point: Mapping[str, object]) -> Cell:
+    rtt_ms = point["rtt_ms"]
+    if scheme in TAO_RANGES:
+        return Cell(_config_for(rtt_ms, "learner", "droptail"),
+                    {"learner": scheme})
+    return Cell(_config_for(rtt_ms, "cubic", baseline_queue(scheme)),
+                None)
+
+
+def _reference(point: Mapping[str, object]) -> Dict[str, object]:
+    return {"normalized_objective": _omniscient_point(point["rtt_ms"])}
+
+
+SPEC = ExperimentSpec(
+    name="rtt",
+    title="E4 Figure 4 / Table 4 — propagation delay",
+    schemes=tuple(TAO_RANGES) + _BASELINES,
+    axes=_axes,
+    build=_build,
+    metrics=objective_metrics,
+    reference=_reference,
+    assets=tuple(TAO_RANGES),
+)
+
+
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
         base_seed: int = 1,
@@ -99,38 +134,13 @@ def run(scale: Scale = DEFAULT,
     The (scheme × RTT × seed) grid goes out as one batch through
     ``executor``.
     """
-    if trees is None:
-        trees = {}
-    loaded = {name: trees.get(name) or load_tree(name)
-              for name in TAO_RANGES}
-    cells = []   # (scheme, rtt_ms, config, trees, in_training_range)
-    for rtt_ms in sweep_rtts(scale.sweep_points):
-        for name, (lo, hi) in TAO_RANGES.items():
-            config = _config_for(rtt_ms, "learner", "droptail")
-            cells.append((name, rtt_ms, config,
-                          {"learner": loaded[name]},
-                          lo <= rtt_ms <= hi))
-        for baseline in _BASELINES:
-            queue = "sfq_codel" if baseline == "cubic_sfqcodel" \
-                else "droptail"
-            config = _config_for(rtt_ms, "cubic", queue)
-            cells.append((baseline, rtt_ms, config, None, True))
-    batches = run_seed_batch(
-        [(config, tree_map) for _, _, config, tree_map, _ in cells],
-        scale=scale, base_seed=base_seed, executor=executor)
-    result = RttResult()
-    for (scheme, rtt_ms, config, _, in_range), runs in zip(cells,
-                                                           batches):
-        result.points.append(RttPoint(
-            scheme=scheme, rtt_ms=rtt_ms,
-            normalized_objective=mean_normalized_score(runs, config),
-            in_training_range=in_range))
-    for rtt_ms in sweep_rtts(scale.sweep_points):
-        result.points.append(RttPoint(
-            scheme="omniscient", rtt_ms=rtt_ms,
-            normalized_objective=_omniscient_point(rtt_ms),
-            in_training_range=True))
-    return result
+    sweep = run_experiment(SPEC, scale=scale, trees=trees,
+                           base_seed=base_seed, executor=executor)
+    return RttResult(points=[
+        RttPoint(scheme=row["scheme"], rtt_ms=row["rtt_ms"],
+                 normalized_objective=row["normalized_objective"],
+                 in_training_range=row["in_training_range"])
+        for row in sweep.rows])
 
 
 def format_table(result: RttResult) -> str:
@@ -149,3 +159,11 @@ def format_table(result: RttResult) -> str:
         lines.append(f"{rtt_ms:>8.1f} " + " ".join(cells))
     lines.append("(* = outside that Tao's training range)")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    return format_table(run(scale=scale, trees=trees, executor=executor))
+
+
+register(Experiment(eid="E4", name="rtt", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

@@ -15,17 +15,27 @@ evaluates them all on the calibration scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.objective import Objective
+from ..core.results import RunResult
+from ..core.scenario import NetworkConfig
 from ..exec import Executor
-from ..remy.assets import load_tree
 from ..remy.memory import SIGNAL_NAMES
 from ..remy.tree import WhiskerTree
+from .api import (Cell, Experiment, ExperimentSpec, register,
+                  run_experiment)
 from .calibration import CALIBRATION_CONFIG
-from .common import DEFAULT, Scale, run_seed_batch, scored_flows
+from .common import DEFAULT, Scale, scored_flows
 
-__all__ = ["SignalKnockoutResult", "run", "format_table"]
+__all__ = ["SPEC", "SignalKnockoutResult", "run", "format_table"]
+
+#: Variant -> the trained asset it evaluates.
+_VARIANT_ASSETS: Dict[str, str] = {
+    "all_signals": "tao_calibration",
+    **{f"knockout_{signal}": f"tao_knockout_{signal}"
+       for signal in SIGNAL_NAMES},
+}
 
 
 @dataclass
@@ -61,6 +71,28 @@ def _score_runs(runs) -> float:
     return sum(scores) / len(scores)
 
 
+def _build(variant: str, point: Mapping[str, object]) -> Cell:
+    return Cell(CALIBRATION_CONFIG,
+                {"learner": _VARIANT_ASSETS[variant]})
+
+
+def _metrics(variant: str, point: Mapping[str, object],
+             config: NetworkConfig,
+             runs: Sequence[RunResult]) -> Dict[str, object]:
+    return {"objective": _score_runs(runs)}
+
+
+SPEC = ExperimentSpec(
+    name="signals",
+    title="E9 Section 3.4 — signal knockouts",
+    schemes=tuple(_VARIANT_ASSETS),
+    axes=(),
+    build=_build,
+    metrics=_metrics,
+    assets=tuple(_VARIANT_ASSETS.values()),
+)
+
+
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
         base_seed: int = 1,
@@ -70,21 +102,11 @@ def run(scale: Scale = DEFAULT,
     All five (variant × seed) grids go out as one batch through
     ``executor``.
     """
-    if trees is None:
-        trees = {}
-    variants = ["all_signals"] \
-        + [f"knockout_{signal}" for signal in SIGNAL_NAMES]
-    assets = ["tao_calibration"] \
-        + [f"tao_knockout_{signal}" for signal in SIGNAL_NAMES]
-    specs = []
-    for asset in assets:
-        tree = trees.get(asset) or load_tree(asset)
-        specs.append((CALIBRATION_CONFIG, {"learner": tree}))
-    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
-                             executor=executor)
+    sweep = run_experiment(SPEC, scale=scale, trees=trees,
+                           base_seed=base_seed, executor=executor)
     result = SignalKnockoutResult()
-    for variant, runs in zip(variants, batches):
-        result.objective_by_variant[variant] = _score_runs(runs)
+    for row in sweep.rows:
+        result.objective_by_variant[row["scheme"]] = row["objective"]
     return result
 
 
@@ -103,3 +125,11 @@ def format_table(result: SignalKnockoutResult) -> str:
     lines.append(f"most-to-least valuable: {ranking}")
     lines.append("(paper: rec_ewma most valuable; all four contribute)")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    return format_table(run(scale=scale, trees=trees, executor=executor))
+
+
+register(Experiment(eid="E9", name="signals", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

@@ -18,23 +18,29 @@ Cubic by ~7x — topology simplification is cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.omniscient import omniscient_parking_lot
+from ..core.results import RunResult
 from ..core.scenario import NetworkConfig
 from ..exec import Executor
-from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
 from ..topology.parking_lot import FLOW_BOTH
-from .common import DEFAULT, Scale, run_seed_batch
+from .api import (Axis, Cell, Experiment, ExperimentSpec,
+                  baseline_queue, register, run_experiment)
+from .common import DEFAULT, Scale
 
-__all__ = ["StructurePoint", "StructureResult", "run", "format_table",
-           "sweep_speed_pairs"]
+__all__ = ["SPEC", "StructurePoint", "StructureResult", "run",
+           "format_table", "sweep_speed_pairs"]
 
 _SCHEMES = ("tao_one_bottleneck", "tao_two_bottleneck", "cubic",
             "cubic_sfqcodel")
+
+#: Scheme name -> shipped asset name.
+_TREE_ASSETS = {"tao_one_bottleneck": "tao_structure_one",
+                "tao_two_bottleneck": "tao_structure_two"}
 
 
 @dataclass
@@ -93,6 +99,46 @@ def _config_for(speeds: Tuple[float, float], kind: str,
         mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0, queue=queue)
 
 
+def _axes(scale: Scale) -> Tuple[Axis, ...]:
+    return (Axis.of("speeds",
+                    tuple(sweep_speed_pairs(scale.sweep_points))),)
+
+
+def _build(scheme: str, point: Mapping[str, object]) -> Cell:
+    speeds = point["speeds"]
+    if scheme in _TREE_ASSETS:
+        return Cell(_config_for(speeds, "learner", "droptail"),
+                    {"learner": _TREE_ASSETS[scheme]})
+    return Cell(_config_for(speeds, "cubic", baseline_queue(scheme)),
+                None)
+
+
+def _metrics(scheme: str, point: Mapping[str, object],
+             config: NetworkConfig,
+             runs: Sequence[RunResult]) -> Dict[str, object]:
+    flow1 = [r.flows[FLOW_BOTH].throughput_bps for r in runs]
+    return {"flow1_throughput_bps": float(np.median(flow1))}
+
+
+def _reference(point: Mapping[str, object]) -> Dict[str, object]:
+    speeds = point["speeds"]
+    omni = omniscient_parking_lot(
+        (speeds[0] * 1e6, speeds[1] * 1e6), p_on=0.5)
+    return {"flow1_throughput_bps": omni[FLOW_BOTH].throughput_bps}
+
+
+SPEC = ExperimentSpec(
+    name="structure",
+    title="E5 Figure 6 / Table 5 — structural knowledge",
+    schemes=_SCHEMES,
+    axes=_axes,
+    build=_build,
+    metrics=_metrics,
+    reference=_reference,
+    assets=tuple(_TREE_ASSETS.values()),
+)
+
+
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
         base_seed: int = 1,
@@ -102,45 +148,19 @@ def run(scale: Scale = DEFAULT,
     The (scheme × speed pair × seed) grid goes out as one batch
     through ``executor``.
     """
-    if trees is None:
-        trees = {}
-    tree_one = trees.get("tao_structure_one") \
-        or load_tree("tao_structure_one")
-    tree_two = trees.get("tao_structure_two") \
-        or load_tree("tao_structure_two")
-    cells = []   # (scheme, slower, faster, config, trees)
-    for speeds in sweep_speed_pairs(scale.sweep_points):
-        slower, faster = min(speeds), max(speeds)
-        for scheme in _SCHEMES:
-            if scheme == "tao_one_bottleneck":
-                config = _config_for(speeds, "learner", "droptail")
-                tree_map = {"learner": tree_one}
-            elif scheme == "tao_two_bottleneck":
-                config = _config_for(speeds, "learner", "droptail")
-                tree_map = {"learner": tree_two}
-            else:
-                queue = "sfq_codel" if scheme == "cubic_sfqcodel" \
-                    else "droptail"
-                config = _config_for(speeds, "cubic", queue)
-                tree_map = None
-            cells.append((scheme, slower, faster, config, tree_map))
-    batches = run_seed_batch(
-        [(config, tree_map) for _, _, _, config, tree_map in cells],
-        scale=scale, base_seed=base_seed, executor=executor)
+    sweep = run_experiment(SPEC, scale=scale, trees=trees,
+                           base_seed=base_seed, executor=executor)
     result = StructureResult()
-    for (scheme, slower, faster, config, _), runs in zip(cells,
-                                                         batches):
-        flow1 = [r.flows[FLOW_BOTH].throughput_bps for r in runs]
-        result.points.append(StructurePoint(
-            scheme=scheme, slower_mbps=slower, faster_mbps=faster,
-            flow1_throughput_bps=float(np.median(flow1))))
-    for speeds in sweep_speed_pairs(scale.sweep_points):
-        slower, faster = min(speeds), max(speeds)
-        omni = omniscient_parking_lot(
-            (speeds[0] * 1e6, speeds[1] * 1e6), p_on=0.5)
-        result.omniscient.append(StructurePoint(
-            scheme="omniscient", slower_mbps=slower, faster_mbps=faster,
-            flow1_throughput_bps=omni[FLOW_BOTH].throughput_bps))
+    for row in sweep.rows:
+        speeds = row["speeds"]
+        point = StructurePoint(
+            scheme=row["scheme"], slower_mbps=min(speeds),
+            faster_mbps=max(speeds),
+            flow1_throughput_bps=row["flow1_throughput_bps"])
+        if row["scheme"] == SPEC.reference_scheme:
+            result.omniscient.append(point)
+        else:
+            result.points.append(point)
     return result
 
 
@@ -168,3 +188,11 @@ def format_table(result: StructureResult) -> str:
     lines.append(f"one-bottleneck simplification penalty: {penalty:.0%} "
                  "(paper: ~17%)")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    return format_table(run(scale=scale, trees=trees, executor=executor))
+
+
+register(Experiment(eid="E5", name="structure", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

@@ -19,18 +19,20 @@ t=5 s and off at t=10 s while the bottleneck queue is traced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.results import EllipsePoint, summarize_ellipse
+from ..core.results import EllipsePoint, RunResult, summarize_ellipse
 from ..core.scenario import NetworkConfig
 from ..exec import Executor
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
-from .common import DEFAULT, Scale, build_simulation, run_seed_batch
+from .api import (Cell, Experiment, ExperimentSpec, ellipse_from_row,
+                  ellipse_row, register, run_experiment)
+from .common import DEFAULT, Scale, build_simulation
 
-__all__ = ["CELLS", "AwarenessCell", "AwarenessResult", "run",
+__all__ = ["CELLS", "SPEC", "AwarenessCell", "AwarenessResult", "run",
            "QueueTraceResult", "run_queue_trace", "format_table"]
 
 #: 250 kB buffer = 200 ms of queueing at 10 Mbps (Figure 7's caption).
@@ -74,6 +76,43 @@ class AwarenessResult:
         return self.cells[cell].by_kind["newreno"]
 
 
+def _build(cell_name: str, point: Mapping[str, object]) -> Cell:
+    kinds, tree_name = CELLS[cell_name]
+    trees = {"learner": tree_name} if tree_name else None
+    return Cell(_test_config(kinds), trees)
+
+
+def _metrics(cell_name: str, point: Mapping[str, object],
+             config: NetworkConfig,
+             runs: Sequence[RunResult]) -> List[Dict[str, object]]:
+    kinds, _ = CELLS[cell_name]
+    rows: List[Dict[str, object]] = []
+    for kind in dict.fromkeys(kinds):
+        tpts = []
+        delays = []
+        for run_result in runs:
+            for flow in run_result.flows_of_kind(kind):
+                if flow.packets_delivered == 0:
+                    continue
+                tpts.append(flow.throughput_bps)
+                delays.append(flow.queueing_delay_s)
+        if tpts:
+            rows.append({"kind": kind,
+                         **ellipse_row(summarize_ellipse(tpts, delays))})
+    return rows
+
+
+SPEC = ExperimentSpec(
+    name="tcp_awareness",
+    title="E6 Figure 7 / Table 6 — TCP-awareness",
+    schemes=tuple(CELLS),
+    axes=(),
+    build=_build,
+    metrics=_metrics,
+    assets=("tao_tcp_naive", "tao_tcp_aware"),
+)
+
+
 def run(scale: Scale = DEFAULT,
         trees: Optional[Dict[str, WhiskerTree]] = None,
         base_seed: int = 1,
@@ -82,34 +121,13 @@ def run(scale: Scale = DEFAULT,
 
     The (cell × seed) grid goes out as one batch through ``executor``.
     """
-    if trees is None:
-        trees = {}
-    loaded = {
-        "tao_tcp_naive": trees.get("tao_tcp_naive")
-        or load_tree("tao_tcp_naive"),
-        "tao_tcp_aware": trees.get("tao_tcp_aware")
-        or load_tree("tao_tcp_aware"),
-    }
-    specs = []
-    for cell_name, (kinds, tree_name) in CELLS.items():
-        tree_map = {"learner": loaded[tree_name]} if tree_name else None
-        specs.append((_test_config(kinds), tree_map))
-    batches = run_seed_batch(specs, scale=scale, base_seed=base_seed,
-                             executor=executor)
+    sweep = run_experiment(SPEC, scale=scale, trees=trees,
+                           base_seed=base_seed, executor=executor)
     result = AwarenessResult()
-    for (cell_name, (kinds, _)), runs in zip(CELLS.items(), batches):
+    for cell_name in CELLS:
         cell = AwarenessCell(name=cell_name)
-        for kind in dict.fromkeys(kinds):
-            tpts = []
-            delays = []
-            for run_result in runs:
-                for flow in run_result.flows_of_kind(kind):
-                    if flow.packets_delivered == 0:
-                        continue
-                    tpts.append(flow.throughput_bps)
-                    delays.append(flow.queueing_delay_s)
-            if tpts:
-                cell.by_kind[kind] = summarize_ellipse(tpts, delays)
+        for row in sweep.select(scheme=cell_name):
+            cell.by_kind[row["kind"]] = ellipse_from_row(row)
         result.cells[cell_name] = cell
     return result
 
@@ -171,3 +189,29 @@ def format_table(result: AwarenessResult) -> str:
                 f"{point.median_throughput_bps / 1e6:>11.2f} "
                 f"{point.median_delay_s * 1e3:>12.1f}")
     return "\n".join(lines)
+
+
+def _render(scale, trees, executor) -> str:
+    return format_table(run(scale=scale, trees=trees, executor=executor))
+
+
+register(Experiment(eid="E6", name="tcp_awareness", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))
+
+
+def _render_queue_trace(scale, trees, executor) -> str:
+    lines = ["Figure 8 — queue traces (TCP on during [5 s, 10 s)):"]
+    for scheme in ("tao_tcp_aware", "tao_tcp_naive"):
+        trace = run_queue_trace(scheme, tree=(trees or {}).get(scheme),
+                                seed=1)
+        lines.append(
+            f"{scheme:<15} queue alone={trace.mean_queue(1, 5):7.1f} "
+            f"pkts  with TCP={trace.mean_queue(6, 10):7.1f} pkts  "
+            f"drops={len(trace.drop_times)}")
+    return "\n".join(lines)
+
+
+register(Experiment(eid="E7", name="queue_trace",
+                    title="E7 Figure 8 — queue traces",
+                    render=_render_queue_trace,
+                    assets=("tao_tcp_aware", "tao_tcp_naive")))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Regenerate the committed parity tables.
+
+Each file is one experiment module's ``format_table`` output at
+``PARITY_SCALE`` with the stand-in rule table (the same fake tree
+``run_experiments.py --fake-taos`` uses).  ``tests/test_table_parity.py``
+asserts the current code reproduces these files byte-for-byte, so any
+refactor of the experiment layer that shifts a table — cell grid, seed
+assignment, scoring, or formatting — fails loudly.
+
+Regenerate (only after convincing yourself a diff is intentional)::
+
+    PYTHONPATH=src python tests/golden_tables/regen.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.core.scale import Scale
+from repro.experiments import (calibration, diversity, link_speed,
+                               multiplexing, rtt, signals, structure,
+                               tcp_awareness)
+from repro.experiments.api import FAKE_TREE
+from repro.remy.memory import SIGNAL_NAMES
+
+#: Small enough for the tier-1 suite, big enough to exercise multiple
+#: seeds and sweep points.
+PARITY_SCALE = Scale(duration_s=3.0, packet_budget=6_000,
+                     min_duration_s=2.0, n_seeds=2, sweep_points=3)
+
+_ASSETS = {
+    "link_speed": tuple(link_speed.TAO_RANGES),
+    "multiplexing": tuple(multiplexing.TAO_RANGES),
+    "rtt": tuple(rtt.TAO_RANGES),
+    "structure": ("tao_structure_one", "tao_structure_two"),
+    "tcp_awareness": ("tao_tcp_naive", "tao_tcp_aware"),
+    "diversity": ("tao_delta_tpt_naive", "tao_delta_del_naive",
+                  "tao_delta_tpt_coopt", "tao_delta_del_coopt"),
+    "signals": ("tao_calibration",) + tuple(
+        f"tao_knockout_{signal}" for signal in SIGNAL_NAMES),
+}
+
+#: Every table the parity suite pins (regenerated into <name>.txt).
+TABLE_NAMES = ("calibration",) + tuple(_ASSETS)
+
+
+def _fakes(name):
+    return {asset: FAKE_TREE for asset in _ASSETS[name]}
+
+
+def tables() -> dict:
+    """name -> format_table text at PARITY_SCALE with fake trees."""
+    out = {}
+    out["calibration"] = calibration.format_table(
+        calibration.run(scale=PARITY_SCALE, tree=FAKE_TREE))
+    for name, module in (("link_speed", link_speed),
+                         ("multiplexing", multiplexing),
+                         ("rtt", rtt),
+                         ("structure", structure),
+                         ("tcp_awareness", tcp_awareness),
+                         ("diversity", diversity),
+                         ("signals", signals)):
+        out[name] = module.format_table(
+            module.run(scale=PARITY_SCALE, trees=_fakes(name)))
+    return out
+
+
+def main() -> int:
+    directory = pathlib.Path(__file__).resolve().parent
+    for name, text in tables().items():
+        path = directory / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

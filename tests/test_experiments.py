@@ -12,14 +12,10 @@ from repro.core.scale import Scale
 from repro.experiments import (calibration, diversity, link_speed,
                                multiplexing, rtt, signals, structure,
                                tcp_awareness)
-from repro.remy.action import Action
-from repro.remy.tree import WhiskerTree
+from repro.experiments.api import FAKE_TREE
 
 MICRO = Scale(duration_s=3.0, packet_budget=4_000, min_duration_s=2.0,
               n_seeds=1, sweep_points=2)
-
-#: A sane rate-matching table standing in for any trained asset.
-FAKE_TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
 
 
 def fake_trees(*names):

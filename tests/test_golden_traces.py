@@ -25,12 +25,9 @@ from repro.core.scenario import NetworkConfig
 from repro.exec import (ProcessPoolExecutor, SerialExecutor, SimTask,
                         StoreExecutor)
 from repro.exec.store import encode_result
+from repro.experiments.api import FAKE_TREE as TREE
+from repro.experiments.api import Axis, adhoc_spec, expand
 from repro.experiments.calibration import CALIBRATION_CONFIG
-from repro.remy.action import Action
-from repro.remy.tree import WhiskerTree
-
-#: The same stand-in rule table run_experiments.py --fake-taos uses.
-TREE = WhiskerTree(default_action=Action(0.8, 4.0, 0.002))
 
 _LEARNER = {"learner": TREE}
 _DURATION = 2.0
@@ -90,6 +87,20 @@ SCENARIOS = {
         duration_s=_DURATION, record_usage=True),
 }
 
+#: The spec-engine path: a grid composed through the declarative sweep
+#: API (an ad-hoc link×queue grid's CoDel cell — a queue discipline no
+#: experiment module hardcodes), expanded by the same `expand` the
+#: engine runs on.  Pins both the expansion (cell order, config
+#: construction) and the codel simulation path.
+_ADHOC_SPEC = adhoc_spec(
+    axes=(Axis.log("link_mbps", 8.0, 32.0, 2),
+          Axis.of("queue", ("droptail", "codel"))),
+    schemes=("cubic",), name="golden_adhoc", bound=False)
+_ADHOC_PLANS = expand(_ADHOC_SPEC)[1]
+SCENARIOS["api"] = SimTask.build(
+    _ADHOC_PLANS[1].cell.config, trees=None, seed=1,
+    duration_s=_DURATION)
+
 #: name -> SHA-1 of the canonical serialized result.  Regenerate by
 #: running this file as a script — but only after convincing yourself
 #: the simulator change behind the mismatch is intentional.
@@ -102,6 +113,7 @@ GOLDEN = {
     "tcp_awareness": "e91183a85f17c3f7b9cf072ab19b14d35716586c",
     "diversity": "f749def2366abb41d3313591b31bf4798106c7ce",
     "signals": "b13307dd764739faeaeacf7ae52aa94907b0bdea",
+    "api": "0db9043ca3c8c29b9776b3a321977c23ac9ca3f8",
 }
 
 

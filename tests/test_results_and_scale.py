@@ -106,3 +106,11 @@ class TestScale:
     def test_preset_ordering(self):
         assert QUICK.packet_budget < DEFAULT.packet_budget \
             < FULL.packet_budget
+
+    def test_named_lookup_is_the_single_registry(self):
+        assert Scale.named("quick") is QUICK
+        assert Scale.named("default") is DEFAULT
+        assert Scale.named("full") is FULL
+        assert set(Scale.names()) == {"quick", "default", "full"}
+        with pytest.raises(ValueError):
+            Scale.named("warp")

@@ -404,10 +404,12 @@ class TestSweepResume:
 
     def test_killed_sweep_resumes_identically(self, tmp_path,
                                               monkeypatch, capsys):
+        from repro.core import scale as scale_module
+
         run_experiments = _load_script("run_experiments.py")
         tiny = Scale(duration_s=2.0, packet_budget=3_000,
                      min_duration_s=2.0, n_seeds=2, sweep_points=2)
-        monkeypatch.setitem(run_experiments.SCALES, "quick", tiny)
+        monkeypatch.setitem(scale_module.NAMED_SCALES, "quick", tiny)
 
         # Count what the inner executor actually simulates per run.
         executors = []
