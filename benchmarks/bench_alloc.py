@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Allocations-per-simulated-packet for the dumbbell kernel workload.
+
+Wall-clock benchmarks (``compare.py``) catch *slow*; this bench catches
+*churny*.  It runs the RemyCC dumbbell kernel workload and reports, per
+delivered packet:
+
+* ``packet_allocs`` — ``Packet.__init__`` invocations, counted by
+  instrumenting the class, so pool *misses* are measured no matter who
+  constructs packets.  Before the pooled packet path this was ~2.0
+  (one data packet + one ACK per delivery); afterwards the pool
+  recycles a handful of objects for the whole run.
+* ``agenda_entries`` — heap pushes, read off the simulator's event
+  sequence counter.  Pins the coalesced link events: a regression that
+  re-introduces per-hop bookkeeping events shows up here even when the
+  wall-clock gate's 30% tolerance would hide it.
+* ``traced_peak_kib`` — tracemalloc's peak traced memory across the
+  run (build + simulate).  Reported for context, not gated: peak
+  memory scales with queue depth, not packet count, so it is stable
+  but machine-insensitive rather than a churn measure.
+
+Both per-packet ratios are deterministic (same workload, same seed →
+same counts), so ``compare.py --check`` gates them with a tight
+tolerance next to the wall-clock rates, and ``--update`` records them
+into ``BENCH_kernel.json``.
+
+Run it standalone for a human-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_alloc.py
+    PYTHONPATH=src python benchmarks/bench_alloc.py --json
+    PYTHONPATH=src python benchmarks/bench_alloc.py --profile [PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tracemalloc
+
+import repro.sim.packet as packet_module
+
+__all__ = ["measure_allocations", "ALLOC_DURATION_S"]
+
+#: Simulated seconds of the gated workload.  Long enough that steady
+#: state dominates the pool's warm-up misses.
+ALLOC_DURATION_S = 10.0
+
+
+def _counting_packet_class(counter: dict):
+    """Swap in a Packet.__init__ that counts constructions."""
+    original = packet_module.Packet.__init__
+
+    def counting_init(self, *args, **kwargs):
+        counter["n"] += 1
+        original(self, *args, **kwargs)
+
+    packet_module.Packet.__init__ = counting_init
+    return original
+
+
+def measure_allocations(duration_s: float = ALLOC_DURATION_S) -> dict:
+    """Run the RemyCC dumbbell kernel workload under instrumentation.
+
+    Returns a JSON-able dict with raw counts and the two gated
+    per-packet ratios.  Deterministic: repeated calls return identical
+    counts (only ``traced_peak_kib`` can wiggle by interpreter noise).
+    """
+    # Import late so the instrumentation below cannot miss packets
+    # built at import time, and build the simulation *inside* the
+    # traced/counted region — construction churn is part of the cost.
+    from kernel_workloads import demo_tree
+
+    from repro.core.scenario import NetworkConfig
+    from repro.experiments.common import build_simulation
+
+    counter = {"n": 0}
+    original_init = _counting_packet_class(counter)
+    tracemalloc.start()
+    try:
+        config = NetworkConfig(
+            link_speeds_mbps=(15.0,), rtt_ms=100.0,
+            sender_kinds=("learner",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=5.0)
+        handle = build_simulation(config, trees={"learner": demo_tree()},
+                                  seed=1)
+        result = handle.run(duration_s)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        packet_module.Packet.__init__ = original_init
+
+    delivered = result.flows[0].packets_delivered
+    pool = handle.built.network.pool
+    return {
+        "duration_s": duration_s,
+        "packets_delivered": delivered,
+        "packet_allocs": counter["n"],
+        "pool_reused": pool.reused,
+        "pool_released": pool.released,
+        "agenda_entries": handle.sim._seq,
+        "events_processed": handle.sim.events_processed,
+        "traced_peak_kib": round(peak / 1024.0, 1),
+        # The gated ratios.
+        "packet_allocs_per_packet": round(counter["n"] / delivered, 4),
+        "agenda_entries_per_packet": round(handle.sim._seq / delivered, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=ALLOC_DURATION_S,
+                        help="simulated seconds (default "
+                             f"{ALLOC_DURATION_S:g})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw measurement dict as JSON")
+    try:
+        from repro.profiling import add_profile_argument, maybe_profile
+        add_profile_argument(parser)
+    except ImportError:  # pragma: no cover - repro not on sys.path
+        maybe_profile = None
+    args = parser.parse_args(argv)
+
+    if maybe_profile is not None:
+        with maybe_profile(args.profile):
+            report = measure_allocations(args.duration)
+    else:  # pragma: no cover
+        report = measure_allocations(args.duration)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"dumbbell kernel workload, {report['duration_s']:g} simulated "
+          f"seconds, {report['packets_delivered']} packets delivered")
+    print(f"  Packet constructions   {report['packet_allocs']:8d}  "
+          f"({report['packet_allocs_per_packet']:.4f} per packet)")
+    print(f"  pool reuse / release   {report['pool_reused']:8d} / "
+          f"{report['pool_released']}")
+    print(f"  agenda entries pushed  {report['agenda_entries']:8d}  "
+          f"({report['agenda_entries_per_packet']:.4f} per packet)")
+    print(f"  events processed       {report['events_processed']:8d}")
+    print(f"  tracemalloc peak       {report['traced_peak_kib']:8.1f} KiB")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    sys.exit(main())

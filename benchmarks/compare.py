@@ -19,25 +19,47 @@ the gate.  Raw rates are recorded too — they are what
 compiled hot path landed, preserving the speedup context the baseline
 was accepted against.
 
+Besides wall-clock rates the baseline carries an ``alloc`` section —
+the deterministic allocation counts from :mod:`bench_alloc` (packet
+constructions and agenda entries per simulated packet), gated with
+their own (much tighter) tolerance: churn regressions are invisible to
+a 30% wall-clock gate but show up exactly here.
+
 ``--update`` rewrites the baseline in place (keeping any ``pre_pr_rate``
 fields) — run it after an intentional kernel change, in the same commit,
 so the gate always measures against the current code's expectations.
+Each baseline records provenance (git commit, python version, CPU
+count, machine) so a checked-in number is auditable; ``--check`` warns
+when the baseline was recorded on a different machine shape, where the
+calibration normalization is least trustworthy.
+
+``--report PATH`` duplicates everything printed into ``PATH`` (CI
+uploads it as a workflow artifact).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
 
+import bench_alloc
 import kernel_workloads as workloads
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
 
-SCHEMA = 1
+SCHEMA = 2
+
+#: Allowed fractional *increase* in the per-packet allocation ratios.
+#: The counts are deterministic, so this headroom only absorbs benign
+#: intentional drift; anything past it is a churn regression.
+ALLOC_TOLERANCE = 0.10
 
 #: name -> zero-argument callable returning a unit count.
 BENCHMARKS = {
@@ -48,6 +70,34 @@ BENCHMARKS = {
     "remycc_flow": workloads.run_remycc_flow,
     "many_senders": workloads.run_many_senders,
 }
+
+
+def _git_commit() -> str:
+    """Current commit hash (+ dirty marker), or "unknown".
+
+    ``--update`` necessarily runs *before* the commit that ships the
+    new numbers, so a recorded hash usually names the parent commit —
+    the ``+dirty`` suffix makes that visible to anyone auditing the
+    baseline by checking the hash out.
+    """
+    cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=cwd, timeout=10)
+        if out.returncode != 0:
+            return "unknown"
+        commit = out.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], capture_output=True,
+            text=True, cwd=cwd, timeout=10)
+        if status.returncode == 0 and status.stdout.strip():
+            commit += "+dirty"
+        return commit
+    except (OSError, subprocess.SubprocessError):
+        # git missing, stalled (cold NFS, contended lock), or broken —
+        # provenance degrades gracefully, the gate must still run.
+        return "unknown"
 
 
 def _calibration_spin(n: int = 2_000_000) -> int:
@@ -84,14 +134,25 @@ def measure(repeats: int) -> dict:
         }
         print(f"  {name:16s} {rate:12.1f}/s "
               f"(normalized {rate / calibration_rate:.4f})", flush=True)
+    alloc = bench_alloc.measure_allocations()
+    print(f"  {'alloc':16s} {alloc['packet_allocs_per_packet']:12.4f} "
+          f"Packet allocs/pkt, {alloc['agenda_entries_per_packet']:.4f} "
+          f"agenda entries/pkt", flush=True)
     return {
         "schema": SCHEMA,
         "recorded_with": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "git_commit": _git_commit(),
         },
         "calibration_rate": round(calibration_rate, 1),
         "benchmarks": benchmarks,
+        "alloc": {
+            "packet_allocs_per_packet": alloc["packet_allocs_per_packet"],
+            "agenda_entries_per_packet": alloc["agenda_entries_per_packet"],
+            "traced_peak_kib": alloc["traced_peak_kib"],
+        },
     }
 
 
@@ -107,9 +168,9 @@ def load_baseline() -> dict:
     return data
 
 
-def cmd_check(tolerance: float, repeats: int) -> int:
-    baseline = load_baseline()
-    recorded = baseline.get("recorded_with", {}).get("python", "")
+def _warn_cross_machine(recorded_with: dict) -> None:
+    """Flag comparisons whose normalization assumptions are shaky."""
+    recorded = recorded_with.get("python", "")
     running = platform.python_version()
     if recorded.split(".")[:2] != running.split(".")[:2]:
         print(f"warning: baseline recorded under Python {recorded}, "
@@ -117,6 +178,21 @@ def cmd_check(tolerance: float, repeats: int) -> int:
               f"kernel/calibration ratio unevenly, so normalized "
               f"comparisons may drift — re-record with --update on the "
               f"gating interpreter", file=sys.stderr)
+    machine = recorded_with.get("machine")
+    cpus = recorded_with.get("cpu_count")
+    here = (platform.machine(), os.cpu_count())
+    if (machine, cpus) != (None, None) and (machine, cpus) != here:
+        print(f"warning: baseline recorded on {machine}/{cpus} CPUs "
+              f"(commit {recorded_with.get('git_commit', 'unknown')[:12]}), "
+              f"checking on {here[0]}/{here[1]}; the calibration spin "
+              f"normalizes overall speed but not microarchitectural "
+              f"ratios — treat borderline results with suspicion",
+              file=sys.stderr)
+
+
+def cmd_check(tolerance: float, repeats: int) -> int:
+    baseline = load_baseline()
+    _warn_cross_machine(baseline.get("recorded_with", {}))
     print("measuring current kernel rates...")
     current = measure(repeats)
     failures = [
@@ -144,6 +220,25 @@ def cmd_check(tolerance: float, repeats: int) -> int:
         if pre:
             print(f"{'':16s} ({now['rate'] / pre:.2f}x the pre-compiled-"
                   f"hot-path rate of {pre:.0f}/s)")
+    # Allocation gate: deterministic counts, tight one-sided tolerance.
+    base_alloc = baseline.get("alloc", {})
+    now_alloc = current["alloc"]
+    print(f"\n{'allocation gate':24s} {'baseline':>10s} {'current':>10s}")
+    for key in ("packet_allocs_per_packet", "agenda_entries_per_packet"):
+        base_val = base_alloc.get(key)
+        now_val = now_alloc[key]
+        if base_val is None:
+            failures.append(
+                f"{key}: missing from the baseline; run 'compare.py "
+                f"--update' and commit BENCH_kernel.json")
+            continue
+        flag = ""
+        if now_val > base_val * (1.0 + ALLOC_TOLERANCE):
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{key}: rose {now_val / base_val:.2f}x over baseline "
+                f"(tolerance {100 * ALLOC_TOLERANCE:.0f}%)")
+        print(f"{key:24s} {base_val:10.4f} {now_val:10.4f}{flag}")
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for failure in failures:
@@ -178,6 +273,21 @@ def cmd_list() -> int:
     return 0
 
 
+class _Tee:
+    """Duplicate writes to several streams (stdout + the report file)."""
+
+    def __init__(self, *streams):
+        self._streams = streams
+
+    def write(self, data):
+        for stream in self._streams:
+            stream.write(data)
+
+    def flush(self):
+        for stream in self._streams:
+            stream.flush()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     group = parser.add_mutually_exclusive_group(required=True)
@@ -194,12 +304,29 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repeats per workload; the fastest "
                              "run counts (default 5)")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="also write everything printed to PATH "
+                             "(uploaded as a CI artifact)")
     args = parser.parse_args(argv)
-    if args.check:
-        return cmd_check(args.tolerance, args.repeats)
-    if args.update:
-        return cmd_update(args.repeats)
-    return cmd_list()
+
+    def run() -> int:
+        if args.check:
+            return cmd_check(args.tolerance, args.repeats)
+        if args.update:
+            return cmd_update(args.repeats)
+        return cmd_list()
+
+    if args.report is None:
+        return run()
+    with open(args.report, "w") as report:
+        # Tee both streams: the FAIL list and the cross-machine
+        # warnings go to stderr, and the artifact exists precisely to
+        # make a red gate diagnosable.
+        with contextlib.redirect_stdout(_Tee(sys.stdout, report)), \
+                contextlib.redirect_stderr(_Tee(sys.stderr, report)):
+            status = run()
+        report.write(f"\nexit status: {status}\n")
+    return status
 
 
 if __name__ == "__main__":

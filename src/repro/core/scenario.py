@@ -71,8 +71,12 @@ class NetworkConfig:
                 f"got {len(self.link_speeds_mbps)}")
         if any(s <= 0 for s in self.link_speeds_mbps):
             raise ValueError("link speeds must be positive")
-        if self.rtt_ms <= 0:
-            raise ValueError("rtt_ms must be positive")
+        if self.rtt_ms < 0:
+            # Zero is allowed: a zero-propagation network degenerates
+            # every hop to the links' serialization times, which is the
+            # stress scenario pinning the simulator's direct-call
+            # zero-delay path (tests/test_golden_traces.py).
+            raise ValueError("rtt_ms must be non-negative")
         if not self.sender_kinds:
             raise ValueError("need at least one sender")
         if self.topology == "parking_lot" and len(self.sender_kinds) != 3:

@@ -106,9 +106,8 @@ class SimulationHandle:
             ))
         bottlenecks = self.bottleneck_links()
         drops = sum(link.queue.stats.dropped for link in bottlenecks)
-        utilization = max(
-            link.stats.utilization(link.rate_bps, duration_s)
-            for link in bottlenecks)
+        utilization = max(link.utilization(duration_s)
+                          for link in bottlenecks)
         return RunResult(flows=flows, seed=self.seed,
                          duration_s=duration_s,
                          bottleneck_drops=drops,

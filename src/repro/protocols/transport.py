@@ -102,6 +102,7 @@ class FlowSender:
 
         path = network.flows[flow_id]
         self.base_rtt = path.base_delay(packet_bytes, ack_bytes=40)
+        self._pool = network.pool
         network.attach_sender(flow_id, self._on_ack_packet)
 
         # Reliability state.
@@ -202,9 +203,9 @@ class FlowSender:
             first = now
             self._first_sent[seq] = now
             retransmission = False
-        packet = Packet(self.flow_id, seq, self.packet_bytes,
-                        sent_at=now, first_sent_at=first,
-                        is_retransmission=retransmission)
+        packet = self._pool.acquire(self.flow_id, seq, self.packet_bytes,
+                                    sent_at=now, first_sent_at=first,
+                                    is_retransmission=retransmission)
         self._sent_time[seq] = now
         self._send_log.append((seq, now))
         self.pipe += 1
@@ -275,6 +276,10 @@ class FlowSender:
             self._rto_timer.restart(self.rto)
         else:
             self._rto_timer.cancel()
+        # The ACK is fully consumed: recycle it.  This is the normal end
+        # of a pooled packet's life — acquired here as data, flipped
+        # into an ACK by the receiver, released here.
+        self._pool.release(ack)
         self._maybe_send()
 
     def _register_delivery(self, seq: int) -> None:
@@ -396,5 +401,6 @@ class FlowReceiver:
             while self.cum in self._buffered:
                 self._buffered.remove(self.cum)
                 self.cum += 1
-        ack = Packet.make_ack(packet, self.cum, now)
-        self.network.send_ack(ack)
+        # Zero-allocation turnaround: the delivered data packet becomes
+        # its own ACK (ownership reverses; the sender releases it).
+        self.network.send_ack(packet.into_ack(self.cum, now))

@@ -137,6 +137,10 @@ class CoDelQueue(QueueDiscipline):
             self.stats.dropped += 1
             self.stats.dropped_at_arrival += 1
             self.stats.bytes_dropped += packet.size_bytes
+            # The inner FIFO has no pool wired (only outer queues are
+            # attached to a network), so this is the sole release site.
+            if self.pool is not None:
+                self.pool.release(packet)
         self._notify(now)
         return admitted
 
@@ -150,6 +154,8 @@ class CoDelQueue(QueueDiscipline):
             if self.codel.should_drop(packet, now, empty_after):
                 self.stats.dropped += 1
                 self.stats.bytes_dropped += packet.size_bytes
+                if self.pool is not None:
+                    self.pool.release(packet)
                 continue
             self.stats.dequeued += 1
             self.stats.bytes_dequeued += packet.size_bytes

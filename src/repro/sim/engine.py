@@ -96,6 +96,10 @@ class Simulator:
         self._events_processed = 0
         self._cancelled_pending = 0
         self._running = False
+        #: Nesting depth of synchronous (direct-call) link deliveries;
+        #: bounded by the link layer so all-instant networks iterate
+        #: through the agenda instead of overflowing the C stack.
+        self._sync_depth = 0
 
     @property
     def now(self) -> float:
@@ -234,9 +238,6 @@ class Simulator:
 class Timer:
     """A restartable one-shot timer (used for retransmission timeouts).
 
-    The timer wraps the lazy-cancellation events of :class:`Simulator`
-    behind a convenient interface:
-
     >>> sim = Simulator()
     >>> hits = []
     >>> timer = Timer(sim, lambda: hits.append(sim.now))
@@ -245,38 +246,77 @@ class Timer:
     >>> sim.run(until=3.0)
     >>> hits
     [2.0]
+
+    Restarts are *lazy*: retransmission timers are re-armed on every
+    ACK but almost never fire, and the common restart pushes the
+    deadline **later**.  Eagerly cancelling and re-scheduling per
+    restart cost one :class:`Event` allocation plus a dead agenda
+    entry per ACK; instead the armed entry is left in place and only
+    the true deadline is updated.  When the stale entry fires early it
+    re-arms itself for the remaining time — one agenda entry per
+    elapsed timeout interval instead of one per restart.  Restarting
+    to an *earlier* deadline (or cancelling) still cancels eagerly, so
+    the agenda-compaction bound on dead entries is preserved.
+
+    One known deviation from the eager design: the entry that finally
+    fires gets its agenda seq at the last stale-entry pop, not at the
+    last ``restart`` — so an unrelated event scheduled in between and
+    landing at *exactly* the deadline float wins the FIFO tie where it
+    previously lost it.  Still fully deterministic (same seed, same
+    trajectory); the golden digests and the pre-port table parity
+    suite pass, and any future collision would surface there as a
+    digest bump to be taken knowingly.
     """
 
-    __slots__ = ("_sim", "_callback", "_event")
+    __slots__ = ("_sim", "_callback", "_event", "_deadline")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]):
         self._sim = sim
         self._callback = callback
         self._event: Optional[Event] = None
+        self._deadline: Optional[float] = None
 
     @property
     def pending(self) -> bool:
         """True if the timer is armed."""
-        return self._event is not None and not self._event.cancelled
+        return self._deadline is not None
 
     @property
     def deadline(self) -> Optional[float]:
         """Absolute time at which the timer will fire, or None."""
-        if self.pending:
-            return self._event.time
-        return None
+        return self._deadline
 
     def restart(self, delay: float) -> None:
         """(Re)arm the timer ``delay`` seconds from now."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
+        sim = self._sim
+        deadline = sim._now + delay
+        self._deadline = deadline
+        event = self._event
+        if event is not None and not event.cancelled:
+            if event.time <= deadline:
+                return          # lazy: fire early, re-arm for the rest
+            event.cancel()
+        self._event = sim.schedule(delay, self._fire)
 
     def cancel(self) -> None:
         """Disarm the timer if armed."""
+        self._deadline = None
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
     def _fire(self) -> None:
         self._event = None
+        deadline = self._deadline
+        if deadline is None:  # pragma: no cover - cancel() also cancels
+            return            # the event, so a stale fire needs a race
+        sim = self._sim
+        if deadline > sim._now:
+            # The deadline moved while this entry was in flight: re-arm
+            # at the exact stored deadline (schedule_at, not a relative
+            # delay — ``now + (deadline - now)`` can land an ulp off,
+            # and the fire time must be the float the restart computed).
+            self._event = sim.schedule_at(deadline, self._fire)
+            return
+        self._deadline = None
         self._callback()

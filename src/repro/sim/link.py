@@ -9,6 +9,60 @@ The link does not know the topology.  When a packet finishes propagating
 the link hands it to ``deliver`` — a callback installed by
 :class:`~repro.sim.network.Network` that advances the packet along its
 source route.
+
+The hot path (drop-tail links, no occupancy listener)
+-----------------------------------------------------
+Kernel profiles put per-crossing overhead — queue-discipline dispatch
+and agenda pushes — at the top of a saturated run, so the 90% case is
+specialized while keeping the event *trajectory* bitwise identical on
+every configuration the reproduction runs (pinned by the golden
+digests in ``tests/test_golden_traces.py`` and the pre-port table
+parity suite):
+
+* **Monomorphic queue ops**: when the queue is exactly a
+  :class:`~repro.sim.queues.DropTailQueue` (checked once at link
+  construction) with no occupancy listener, enqueue/dequeue are inlined
+  into :meth:`send` / the serialization-done handler — no virtual
+  dispatch, no listener plumbing, same counters and same float math.
+* **Coalesced instant-link events**: an infinite-rate link serializes
+  in zero time, so its serialization-done event is pure bookkeeping —
+  *except* as a FIFO yield between chains that share a timestamp (a
+  multi-sender burst at time t round-robins through those entries, and
+  the trajectory depends on that interleaving; unconditionally
+  direct-calling here measurably reorders multiplexed runs).  The
+  crossing is therefore coalesced exactly when the yield is provably
+  inert: link idle *and* no other agenda entry at the current
+  timestamp (a peek at the heap head).  In that case a zero-delay hop
+  direct-calls ``deliver`` with **zero** agenda entries and a delayed
+  hop pushes only the propagation entry — one heap push per crossing
+  instead of two.  Contended sends fall back to the chained relay,
+  which replicates the original event structure with the queue ops
+  inlined.  ``busy_time`` is never touched on the instant path (it
+  only ever accumulated ``0.0``).
+* **Finite-rate links keep the two-event structure** (serialization
+  done at ``start + tx``, delivery at ``+ delay``): the done event's
+  position in the agenda is load-bearing — collapsing it into the
+  delivery entry re-breaks same-time ties and shifts trajectories —
+  so the win here is the inlined queue, not fewer events.
+
+CoDel, sfqCoDel, and listener-observed queues take the generic path,
+which is the original machinery verbatim (AQM dequeue decisions depend
+on the clock, so their event structure is semantic, not overhead).
+Finite-rate fast links push the *same entries at the same points* as
+the generic path, so attaching a trace listener to a bottleneck (the
+only links tracing observes) cannot perturb a run.
+
+Known precision limit of the coalesced instant path: entries the
+synchronous chain pushes for *future* times get their agenda seqs at
+``send()`` rather than after a same-time relay yield, so an unrelated
+event that (a) is scheduled later within the same timestamp and
+(b) lands at exactly the same future float instant wins a FIFO tie it
+would previously have lost.  No experiment configuration produces such
+a collision (hop delays vs pacing/RTO/workload floats never coincide
+exactly), every pinned digest and parity table is unchanged, and runs
+remain fully deterministic either way — but a hand-built scenario
+engineered for an exact collision can order those two events
+differently than the eager design did.
 """
 
 from __future__ import annotations
@@ -21,6 +75,14 @@ from .packet import Packet
 from .queues import DropTailQueue, QueueDiscipline
 
 __all__ = ["Link", "LinkStats"]
+
+#: Bound on nested synchronous deliveries (direct-called zero-delay
+#: hops re-entering send() down the route — or, on an all-instant
+#: network, looping through the endpoints).  Each level costs a handful
+#: of Python frames; 64 stays far under the interpreter's recursion
+#: limit while never triggering on a network with any finite-rate or
+#: delayed hop in the loop.
+_MAX_SYNC_DEPTH = 64
 
 
 class LinkStats:
@@ -60,7 +122,7 @@ class Link:
     """
 
     __slots__ = ("sim", "rate_bps", "delay_s", "queue", "name",
-                 "deliver", "stats", "_busy", "_instant")
+                 "deliver", "stats", "pool", "_busy", "_instant", "_fast")
 
     def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
                  queue: Optional[QueueDiscipline] = None,
@@ -76,9 +138,17 @@ class Link:
         self.name = name
         #: Set by the Network; called with each packet that crosses the link.
         self.deliver: Callable[[Packet], None] = _unconnected
+        #: Set by the Network: the shared packet free list (drop sites
+        #: on the fast path release through it).
+        self.pool = None
         self.stats = LinkStats()
         self._busy = False
         self._instant = math.isinf(rate_bps)
+        # Monomorphic fast path: the queue's concrete type is decided
+        # once, at construction.  The occupancy listener is re-checked
+        # per send because tracing attaches one after the topology is
+        # built.
+        self._fast = type(self.queue) is DropTailQueue
 
     @property
     def busy(self) -> bool:
@@ -91,15 +161,190 @@ class Link:
             return 0.0
         return size_bytes * 8.0 / self.rate_bps
 
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the link spent transmitting."""
+        return self.stats.utilization(self.rate_bps, elapsed)
+
+    # ------------------------------------------------------------------
+    # Send: fast path inline, generic fallback
+    # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link.  Returns False if the queue drops it."""
+        queue = self.queue
         # sim._now, not sim.now: this runs once per packet per hop, and
         # the property dispatch shows up in kernel profiles.
-        admitted = self.queue.enqueue(packet, self.sim._now)
+        sim = self.sim
+        now = sim._now
+        if self._fast and queue.occupancy_listener is None:
+            stats = queue.stats
+            size = packet.size_bytes
+            if self._instant and not self._busy \
+                    and sim._sync_depth < _MAX_SYNC_DEPTH:
+                heap = sim._heap
+                if not heap or heap[0][0] > now:
+                    # Zero serialization time, idle link, and *no other
+                    # agenda entry shares this timestamp*: the relay
+                    # yield could not interleave with anything, so the
+                    # whole crossing runs synchronously.  Any entry
+                    # scheduled after this check gets a larger seq and
+                    # would have fired after the yield anyway — only
+                    # pre-existing same-time entries (checked via the
+                    # heap head) force the chained fallback below.
+                    if 1 > queue.capacity_packets \
+                            or size > queue.capacity_bytes:
+                        return self._drop_fast(packet, stats, size)
+                    packet.enqueued_at = now
+                    stats.enqueued += 1
+                    stats.bytes_enqueued += size
+                    stats.dequeued += 1
+                    stats.bytes_dequeued += size
+                    lstats = self.stats
+                    lstats.packets_forwarded += 1
+                    lstats.bytes_forwarded += size
+                    if self.delay_s > 0.0:
+                        sim.schedule_call(self.delay_s, self.deliver,
+                                          packet)
+                    else:
+                        # The synchronous chain can re-enter send() on
+                        # downstream links (and, on an all-instant
+                        # zero-delay network, re-enter the *sender*
+                        # through the in-place ACK, transmitting the
+                        # next packet a level deeper).  The depth gate
+                        # above bounds that: past it, sends take the
+                        # chained relay, which iterates through the
+                        # agenda instead of the C stack.  Either route
+                        # is trajectory-identical when nothing shares
+                        # the timestamp, so the cutover is inert.
+                        sim._sync_depth += 1
+                        try:
+                            self.deliver(packet)
+                        finally:
+                            sim._sync_depth -= 1
+                    return True
+            # DropTailQueue.enqueue, inlined.
+            backing = queue._queue
+            if (len(backing) - queue._head + 1 > queue.capacity_packets
+                    or queue._bytes + size > queue.capacity_bytes):
+                return self._drop_fast(packet, stats, size)
+            packet.enqueued_at = now
+            backing.append(packet)
+            queue._bytes += size
+            stats.enqueued += 1
+            stats.bytes_enqueued += size
+            if not self._busy:
+                if self._instant:
+                    self._relay_next_fast(sim, queue)
+                else:
+                    self._serialize_next_fast(sim, queue)
+            return True
+        admitted = queue.enqueue(packet, now)
         if admitted and not self._busy:
             self._start_next()
         return admitted
 
+    def _drop_fast(self, packet: Packet, stats, size: int) -> bool:
+        stats.dropped += 1
+        stats.dropped_at_arrival += 1
+        stats.bytes_dropped += size
+        if self.pool is not None:
+            self.pool.release(packet)
+        return False
+
+    # ------------------------------------------------------------------
+    # Fast path relay (instant drop-tail links)
+    # ------------------------------------------------------------------
+    def _relay_next_fast(self, sim: Simulator, queue) -> None:
+        # Instant links serialize in zero time, but the same-time relay
+        # entry is load-bearing: it FIFO-yields between chains that
+        # share a timestamp (multi-packet bursts from several senders
+        # round-robin through the agenda exactly as the generic path
+        # interleaved them), so the entry stays — only the queue ops
+        # and the busy_time += 0.0 are elided.
+        backing = queue._queue
+        head = queue._head
+        if head >= len(backing):
+            self._busy = False
+            return
+        packet = backing[head]
+        backing[head] = None
+        head += 1
+        if head > 64 and head * 2 > len(backing):
+            queue._queue = backing[head:]
+            head = 0
+        queue._head = head
+        size = packet.size_bytes
+        queue._bytes -= size
+        stats = queue.stats
+        stats.dequeued += 1
+        stats.bytes_dequeued += size
+        self._busy = True
+        sim.schedule_call(0.0, self._relay_done_fast, packet)
+
+    def _relay_done_fast(self, packet: Packet) -> None:
+        stats = self.stats
+        stats.packets_forwarded += 1
+        stats.bytes_forwarded += packet.size_bytes
+        sim = self.sim
+        if self.delay_s > 0:
+            sim.schedule_call(self.delay_s, self.deliver, packet)
+        else:
+            self.deliver(packet)
+        queue = self.queue
+        if queue.occupancy_listener is None:
+            self._relay_next_fast(sim, queue)
+        else:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # Fast path serializer (finite-rate drop-tail links)
+    # ------------------------------------------------------------------
+    def _serialize_next_fast(self, sim: Simulator, queue) -> None:
+        # DropTailQueue.dequeue, inlined (identical bookkeeping,
+        # including the amortized head compaction).
+        backing = queue._queue
+        head = queue._head
+        if head >= len(backing):
+            self._busy = False
+            return
+        packet = backing[head]
+        backing[head] = None  # allow the packet to be collected
+        head += 1
+        if head > 64 and head * 2 > len(backing):
+            queue._queue = backing[head:]
+            head = 0
+        queue._head = head
+        size = packet.size_bytes
+        queue._bytes -= size
+        stats = queue.stats
+        stats.dequeued += 1
+        stats.bytes_dequeued += size
+        self._busy = True
+        # Same float expression as transmission_time, so trajectories
+        # are unchanged.
+        tx_time = size * 8.0 / self.rate_bps
+        self.stats.busy_time += tx_time
+        sim.schedule_call(tx_time, self._transmission_done_fast, packet)
+
+    def _transmission_done_fast(self, packet: Packet) -> None:
+        stats = self.stats
+        stats.packets_forwarded += 1
+        stats.bytes_forwarded += packet.size_bytes
+        sim = self.sim
+        if self.delay_s > 0:
+            sim.schedule_call(self.delay_s, self.deliver, packet)
+        else:
+            self.deliver(packet)
+        # Chain the next serialization; fall back if a listener was
+        # attached mid-transmission.
+        queue = self.queue
+        if queue.occupancy_listener is None:
+            self._serialize_next_fast(sim, queue)
+        else:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # Generic path: virtual-dispatch queue machinery
+    # ------------------------------------------------------------------
     def _start_next(self) -> None:
         sim = self.sim
         packet = self.queue.dequeue(sim._now)
@@ -108,11 +353,14 @@ class Link:
             return
         self._busy = True
         # Serialization is never cancelled: take the handle-free agenda
-        # fast path, with the rate math inlined (same float expression
-        # as transmission_time, so trajectories are unchanged).
-        tx_time = 0.0 if self._instant \
-            else packet.size_bytes * 8.0 / self.rate_bps
-        self.stats.busy_time += tx_time
+        # fast path, with the rate math inlined.
+        if self._instant:
+            tx_time = 0.0
+        else:
+            tx_time = packet.size_bytes * 8.0 / self.rate_bps
+            # Skipped on the instant path: += 0.0 per packet is pure
+            # hot-loop waste.
+            self.stats.busy_time += tx_time
         sim.schedule_call(tx_time, self._transmission_done, packet)
 
     def _transmission_done(self, packet: Packet) -> None:

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .engine import Simulator
 from .link import Link
-from .packet import Packet
+from .packet import Packet, PacketPool
 
 __all__ = ["Network", "FlowPath"]
 
@@ -62,6 +62,10 @@ class Network:
         self.sim = sim
         self.links: Dict[str, Link] = {}
         self.flows: Dict[int, FlowPath] = {}
+        #: Shared packet free list: senders acquire, receivers flip
+        #: delivered data packets into ACKs in place, and every death
+        #: site (consumed ACK, queue drop) releases back here.
+        self.pool = PacketPool()
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,6 +76,10 @@ class Network:
             raise ValueError(f"duplicate link name: {link.name!r}")
         self.links[link.name] = link
         link.deliver = self._on_deliver
+        # Wire the pool into every drop site so packets that die in
+        # flight are recycled instead of garbage-collected.
+        link.pool = self.pool
+        link.queue.pool = self.pool
         return link
 
     def add_flow(self, flow_id: int,

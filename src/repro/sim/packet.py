@@ -12,13 +12,31 @@ this study:
 * ``route`` / ``hop`` — source routing.  The network precomputes the list
   of links for each flow; packets step through it, which keeps routers
   trivially simple and fast.
+
+Allocation discipline
+---------------------
+Packets are the highest-churn objects in a saturated run (one per data
+packet plus one per ACK), so the hot path recycles them through a
+per-network :class:`PacketPool` instead of allocating:
+
+* the sender *acquires* a packet from the pool for each transmission;
+* the receiver does not allocate an ACK — it converts the delivered
+  data packet into its own acknowledgment in place
+  (:meth:`Packet.into_ack`), reversing its direction;
+* the sender *releases* the packet back to the pool once the ACK has
+  been consumed, and every drop site (queue admission, AQM dequeue
+  drops, SFQ overflow eviction) releases packets that die in flight.
+
+:meth:`Packet.reset` re-initializes **every** slot, so a reused packet
+is indistinguishable from a freshly constructed one — pinned by the
+pool-reuse property test in ``tests/test_packet_pool.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-__all__ = ["Packet", "DATA_HEADER_BYTES", "ACK_SIZE_BYTES"]
+__all__ = ["Packet", "PacketPool", "DATA_HEADER_BYTES", "ACK_SIZE_BYTES"]
 
 #: Bytes of header overhead on a data packet (IP + TCP, uncounted as goodput).
 DATA_HEADER_BYTES = 40
@@ -40,6 +58,13 @@ class Packet:
     def __init__(self, flow_id: int, seq: int, size_bytes: int,
                  sent_at: float, first_sent_at: Optional[float] = None,
                  is_retransmission: bool = False):
+        self.reset(flow_id, seq, size_bytes, sent_at, first_sent_at,
+                   is_retransmission)
+
+    def reset(self, flow_id: int, seq: int, size_bytes: int,
+              sent_at: float, first_sent_at: Optional[float] = None,
+              is_retransmission: bool = False) -> None:
+        """(Re)initialize every slot — pool reuse must be state-safe."""
         self.flow_id = flow_id
         self.seq = seq
         self.size_bytes = size_bytes
@@ -59,15 +84,41 @@ class Packet:
         self.enqueued_at = 0.0
         self.sfq_deficit = 0
 
-    @classmethod
-    def make_ack(cls, data_packet: "Packet", ack_seq: int,
-                 now: float) -> "Packet":
-        """Build the ACK acknowledging ``data_packet``.
+    def into_ack(self, ack_seq: int, now: float) -> "Packet":
+        """Turn this delivered data packet into its own ACK, in place.
 
         ``ack_seq`` is cumulative: it acknowledges every sequence number
         strictly below it.  The ACK echoes the data packet's sender
-        timestamps and carries the receiver's own clock (``receiver_time``)
-        so protocols can observe receiver-side pacing if desired.
+        timestamps and carries the receiver's own clock
+        (``receiver_time``) so protocols can observe receiver-side
+        pacing if desired.  Converting in place means the receive path
+        allocates nothing: the same object that carried the data turns
+        around and carries the acknowledgment, and ownership passes
+        back to the sender (who releases it to the pool).
+        """
+        self.is_ack = True
+        self.ack_seq = ack_seq
+        # Echo before overwriting the sender's timestamps with our own.
+        self.echo_sent_at = self.sent_at
+        self.echo_first_sent_at = self.first_sent_at
+        self.receiver_time = now
+        self.sent_at = now
+        # Normalize the data-transit leftovers so the ACK is fully
+        # determined by (data packet, ack_seq, now) — field for field
+        # what make_ack would have built.
+        self.first_sent_at = now
+        self.is_retransmission = False
+        self.size_bytes = ACK_SIZE_BYTES
+        return self
+
+    @classmethod
+    def make_ack(cls, data_packet: "Packet", ack_seq: int,
+                 now: float) -> "Packet":
+        """Build a *fresh* ACK acknowledging ``data_packet``.
+
+        The transport's hot path uses :meth:`into_ack` instead (no
+        allocation); this constructor remains for tests and tooling
+        that need the data packet left intact.
         """
         ack = cls(flow_id=data_packet.flow_id, seq=data_packet.seq,
                   size_bytes=ACK_SIZE_BYTES, sent_at=now)
@@ -82,3 +133,57 @@ class Packet:
         kind = "ACK" if self.is_ack else "DATA"
         return (f"Packet({kind} flow={self.flow_id} seq={self.seq} "
                 f"size={self.size_bytes})")
+
+
+class PacketPool:
+    """A free list of :class:`Packet` objects, one per network.
+
+    Ownership protocol (see docs/PERFORMANCE.md):
+
+    * :meth:`acquire` hands out a packet with every slot re-initialized;
+      the caller owns it until it either reaches the far endpoint or is
+      dropped.
+    * The receiver converts a delivered data packet into its ACK in
+      place (:meth:`Packet.into_ack`) — no release, ownership just
+      reverses direction.
+    * :meth:`release` returns a dead packet (consumed ACK, or any drop)
+      to the free list.  Releasing the same object twice corrupts the
+      pool; every packet has exactly one owner at a time, so each death
+      site fires at most once per life.
+
+    The counters make allocation behaviour observable:
+    ``benchmarks/bench_alloc.py`` gates ``allocated`` per simulated
+    packet, and the reuse property test asserts recycled packets are
+    indistinguishable from fresh ones.
+    """
+
+    __slots__ = ("_free", "allocated", "reused", "released")
+
+    def __init__(self) -> None:
+        self._free: List[Packet] = []
+        self.allocated = 0    # pool misses: new Packet objects built
+        self.reused = 0       # pool hits: recycled objects handed out
+        self.released = 0     # packets returned to the free list
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, flow_id: int, seq: int, size_bytes: int,
+                sent_at: float, first_sent_at: Optional[float] = None,
+                is_retransmission: bool = False) -> Packet:
+        """A packet with the given header fields; recycled when possible."""
+        free = self._free
+        if free:
+            self.reused += 1
+            packet = free.pop()
+            packet.reset(flow_id, seq, size_bytes, sent_at,
+                         first_sent_at, is_retransmission)
+            return packet
+        self.allocated += 1
+        return Packet(flow_id, seq, size_bytes, sent_at, first_sent_at,
+                      is_retransmission)
+
+    def release(self, packet: Packet) -> None:
+        """Return a dead packet to the free list (caller must own it)."""
+        self.released += 1
+        self._free.append(packet)

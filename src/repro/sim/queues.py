@@ -70,6 +70,11 @@ class QueueDiscipline:
     def __init__(self) -> None:
         self.stats = QueueStats()
         self.occupancy_listener: Optional[Callable[[float, int], None]] = None
+        #: Set by :meth:`~repro.sim.network.Network.add_link`: dropped
+        #: packets are released back to the network's free list instead
+        #: of becoming garbage.  ``None`` (standalone queues, unit
+        #: tests) keeps drops inert.
+        self.pool = None
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         raise NotImplementedError
@@ -135,6 +140,8 @@ class DropTailQueue(QueueDiscipline):
             stats.bytes_dropped += size
             if listener is not None:
                 listener(now, len(self))
+            if self.pool is not None:
+                self.pool.release(packet)
             return False
         packet.enqueued_at = now
         self._queue.append(packet)

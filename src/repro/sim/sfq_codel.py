@@ -151,6 +151,8 @@ class SfqCoDelQueue(QueueDiscipline):
         self._total_bytes -= victim.size_bytes
         self.stats.dropped += 1
         self.stats.bytes_dropped += victim.size_bytes
+        if self.pool is not None:
+            self.pool.release(victim)
 
     def dequeue(self, now: float) -> Optional[Packet]:
         while True:
@@ -207,5 +209,7 @@ class SfqCoDelQueue(QueueDiscipline):
             if bucket.codel.should_drop(packet, now, empty_after):
                 self.stats.dropped += 1
                 self.stats.bytes_dropped += packet.size_bytes
+                if self.pool is not None:
+                    self.pool.release(packet)
                 continue
             return packet

@@ -101,6 +101,24 @@ SCENARIOS["api"] = SimTask.build(
     _ADHOC_PLANS[1].cell.config, trees=None, seed=1,
     duration_s=_DURATION)
 
+#: Simulator-path scenarios (no experiment module of their own): pin
+#: both halves of the link hot path introduced with the pooled packet
+#: work.
+#
+# zero_delay: every hop has zero propagation (rtt 0), so the whole
+# forward/reverse path runs through the instant links' direct-call /
+# relay-yield machinery and the bottleneck's zero-delay direct
+# delivery.  Infinite buffer: a 0-RTT BDP would floor the buffer to one
+# packet and starve the run.
+SCENARIOS["zero_delay"] = SimTask.build(
+    _dumbbell(10.0, 0.0, ("learner", "newreno"), buffer_bdp=None),
+    trees=_LEARNER, seed=1, duration_s=_DURATION)
+# sfq_codel: the generic (virtual-dispatch) queue path, which must stay
+# byte-identical to the pre-fast-path machinery.
+SCENARIOS["sfq_codel"] = SimTask.build(
+    _dumbbell(15.0, 100.0, ("learner", "cubic"), queue="sfq_codel"),
+    trees=_LEARNER, seed=1, duration_s=_DURATION)
+
 #: name -> SHA-1 of the canonical serialized result.  Regenerate by
 #: running this file as a script — but only after convincing yourself
 #: the simulator change behind the mismatch is intentional.
@@ -114,6 +132,8 @@ GOLDEN = {
     "diversity": "f749def2366abb41d3313591b31bf4798106c7ce",
     "signals": "b13307dd764739faeaeacf7ae52aa94907b0bdea",
     "api": "0db9043ca3c8c29b9776b3a321977c23ac9ca3f8",
+    "zero_delay": "ec956bfd539121b708292613bd947951939d50ba",
+    "sfq_codel": "a3c66118f8d3678804aeb47ef197bddb085e44d6",
 }
 
 
@@ -142,7 +162,9 @@ class TestGoldenTraces:
         modules = {name for name in dir(experiments)
                    if not name.startswith("_") and name != "common"
                    and inspect.ismodule(getattr(experiments, name))}
-        assert set(SCENARIOS) == modules
+        # Subset, not equality: SCENARIOS also pins simulator paths no
+        # experiment module owns (zero_delay, sfq_codel).
+        assert modules <= set(SCENARIOS)
 
     def test_serial_matches_golden(self):
         digests = _digests(SerialExecutor().run_batch(TASKS))

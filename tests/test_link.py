@@ -99,6 +99,43 @@ class TestQueueInteraction:
         assert link.stats.utilization(1e6, 1.0) == pytest.approx(0.036)
 
 
+class TestSynchronousDeliveryBound:
+    def test_deep_synchronous_relay_chain_is_bounded(self):
+        """All-instant zero-delay loops must iterate, not recurse.
+
+        Every hop direct-calls delivery, and an endpoint that responds
+        by sending again re-enters Link.send one level deeper — without
+        the sync-depth bound this overflows the C stack after a few
+        hundred turnarounds (the eager design iterated through the
+        agenda).  The bound converts deep chains back to agenda
+        iteration, so the whole exchange still completes at t=0."""
+        from repro.sim.network import Network
+
+        sim = Simulator()
+        net = Network(sim)
+        fwd = net.add_link(Link(sim, math.inf, 0.0, name="fwd"))
+        rev = net.add_link(Link(sim, math.inf, 0.0, name="rev"))
+        net.add_flow(0, [fwd], [rev])
+        turnarounds = []
+        n = 500   # ~10 frames per synchronous turnaround if unbounded
+
+        def on_data(packet):
+            net.send_ack(packet.into_ack(packet.seq + 1, sim.now))
+
+        def on_ack(packet):
+            turnarounds.append(packet.seq)
+            net.pool.release(packet)
+            if len(turnarounds) < n:
+                net.send_data(net.pool.acquire(0, len(turnarounds),
+                                               1500, sim.now))
+
+        net.attach_receiver(0, on_data)
+        net.attach_sender(0, on_ack)
+        net.send_data(net.pool.acquire(0, 0, 1500, 0.0))
+        sim.run_until_idle(max_time=1.0)
+        assert len(turnarounds) == n
+
+
 class TestValidation:
     def test_zero_rate_rejected(self):
         with pytest.raises(ValueError):

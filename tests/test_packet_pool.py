@@ -1,0 +1,180 @@
+"""Pool-reuse safety: recycled packets must be indistinguishable from
+fresh ones, under arbitrary acquire/release interleavings.
+
+The zero-allocation packet path hands the same objects around the
+sender -> queue -> receiver -> (in-place ACK) -> sender cycle, so a
+single stale slot surviving :meth:`Packet.reset` would silently couple
+unrelated packets.  These tests fuzz the lifecycle:
+
+* packets are acquired with random header fields, *fully dirtied* (every
+  mutable slot overwritten, including the in-place ACK transform and
+  routing/queue scribbles), released in random order, and re-acquired —
+  each handout must equal a from-scratch construction, slot by slot;
+* the pool never allocates while it holds a free packet (the reuse
+  guarantee the allocation bench relies on).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.packet import ACK_SIZE_BYTES, Packet, PacketPool
+
+#: Every slot on Packet; a new slot must be added to reset() and to the
+#: dirtying below, and this list makes forgetting that loud.
+ALL_SLOTS = list(Packet.__slots__)
+
+
+def snapshot(packet):
+    return {name: getattr(packet, name) for name in ALL_SLOTS}
+
+
+def dirty(packet, rng):
+    """Scribble on every mutable slot, as real transit would (and worse)."""
+    if rng.random() < 0.5:
+        # The in-place ACK transform is the common mid-life mutation.
+        packet.into_ack(rng.randrange(1_000_000), rng.random() * 1e3)
+    packet.route = tuple("fake-link" for _ in range(rng.randrange(4)))
+    packet.hop = rng.randrange(8)
+    packet.enqueued_at = rng.random() * 1e3
+    packet.sfq_deficit = rng.randrange(-5000, 5000)
+    packet.is_retransmission = bool(rng.getrandbits(1))
+    packet.first_sent_at = rng.random() * 1e3
+    packet.receiver_time = rng.random() * 1e3
+    packet.echo_first_sent_at = rng.random() * 1e3
+
+
+def random_header(rng):
+    return dict(
+        flow_id=rng.randrange(64),
+        seq=rng.randrange(1 << 20),
+        size_bytes=rng.choice([40, 576, 1500]),
+        sent_at=rng.random() * 1e3,
+        first_sent_at=rng.choice([None, rng.random() * 1e3]),
+        is_retransmission=bool(rng.getrandbits(1)),
+    )
+
+
+class TestResetStateSafety:
+    def test_slot_list_is_exhaustive(self):
+        """reset() must initialize literally every slot."""
+        packet = Packet(0, 0, 1500, 0.0)
+        for name in ALL_SLOTS:
+            assert hasattr(packet, name)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_fuzzed_interleavings_never_leak_state(self, seed):
+        rng = random.Random(seed)
+        pool = PacketPool()
+        live = []
+        for _ in range(200):
+            action = rng.random()
+            if action < 0.55 or not live:
+                header = random_header(rng)
+                packet = pool.acquire(**header)
+                # The handout must equal a from-scratch construction,
+                # slot for slot, no matter what its previous life did.
+                assert snapshot(packet) == snapshot(Packet(**header))
+                dirty(packet, rng)
+                live.append(packet)
+            else:
+                victim = live.pop(rng.randrange(len(live)))
+                dirty(victim, rng)
+                pool.release(victim)
+        assert pool.allocated + pool.reused >= 1
+        assert len(pool) == pool.released - pool.reused
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pool_reuses_before_allocating(self, seed):
+        """A non-empty free list always serves the next acquire."""
+        rng = random.Random(seed)
+        pool = PacketPool()
+        live = []
+        for _ in range(150):
+            free_before = len(pool)
+            allocated_before = pool.allocated
+            if rng.random() < 0.5 or not live:
+                live.append(pool.acquire(**random_header(rng)))
+                if free_before > 0:
+                    assert pool.allocated == allocated_before
+                    assert len(pool) == free_before - 1
+                else:
+                    assert pool.allocated == allocated_before + 1
+            else:
+                pool.release(live.pop(rng.randrange(len(live))))
+                assert len(pool) == free_before + 1
+
+
+class TestInPlaceAck:
+    def test_into_ack_matches_make_ack(self):
+        """The in-place transform equals the allocating constructor —
+        every slot, so a divergence in transit leftovers (retransmit
+        flag, first-send stamp) cannot creep in unpinned."""
+        data = Packet(flow_id=3, seq=17, size_bytes=1500, sent_at=2.5,
+                      first_sent_at=1.25, is_retransmission=True)
+        reference = snapshot(Packet.make_ack(data, ack_seq=18, now=4.0))
+        ack = data.into_ack(18, 4.0)
+        assert ack is data
+        assert snapshot(ack) == reference
+        assert ack.is_ack
+        assert ack.ack_seq == 18
+        assert ack.size_bytes == ACK_SIZE_BYTES
+        assert ack.echo_sent_at == 2.5
+        assert ack.echo_first_sent_at == 1.25
+        assert ack.receiver_time == 4.0
+        assert ack.sent_at == 4.0
+
+    def test_echo_read_before_sent_at_overwritten(self):
+        """The transform must echo the *data* timestamps, not its own."""
+        data = Packet(flow_id=0, seq=5, size_bytes=1500, sent_at=7.0)
+        ack = data.into_ack(6, 9.0)
+        assert ack.echo_sent_at == 7.0      # not 9.0
+        assert ack.sent_at == 9.0
+
+
+class TestEndToEndRecycling:
+    def test_saturated_flow_runs_on_a_handful_of_packets(self):
+        """Steady state recycles: allocations stay near the pipe depth,
+        orders of magnitude below the packet count."""
+        from repro.core.scenario import NetworkConfig
+        from repro.experiments.common import build_simulation
+
+        config = NetworkConfig(
+            link_speeds_mbps=(10.0,), rtt_ms=50.0,
+            sender_kinds=("newreno",), mean_on_s=100.0, mean_off_s=0.0,
+            buffer_bdp=2.0)
+        handle = build_simulation(config, seed=1)
+        result = handle.run(10.0)
+        pool = handle.built.network.pool
+        delivered = result.flows[0].packets_delivered
+        assert delivered > 1000
+        # The eager design allocated 2 packets per delivery (data +
+        # ACK); the pool must beat that by far more than the gate's 5x.
+        assert pool.allocated < delivered / 10
+        assert pool.reused > delivered
+        # Conservation: handouts not yet released are exactly the
+        # distinct objects minus the free list — no object is both
+        # live and free, none vanished.
+        live = pool.allocated + pool.reused - pool.released
+        assert 0 <= live <= pool.allocated
+        assert len(pool) == pool.allocated - live
+
+    def test_drops_are_released_back(self):
+        """Packets that die at a full buffer return to the free list."""
+        from repro.core.scenario import NetworkConfig
+        from repro.experiments.common import build_simulation
+
+        config = NetworkConfig(
+            link_speeds_mbps=(5.0,), rtt_ms=100.0,
+            sender_kinds=("newreno", "newreno"), mean_on_s=100.0,
+            mean_off_s=0.0, buffer_bdp=1.0)
+        handle = build_simulation(config, seed=1)
+        handle.run(10.0)
+        bottleneck = handle.built.link("A", "B")
+        assert bottleneck.queue.stats.dropped > 0
+        pool = handle.built.network.pool
+        # Released >= drops: every dropped packet came back (plus every
+        # consumed ACK).
+        assert pool.released >= bottleneck.queue.stats.dropped

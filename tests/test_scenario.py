@@ -52,7 +52,9 @@ class TestNetworkConfig:
         with pytest.raises(ValueError):
             NetworkConfig(link_speeds_mbps=(-1.0,))
         with pytest.raises(ValueError):
-            NetworkConfig(rtt_ms=0.0)
+            NetworkConfig(rtt_ms=-1.0)
+        # Zero RTT is legal: it pins the zero-delay-hop fast path.
+        assert NetworkConfig(rtt_ms=0.0).rtt_ms == 0.0
         with pytest.raises(ValueError):
             NetworkConfig(sender_kinds=())
         with pytest.raises(ValueError):

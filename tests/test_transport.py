@@ -166,7 +166,10 @@ class TestTimeout:
     def test_rto_backoff_doubles(self):
         sim, network, link, sender, receiver, _ = make_flow(window=4.0)
         sender.set_on(0.0)
-        link.queue.enqueue = lambda pkt, now: False   # total blackout
+        # Total blackout via the queue's capacity contract (the
+        # monomorphic fast path inlines drop-tail admission, so
+        # instance-level enqueue monkeypatches no longer intercept).
+        link.queue.capacity_packets = 0.0
         sim.run(until=30.0)
         assert sender.stats.timeouts >= 3
         assert sender._rto_backoff > 1.0
