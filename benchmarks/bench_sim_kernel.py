@@ -53,3 +53,17 @@ def test_many_sender_simulation_rate(benchmark):
     """The 50-sender multiplexing scenario's cost per simulated second."""
     delivered = benchmark(workloads.run_many_senders)
     assert delivered > 500
+
+
+def test_fluid_dumbbell_rate(benchmark):
+    """The RemyCC dumbbell on the vectorized fluid backend."""
+    delivered = benchmark(workloads.run_fluid_dumbbell)
+    assert delivered > 1_000
+
+
+def test_fluid_kilosender_rate(benchmark):
+    """1000-sender multiplexing on the fluid backend — the sweep shape
+    the backend exists for (compare.py gates its speedup over the
+    packet engine's twin run)."""
+    delivered = benchmark(workloads.run_fluid_kilosenders)
+    assert delivered > 500

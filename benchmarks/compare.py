@@ -25,6 +25,14 @@ constructions and agenda entries per simulated packet), gated with
 their own (much tighter) tolerance: churn regressions are invisible to
 a 30% wall-clock gate but show up exactly here.
 
+The ``fluid`` section gates the vectorized fluid backend both ways: it
+must stay at least ``speedup_floor`` times faster than the packet
+engine on the 1000-sender scenario (both sides timed in the same
+session, so machine speed cancels), and every golden packet scenario
+re-run on the fluid backend must land inside the per-scenario relative
+error bands committed in ``tests/test_fluid_backend.py`` (the table is
+printed, and lands in the ``--report`` artifact).
+
 ``--update`` rewrites the baseline in place (keeping any ``pre_pr_rate``
 fields) — run it after an intentional kernel change, in the same commit,
 so the gate always measures against the current code's expectations.
@@ -54,12 +62,18 @@ import kernel_workloads as workloads
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
 
-SCHEMA = 2
+SCHEMA = 3
 
 #: Allowed fractional *increase* in the per-packet allocation ratios.
 #: The counts are deterministic, so this headroom only absorbs benign
 #: intentional drift; anything past it is a churn regression.
 ALLOC_TOLERANCE = 0.10
+
+#: Floor on the fluid/packet per-packet rate ratio for the 1000-sender
+#: scenario.  Both sides are timed in the same session, so machine
+#: speed cancels out of the ratio; dipping under the floor means the
+#: fluid backend lost the bulk-sweep advantage it exists for.
+FLUID_SPEEDUP_FLOOR = 20.0
 
 #: name -> zero-argument callable returning a unit count.
 BENCHMARKS = {
@@ -69,6 +83,8 @@ BENCHMARKS = {
     "newreno_flow": workloads.run_newreno_flow,
     "remycc_flow": workloads.run_remycc_flow,
     "many_senders": workloads.run_many_senders,
+    "fluid_dumbbell": workloads.run_fluid_dumbbell,
+    "fluid_kilosenders": workloads.run_fluid_kilosenders,
 }
 
 
@@ -138,6 +154,15 @@ def measure(repeats: int) -> dict:
     print(f"  {'alloc':16s} {alloc['packet_allocs_per_packet']:12.4f} "
           f"Packet allocs/pkt, {alloc['agenda_entries_per_packet']:.4f} "
           f"agenda entries/pkt", flush=True)
+    # The packet twin of the 1000-sender scenario takes seconds per
+    # run, so it is timed once here (for the speedup gate) and never
+    # enters the per-workload regression loop above.
+    packet_kilo_rate, _ = best_rate(workloads.run_packet_kilosenders, 1)
+    fluid_kilo_rate = benchmarks["fluid_kilosenders"]["rate"]
+    speedup = fluid_kilo_rate / packet_kilo_rate
+    print(f"  {'fluid speedup':16s} {speedup:12.1f}x "
+          f"(1000-sender pkts/s: fluid {fluid_kilo_rate:.0f}, "
+          f"packet {packet_kilo_rate:.0f})", flush=True)
     return {
         "schema": SCHEMA,
         "recorded_with": {
@@ -152,6 +177,11 @@ def measure(repeats: int) -> dict:
             "packet_allocs_per_packet": alloc["packet_allocs_per_packet"],
             "agenda_entries_per_packet": alloc["agenda_entries_per_packet"],
             "traced_peak_kib": alloc["traced_peak_kib"],
+        },
+        "fluid": {
+            "speedup": round(speedup, 1),
+            "speedup_floor": FLUID_SPEEDUP_FLOOR,
+            "packet_kilosenders_rate": round(packet_kilo_rate, 1),
         },
     }
 
@@ -188,6 +218,40 @@ def _warn_cross_machine(recorded_with: dict) -> None:
               f"normalizes overall speed but not microarchitectural "
               f"ratios — treat borderline results with suspicion",
               file=sys.stderr)
+
+
+def _cross_validate() -> list[str]:
+    """Fluid-vs-packet relative errors on every golden packet scenario,
+    against the tolerance bands the test suite commits.  Returns the
+    list of band violations; prints the full table (the CI artifact
+    anyone debugging a red gate wants)."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                           / "tests"))
+    from test_fluid_backend import TOLERANCE, _fluid_twin, _rel
+    from test_golden_traces import SCENARIOS
+
+    from repro.exec import run_sim_task
+
+    failures = []
+    print(f"\n{'cross-validation':16s} {'tput err':>9s} {'band':>6s} "
+          f"{'delay err':>10s} {'band':>6s}")
+    for name in sorted(TOLERANCE):
+        tput_tol, delay_tol = TOLERANCE[name]
+        packet = run_sim_task(SCENARIOS[name]).run
+        fluid = run_sim_task(_fluid_twin(SCENARIOS[name])).run
+        tput = max(_rel(ff.throughput_bps, pf.throughput_bps, 1e3)
+                   for pf, ff in zip(packet.flows, fluid.flows))
+        delay = max(_rel(ff.mean_delay_s, pf.mean_delay_s, 1e-4)
+                    for pf, ff in zip(packet.flows, fluid.flows))
+        flag = ""
+        if tput > tput_tol or delay > delay_tol:
+            flag = "  << OUT OF BAND"
+            failures.append(
+                f"{name}: fluid error {tput:.1%}/{delay:.1%} "
+                f"(bands {tput_tol:.1%}/{delay_tol:.1%})")
+        print(f"{name:16s} {tput:9.1%} {tput_tol:6.1%} "
+              f"{delay:10.1%} {delay_tol:6.1%}{flag}")
+    return failures
 
 
 def cmd_check(tolerance: float, repeats: int) -> int:
@@ -239,6 +303,20 @@ def cmd_check(tolerance: float, repeats: int) -> int:
                 f"{key}: rose {now_val / base_val:.2f}x over baseline "
                 f"(tolerance {100 * ALLOC_TOLERANCE:.0f}%)")
         print(f"{key:24s} {base_val:10.4f} {now_val:10.4f}{flag}")
+    # Fluid gates: the backend must stay worth having (speedup) and
+    # worth trusting (cross-validation bands).
+    fluid = current["fluid"]
+    floor = baseline.get("fluid", {}).get("speedup_floor",
+                                          FLUID_SPEEDUP_FLOOR)
+    flag = ""
+    if fluid["speedup"] < floor:
+        flag = "  << REGRESSION"
+        failures.append(
+            f"fluid speedup: {fluid['speedup']:.1f}x under the "
+            f"{floor:.0f}x floor on the 1000-sender scenario")
+    print(f"\n{'fluid speedup':24s} {floor:9.0f}x {fluid['speedup']:9.1f}x"
+          f"{flag}")
+    failures.extend(_cross_validate())
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for failure in failures:

@@ -22,7 +22,9 @@ from repro.sim.engine import Simulator
 
 __all__ = ["demo_tree", "lookup_vectors", "spin_event_loop",
            "run_newreno_flow", "run_remycc_flow", "run_many_senders",
-           "run_whisker_lookups", "run_compiled_lookups"]
+           "run_whisker_lookups", "run_compiled_lookups",
+           "run_fluid_dumbbell", "run_fluid_kilosenders",
+           "run_packet_kilosenders"]
 
 #: The sane rate-matching action the test suite and --fake-taos use.
 _DEMO_ACTION = Action(0.8, 4.0, 0.002)
@@ -117,6 +119,48 @@ def run_many_senders(duration_s: float = 3.0) -> int:
         sender_kinds=("newreno",) * 50,
         mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0)
     handle = build_simulation(config, seed=1)
+    result = handle.run(duration_s)
+    return sum(f.packets_delivered for f in result.flows)
+
+
+def run_fluid_dumbbell(duration_s: float = 10.0) -> int:
+    """The RemyCC dumbbell on the fluid backend (batched whisker
+    lookups through the flat compiled tables every control interval)."""
+    from repro.sim.fluid import simulate_fluid
+
+    config = NetworkConfig(
+        link_speeds_mbps=(15.0,), rtt_ms=100.0,
+        sender_kinds=("learner", "newreno"), mean_on_s=100.0,
+        mean_off_s=0.0, buffer_bdp=5.0)
+    run = simulate_fluid(config, trees={"learner": demo_tree()},
+                         seeds=(1,), duration_s=duration_s)[0]
+    return sum(f.packets_delivered for f in run.flows)
+
+
+def _kilosender_config() -> NetworkConfig:
+    """1000 on/off NewReno senders into one 15 Mbps bottleneck — the
+    sweep shape the fluid backend exists for.  Shared by the fluid
+    workload and its packet-engine twin so the speedup gate times the
+    exact same scenario on both."""
+    return NetworkConfig(
+        link_speeds_mbps=(15.0,), rtt_ms=150.0,
+        sender_kinds=("newreno",) * 1000,
+        mean_on_s=1.0, mean_off_s=1.0, buffer_bdp=5.0)
+
+
+def run_fluid_kilosenders(duration_s: float = 2.0) -> int:
+    """Total packets in the 1000-sender scenario on the fluid backend."""
+    from repro.sim.fluid import simulate_fluid
+
+    run = simulate_fluid(_kilosender_config(), seeds=(1,),
+                         duration_s=duration_s)[0]
+    return sum(f.packets_delivered for f in run.flows)
+
+
+def run_packet_kilosenders(duration_s: float = 2.0) -> int:
+    """The same 1000-sender scenario on the packet engine (seconds per
+    run — only the speedup gate times it, never the regression loop)."""
+    handle = build_simulation(_kilosender_config(), seed=1)
     result = handle.run(duration_s)
     return sum(f.packets_delivered for f in result.flows)
 

@@ -54,7 +54,8 @@ import time
 from repro.core.scale import Scale
 from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
                         store_main)
-from repro.experiments.api import FAKE_TREE, experiments
+from repro.experiments.api import (FAKE_TREE, experiments,
+                                   run_experiment)
 from repro.profiling import add_profile_argument, maybe_profile
 
 
@@ -107,6 +108,13 @@ def main(argv=None) -> int:
                         help="run a subset: eids (E2), names "
                              "(link_speed), or title substrings; "
                              "comma-separated or repeated")
+    parser.add_argument("--backend", choices=("packet", "fluid"),
+                        default="packet",
+                        help="simulation engine; 'fluid' runs each "
+                             "spec through the generic sweep engine on "
+                             "the vectorized fluid model (fast, "
+                             "approximate — see docs/PERFORMANCE.md); "
+                             "custom-runner entries are skipped")
     parser.add_argument("--fake-taos", action="store_true",
                         help="substitute a fixed hand-built rule table "
                              "for every trained asset (plumbing check, "
@@ -148,7 +156,19 @@ def main(argv=None) -> int:
             started = time.time()
             print(f"\n### {entry.title}", flush=True)
             try:
-                block = entry.render(scale, overrides, executor)
+                if args.backend == "packet":
+                    block = entry.render(scale, overrides, executor)
+                elif entry.spec is None:
+                    block = ("SKIPPED: custom runner requires the "
+                             "packet backend")
+                else:
+                    # Legacy renderers are pinned byte-identical to the
+                    # packet engine; fluid tables come from the generic
+                    # spec engine instead.
+                    block = run_experiment(
+                        entry.spec, scale=scale, trees=overrides,
+                        executor=executor,
+                        backend=args.backend).format_table()
             except FileNotFoundError as error:
                 block = f"SKIPPED: {error}"
             print(block, flush=True)

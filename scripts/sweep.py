@@ -70,6 +70,13 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("-j", "--jobs", type=int, default=1,
                         help="worker processes for the grid "
                              "(1 = serial)")
+    parser.add_argument("--backend", choices=("packet", "fluid"),
+                        default="packet",
+                        help="simulation engine: exact event-driven "
+                             "packet engine, or the vectorized fluid "
+                             "model (much faster on large grids; "
+                             "fidelity documented in "
+                             "docs/PERFORMANCE.md)")
     parser.add_argument("--no-bound", action="store_true",
                         help="skip the analytic omniscient reference "
                              "rows")
@@ -169,7 +176,8 @@ def main(argv=None) -> int:
         try:
             result = run_experiment(
                 spec, scale=scale, trees=overrides,
-                base_seed=args.base_seed, executor=executor)
+                base_seed=args.base_seed, executor=executor,
+                backend=args.backend)
         except FileNotFoundError as error:
             print(f"missing asset: {error}", file=sys.stderr)
             print("(train it with scripts/train_assets.py, or pass "

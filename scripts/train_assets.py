@@ -21,6 +21,13 @@ The paper's Remy runs used a CPU-year per protocol; this script's budget
 is minutes per protocol (see DESIGN.md's substitution table), tunable
 via ``--budget``, ``--generations``, and ``--configs``.
 
+``--screen fluid --confirm-top K`` screens each candidate batch on the
+vectorized fluid backend (:mod:`repro.sim.fluid`) and re-scores only
+the most promising ``K`` (plus any candidate whose fluid score still
+beats the best confirmed packet score) on the exact packet engine —
+every adopted action is packet-confirmed, so screening changes wall
+time, never the adoption criterion's engine.
+
 ``--store PATH`` persists every training simulation to a disk-backed
 :class:`~repro.exec.ResultStore` keyed by task fingerprint: a killed
 training run resumes its already-simulated evaluations from disk, and
@@ -68,6 +75,15 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="max simulated seconds per training run")
     parser.add_argument("--packet-budget", type=int, default=25_000)
     parser.add_argument("--coopt-rounds", type=int, default=2)
+    parser.add_argument("--screen", choices=("fluid",), default=None,
+                        help="score candidate batches on the vectorized "
+                             "fluid backend first, then confirm the "
+                             "best on the packet engine (adopted "
+                             "actions are always packet-scored; see "
+                             "docs/PERFORMANCE.md)")
+    parser.add_argument("--confirm-top", type=int, default=4,
+                        help="screened candidates to packet-confirm "
+                             "per batch (with --screen)")
     parser.add_argument("--store", default=None, metavar="PATH",
                         help="disk-backed result store: serve cached "
                              "training simulations from PATH, persist "
@@ -104,7 +120,8 @@ def train_single(name: str, args: argparse.Namespace, executor) -> None:
     print(f"[{name}] training started", flush=True)
     optimizer = RemyOptimizer(
         spec.training, eval_settings, opt_settings, executor=executor,
-        progress=lambda msg: print(f"[{name}] {msg}", flush=True))
+        progress=lambda msg: print(f"[{name}] {msg}", flush=True),
+        screen=args.screen, confirm_top=args.confirm_top)
     tree = WhiskerTree(mask=spec.mask)
     tree, log = optimizer.train(tree)
     save_asset(name, tree,
@@ -126,7 +143,8 @@ def train_coopt_pair(name_a: str, name_b: str,
     tree_a, tree_b = cooptimize(
         spec_a.training, spec_b.training, eval_settings, opt_settings,
         rounds=args.coopt_rounds, executor=executor,
-        progress=lambda msg: print(f"[coopt] {msg}", flush=True))
+        progress=lambda msg: print(f"[coopt] {msg}", flush=True),
+        screen=args.screen, confirm_top=args.confirm_top)
     for name, spec, tree in ((name_a, spec_a, tree_a),
                              (name_b, spec_b, tree_b)):
         save_asset(name, tree, training_range=asdict(spec.training),

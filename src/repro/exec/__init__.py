@@ -29,10 +29,12 @@ from .executors import (CachingExecutor, Executor, ProcessPoolExecutor,
                         task_cost)
 from .store import (SCHEMA_VERSION, ResultStore, StoreExecutor,
                     StoreSchemaError, StoreStats, store_main)
-from .task import SimTask, SimTaskResult, cache_key, run_sim_task
+from .task import (BACKENDS, SimTask, SimTaskResult, cache_key,
+                   run_sim_task, run_task_group)
 
 __all__ = [
-    "SimTask", "SimTaskResult", "run_sim_task", "cache_key",
+    "SimTask", "SimTaskResult", "run_sim_task", "run_task_group",
+    "cache_key", "BACKENDS",
     "Executor", "SerialExecutor", "ProcessPoolExecutor",
     "CachingExecutor", "StoreExecutor", "default_jobs",
     "pack_chunks", "task_cost",

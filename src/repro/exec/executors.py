@@ -39,7 +39,8 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from ..core.scale import PACKET_BYTES
-from .task import SimTask, SimTaskResult, cache_key, run_sim_task
+from .task import (SimTask, SimTaskResult, cache_key, run_sim_task,
+                   run_task_group)
 
 __all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutor",
            "CachingExecutor", "default_jobs", "pack_chunks", "task_cost"]
@@ -100,9 +101,15 @@ def pack_chunks(costs: Sequence[float], n_chunks: int) -> List[List[int]]:
 
 def _run_chunk(payload: Tuple[List[int], List[SimTask]]
                ) -> Tuple[List[int], List[SimTaskResult]]:
-    """Worker-side: run one packed chunk (module-level for pickling)."""
+    """Worker-side: run one packed chunk (module-level for pickling).
+
+    Routed through :func:`run_task_group` so a chunk of fluid tasks
+    that differ only by seed collapses into one vectorized call; for
+    packet tasks the group runner degenerates to per-task
+    :func:`run_sim_task`, and fluid batch-invariance keeps the results
+    bitwise-independent of the chunking."""
     indices, tasks = payload
-    return indices, [run_sim_task(task) for task in tasks]
+    return indices, run_task_group(tasks)
 
 
 class Executor:
@@ -159,8 +166,17 @@ class SerialExecutor(Executor):
 
     def run_iter(self, tasks: Sequence[SimTask]
                  ) -> Iterator[Tuple[int, SimTaskResult]]:
-        for i, task in enumerate(list(tasks)):
-            yield i, run_sim_task(task)
+        tasks = list(tasks)
+        fluid = [i for i, task in enumerate(tasks)
+                 if task.backend == "fluid"]
+        for i, task in enumerate(tasks):
+            if task.backend != "fluid":
+                yield i, run_sim_task(task)
+        if fluid:
+            # One vectorized call per seed batch; batch-invariance makes
+            # this bitwise-identical to running each task alone.
+            yield from zip(fluid,
+                           run_task_group([tasks[i] for i in fluid]))
 
     def run_batch(self, tasks: Sequence[SimTask],
                   progress: Optional[ProgressFn] = None

@@ -22,9 +22,15 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["SimTask", "SimTaskResult", "run_sim_task", "cache_key"]
+__all__ = ["SimTask", "SimTaskResult", "run_sim_task", "run_task_group",
+           "cache_key", "BACKENDS"]
+
+#: Simulation backends a task may select.  ``"packet"`` is the exact
+#: event-driven engine (the source of truth); ``"fluid"`` is the
+#: vectorized discrete-time approximation (:mod:`repro.sim.fluid`).
+BACKENDS = ("packet", "fluid")
 
 
 @dataclass(frozen=True)
@@ -40,14 +46,19 @@ class SimTask:
     seed: int
     duration_s: float
     record_usage: bool = False
+    backend: str = "packet"
 
     @classmethod
     def build(cls, config, trees=None, seed: int = 0,
               duration_s: float = 10.0,
-              record_usage: bool = False) -> "SimTask":
+              record_usage: bool = False,
+              backend: str = "packet") -> "SimTask":
         """Construct from a :class:`~repro.core.scenario.NetworkConfig`
         and a ``{kind: WhiskerTree}`` mapping (either may already be in
         serialized form)."""
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
         config_dict = config if isinstance(config, dict) \
             else config.to_dict()
         pairs = []
@@ -55,16 +66,27 @@ class SimTask:
             pairs.append((kind, tree if isinstance(tree, str)
                           else tree.to_json()))
         return cls(config=config_dict, trees=tuple(pairs), seed=seed,
-                   duration_s=duration_s, record_usage=record_usage)
+                   duration_s=duration_s, record_usage=record_usage,
+                   backend=backend)
 
     def fingerprint(self) -> str:
-        """Stable digest over every field that affects the result."""
-        payload = json.dumps(
-            {"config": self.config, "trees": self.trees,
-             "seed": self.seed, "duration_s": self.duration_s,
-             "record_usage": self.record_usage},
-            sort_keys=True, separators=(",", ":"))
-        return hashlib.sha1(payload.encode()).hexdigest()
+        """Stable digest over every field that affects the result.
+
+        The default ``backend="packet"`` is *omitted* from the hashed
+        payload, so packet tasks fingerprint exactly as they did before
+        the field existed — every pre-existing store shard and evaluator
+        memo stays valid.  Non-default backends are hashed in, so a
+        fluid result can never be filed under (or served for) the
+        packet key of the same scenario.
+        """
+        payload = {"config": self.config, "trees": self.trees,
+                   "seed": self.seed, "duration_s": self.duration_s,
+                   "record_usage": self.record_usage}
+        if self.backend != "packet":
+            payload["backend"] = self.backend
+        text = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha1(text.encode()).hexdigest()
 
 
 def cache_key(task: "SimTask") -> str:
@@ -122,6 +144,13 @@ def run_sim_task(task: SimTask) -> SimTaskResult:
         tree.adopt_compiled(compiled_from_json(text))
         trees[kind] = tree
     config = NetworkConfig.from_dict(task.config)
+    if task.backend == "fluid":
+        from ..sim.fluid import simulate_fluid
+        run = simulate_fluid(config, trees=trees, seeds=(task.seed,),
+                             duration_s=task.duration_s)[0]
+        # The fluid model has no per-whisker usage instrumentation;
+        # usage-recording consumers must stay on the packet backend.
+        return SimTaskResult(run=run)
     handle = build_simulation(config, trees=trees, seed=task.seed,
                               record_usage=task.record_usage)
     run = handle.run(task.duration_s)
@@ -130,3 +159,45 @@ def run_sim_task(task: SimTask) -> SimTaskResult:
     if task.record_usage and "learner" in trees:
         counts, sums = trees["learner"].extract_stats()
     return SimTaskResult(run=run, usage_counts=counts, usage_sums=sums)
+
+
+def run_task_group(tasks: Sequence[SimTask]) -> List[SimTaskResult]:
+    """Execute a batch of tasks, vectorizing fluid seed batches.
+
+    Packet tasks run one at a time through :func:`run_sim_task`.  Fluid
+    tasks that differ only by seed are grouped and evaluated by a single
+    :func:`~repro.sim.fluid.simulate_fluid` call — one array program per
+    (config, trees, duration) group.  Because the fluid integrator is
+    batch-invariant (elementwise across seeds), the grouped results are
+    bitwise-identical to running each task alone, so every executor may
+    route through here without weakening the determinism contract.
+    """
+    from ..core.scenario import NetworkConfig
+    from ..remy.compiled import compiled_from_json
+    from ..remy.tree import WhiskerTree
+
+    results: List[Optional[SimTaskResult]] = [None] * len(tasks)
+    groups: Dict[Tuple, List[int]] = {}
+    for i, task in enumerate(tasks):
+        if task.backend != "fluid":
+            results[i] = run_sim_task(task)
+            continue
+        key = (json.dumps(task.config, sort_keys=True,
+                          separators=(",", ":")),
+               task.trees, task.duration_s, task.record_usage)
+        groups.setdefault(key, []).append(i)
+    for key, indices in groups.items():
+        from ..sim.fluid import simulate_fluid
+        first = tasks[indices[0]]
+        trees: Dict[str, WhiskerTree] = {}
+        for kind, text in first.trees:
+            tree = WhiskerTree.from_json(text)
+            tree.adopt_compiled(compiled_from_json(text))
+            trees[kind] = tree
+        config = NetworkConfig.from_dict(first.config)
+        seeds = [tasks[i].seed for i in indices]
+        runs = simulate_fluid(config, trees=trees, seeds=seeds,
+                              duration_s=first.duration_s)
+        for i, run in zip(indices, runs):
+            results[i] = SimTaskResult(run=run)
+    return results  # type: ignore[return-value]

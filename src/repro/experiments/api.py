@@ -348,7 +348,8 @@ def run_experiment(spec: ExperimentSpec,
                    base_seed: int = 1,
                    executor: Optional[Executor] = None,
                    store=None,
-                   jobs: Optional[int] = None) -> "SweepResult":
+                   jobs: Optional[int] = None,
+                   backend: str = "packet") -> "SweepResult":
     """The one generic sweep engine.
 
     Expands the spec, resolves its assets (``trees`` overrides beat
@@ -358,6 +359,10 @@ def run_experiment(spec: ExperimentSpec,
     :func:`~repro.experiments.common.run_seed_batch` — inheriting
     executor fan-out and store-backed resume — and folds each cell's
     replications into long-form :class:`SweepResult` rows.
+
+    ``backend="fluid"`` runs every cell on the vectorized fluid model
+    instead of the packet engine: orders of magnitude faster on large
+    grids, at the fidelity documented in ``docs/PERFORMANCE.md``.
     """
     points, plans = expand(spec, scale)
     tree_maps = _resolve_trees(plans, trees)
@@ -365,7 +370,7 @@ def run_experiment(spec: ExperimentSpec,
         [(plan.cell.config, tree_map)
          for plan, tree_map in zip(plans, tree_maps)],
         scale=scale, base_seed=base_seed, executor=executor,
-        store=store, jobs=jobs)
+        store=store, jobs=jobs, backend=backend)
     rows: List[Dict[str, object]] = []
     for plan, runs in zip(plans, batches):
         for metric_row in _as_rows(

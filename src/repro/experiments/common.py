@@ -235,7 +235,8 @@ def run_seeds(config: NetworkConfig,
               base_seed: int = 1,
               executor: Optional[Executor] = None,
               store=None,
-              jobs: Optional[int] = None) -> List[RunResult]:
+              jobs: Optional[int] = None,
+              backend: str = "packet") -> List[RunResult]:
     """Run ``scale.n_seeds`` independent replications.
 
     The single seed-fanout path: ``executor`` fans the replications out
@@ -244,10 +245,12 @@ def run_seeds(config: NetworkConfig,
     serial, pooled, and store-backed runs produce identical results —
     the executors' determinism contract.  ``store`` persists results to
     a disk-backed :class:`~repro.exec.ResultStore` (path or instance).
+    ``backend="fluid"`` routes every replication through the vectorized
+    fluid model (:mod:`repro.sim.fluid`) instead of the packet engine.
     """
     return run_seed_batch([(config, trees)], scale=scale,
                           base_seed=base_seed, executor=executor,
-                          store=store, jobs=jobs)[0]
+                          store=store, jobs=jobs, backend=backend)[0]
 
 
 def run_seeds_parallel(config: NetworkConfig,
@@ -265,10 +268,11 @@ def run_seeds_parallel(config: NetworkConfig,
 
 def _seed_tasks(config: NetworkConfig,
                 trees: Optional[Dict[str, WhiskerTree]],
-                scale: Scale, base_seed: int) -> List[SimTask]:
+                scale: Scale, base_seed: int,
+                backend: str = "packet") -> List[SimTask]:
     duration = scale.duration_for(config)
     return [SimTask.build(config, trees=trees, seed=base_seed + k,
-                          duration_s=duration)
+                          duration_s=duration, backend=backend)
             for k in range(scale.n_seeds)]
 
 
@@ -278,7 +282,8 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
                    base_seed: int = 1,
                    executor: Optional[Executor] = None,
                    store=None,
-                   jobs: Optional[int] = None) -> List[List[RunResult]]:
+                   jobs: Optional[int] = None,
+                   backend: str = "packet") -> List[List[RunResult]]:
     """Run a whole (config × seed) grid as one flat task batch.
 
     ``specs`` is a sequence of ``(config, trees)`` pairs — one per sweep
@@ -294,10 +299,15 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
     only the fingerprints the store doesn't already hold.  Every
     experiment module inherits this, since their sweeps all flow
     through here.
+
+    ``backend`` selects the simulation engine for every task in the
+    grid ("packet" or "fluid"); fluid tasks fingerprint differently, so
+    a shared store never mixes the two.
     """
     tasks: List[SimTask] = []
     for config, trees in specs:
-        tasks.extend(_seed_tasks(config, trees, scale, base_seed))
+        tasks.extend(_seed_tasks(config, trees, scale, base_seed,
+                                 backend=backend))
     outputs = run_batch(tasks, executor=executor, store=store, jobs=jobs)
     grouped: List[List[RunResult]] = []
     for i in range(len(specs)):

@@ -120,22 +120,45 @@ class TreeEvaluator:
         pointed at the same store (e.g. ``run_experiments.py`` reusing
         training simulations) — the in-memory memo above stays the
         first, cheaper layer.
+    screen:
+        ``"fluid"`` turns :meth:`evaluate_batch` into screen-then-
+        confirm: every candidate is scored on the cheap vectorized
+        fluid backend, then the ``confirm_top`` best (plus any
+        candidate whose fluid score still beats the best confirmed
+        packet score) are re-scored on the exact packet engine.  The
+        batch's best returned score is therefore always a genuine
+        packet-engine score — the optimizer can never adopt an action
+        on the strength of a fluid approximation.  ``None`` (default)
+        scores everything on the packet engine.  :meth:`evaluate` —
+        used for incumbents and usage recording — always runs packet.
+    confirm_top:
+        How many screened candidates to packet-confirm per batch
+        (minimum 1; ignored unless ``screen`` is set).
     """
 
     def __init__(self, scenario_range: ScenarioRange,
                  settings: EvalSettings = EvalSettings(),
                  executor: Optional[Executor] = None,
-                 store=None):
+                 store=None,
+                 screen: Optional[str] = None,
+                 confirm_top: int = 4):
+        if screen not in (None, "fluid"):
+            raise ValueError(f"screen must be None or 'fluid', "
+                             f"got {screen!r}")
         self.scenario_range = scenario_range
         self.settings = settings
         executor = executor or SerialExecutor()
         if store is not None:
             executor = StoreExecutor(executor, store=store)
         self.executor = executor
+        self.screen = screen
+        self.confirm_top = max(int(confirm_top), 1)
         self.configs = scenario_range.sample_many(
             settings.n_configs, settings.config_seed)
         # fingerprint -> (score, usage_counts, usage_sums): a few
-        # floats per task, never the full per-flow RunResult.
+        # floats per task, never the full per-flow RunResult.  The
+        # fingerprint hashes the task's backend, so fluid screens and
+        # packet confirmations can never serve each other's scores.
         self._memo: Dict[str, Tuple[float, list, list]] = {}
         self._evaluations = 0
 
@@ -161,7 +184,8 @@ class TreeEvaluator:
 
     def _tasks_for(self, tree: WhiskerTree,
                    peer: Optional[WhiskerTree],
-                   record_usage: bool) -> List[SimTask]:
+                   record_usage: bool,
+                   backend: str = "packet") -> List[SimTask]:
         trees = {"learner": tree.to_json()}
         if peer is not None:
             trees["peer"] = peer.to_json()
@@ -171,7 +195,7 @@ class TreeEvaluator:
             for seed in self.settings.sim_seeds:
                 tasks.append(SimTask.build(
                     config, trees=trees, seed=seed, duration_s=duration,
-                    record_usage=record_usage))
+                    record_usage=record_usage, backend=backend))
         return tasks
 
     def _run_tasks(self, tasks: List[SimTask]
@@ -220,17 +244,14 @@ class TreeEvaluator:
         return EvalResult(score=mean, usage_counts=counts,
                           usage_sums=sums, per_config_scores=scores)
 
-    def evaluate_batch(self, trees: Sequence[WhiskerTree],
-                       peer: Optional[WhiskerTree] = None) -> List[float]:
-        """Scores for many candidate trees, one flat task batch.
-
-        Memoization makes re-testing the incumbent free, and the flat
-        batch lets a pooled executor see the whole candidate set at
-        once — the widest fan-out the optimizer's inner loop offers.
-        """
+    def _batch_scores(self, trees: Sequence[WhiskerTree],
+                      peer: Optional[WhiskerTree],
+                      backend: str) -> List[float]:
+        """Mean score per tree over the (config × seed) grid."""
         tasks: List[SimTask] = []
         for tree in trees:
-            tasks.extend(self._tasks_for(tree, peer, False))
+            tasks.extend(self._tasks_for(tree, peer, False,
+                                         backend=backend))
         outputs = self._run_tasks(tasks)
         per_tree = len(self.configs) * len(self.settings.sim_seeds)
         scores: List[float] = []
@@ -239,3 +260,37 @@ class TreeEvaluator:
             scores.append(sum(score for score, _, _ in chunk)
                           / len(chunk))
         return scores
+
+    def evaluate_batch(self, trees: Sequence[WhiskerTree],
+                       peer: Optional[WhiskerTree] = None) -> List[float]:
+        """Scores for many candidate trees, one flat task batch.
+
+        Memoization makes re-testing the incumbent free, and the flat
+        batch lets a pooled executor see the whole candidate set at
+        once — the widest fan-out the optimizer's inner loop offers.
+
+        With ``screen="fluid"`` this becomes screen-then-confirm: all
+        candidates are scored on the fluid backend, the ``confirm_top``
+        best are re-scored on the packet engine, and confirmation keeps
+        expanding while any unconfirmed fluid score still exceeds the
+        best confirmed packet score.  Confirmed trees return their
+        packet score; the rest return their (strictly lower-ranked)
+        fluid score — so the batch argmax is always packet-exact.
+        """
+        trees = list(trees)
+        if self.screen is None or not trees:
+            return self._batch_scores(trees, peer, "packet")
+        scores = self._batch_scores(trees, peer, self.screen)
+        order = sorted(range(len(trees)),
+                       key=lambda i: (-scores[i], i))
+        confirmed: Dict[int, float] = {}
+        wave = order[:self.confirm_top]
+        while wave:
+            packet = self._batch_scores([trees[i] for i in wave],
+                                        peer, "packet")
+            confirmed.update(zip(wave, packet))
+            best = max(confirmed.values())
+            wave = [i for i in order
+                    if i not in confirmed and scores[i] >= best]
+        return [confirmed.get(i, scores[i])
+                for i in range(len(trees))]

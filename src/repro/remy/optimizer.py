@@ -67,9 +67,15 @@ class RemyOptimizer:
                  eval_settings: EvalSettings = EvalSettings(),
                  settings: OptimizerSettings = OptimizerSettings(),
                  executor: Optional[Executor] = None,
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 screen: Optional[str] = None,
+                 confirm_top: int = 4):
+        # screen="fluid" makes candidate batches screen-then-confirm
+        # (see TreeEvaluator); incumbents are always packet-scored.
         self.evaluator = TreeEvaluator(scenario_range, eval_settings,
-                                       executor=executor)
+                                       executor=executor,
+                                       screen=screen,
+                                       confirm_top=confirm_top)
         self.settings = settings
         self._progress = progress or (lambda message: None)
 
@@ -164,8 +170,9 @@ def cooptimize(range_a: ScenarioRange, range_b: ScenarioRange,
                eval_settings: EvalSettings = EvalSettings(),
                settings: OptimizerSettings = OptimizerSettings(),
                rounds: int = 2, executor: Optional[Executor] = None,
-               progress: Optional[ProgressFn] = None
-               ) -> tuple[WhiskerTree, WhiskerTree]:
+               progress: Optional[ProgressFn] = None,
+               screen: Optional[str] = None,
+               confirm_top: int = 4) -> tuple[WhiskerTree, WhiskerTree]:
     """Alternating co-optimization (paper section 4.6).
 
     Trains tree A against fixed tree B as its "peer" cross-traffic and
@@ -179,11 +186,15 @@ def cooptimize(range_a: ScenarioRange, range_b: ScenarioRange,
         if progress:
             progress(f"co-optimization round {round_number}: side A")
         optimizer_a = RemyOptimizer(range_a, eval_settings, settings,
-                                    executor=executor, progress=progress)
+                                    executor=executor, progress=progress,
+                                    screen=screen,
+                                    confirm_top=confirm_top)
         tree_a, _ = optimizer_a.train(tree_a, peer=tree_b)
         if progress:
             progress(f"co-optimization round {round_number}: side B")
         optimizer_b = RemyOptimizer(range_b, eval_settings, settings,
-                                    executor=executor, progress=progress)
+                                    executor=executor, progress=progress,
+                                    screen=screen,
+                                    confirm_top=confirm_top)
         tree_b, _ = optimizer_b.train(tree_b, peer=tree_a)
     return tree_a, tree_b

@@ -53,6 +53,7 @@ class TestSimTask:
         {"duration_s": 3.5},
         {"record_usage": True},
         {"trees": ()},
+        {"backend": "fluid"},
         {"config": NetworkConfig(link_speeds_mbps=(11.0,),
                                  rtt_ms=100.0,
                                  sender_kinds=("learner", "cubic"),
@@ -75,6 +76,22 @@ class TestSimTask:
         assert task.fingerprint() \
             == "0d7308ddd6a34eafb01e6c55162d02c436ea3d5b"
         assert cache_key(task) == task.fingerprint()
+
+    def test_packet_backend_fingerprint_is_backcompat(self):
+        """``backend="packet"`` is omitted from the hashed payload, so
+        every store written before the field existed still hits; a
+        fluid task must never collide with its packet twin."""
+        base = small_batch(1)[0]
+        explicit = dataclasses.replace(base, backend="packet")
+        assert base.backend == "packet"
+        assert explicit.fingerprint() == base.fingerprint()
+        fluid = dataclasses.replace(base, backend="fluid")
+        assert fluid.fingerprint() != base.fingerprint()
+
+    def test_backend_validated(self):
+        with pytest.raises(ValueError):
+            SimTask.build(CONFIG, trees=None, seed=1, duration_s=1.0,
+                          backend="quantum")
 
     def test_run_sim_task_returns_flow_stats(self):
         out = run_sim_task(small_batch(1)[0])

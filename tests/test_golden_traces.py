@@ -118,6 +118,13 @@ SCENARIOS["zero_delay"] = SimTask.build(
 SCENARIOS["sfq_codel"] = SimTask.build(
     _dumbbell(15.0, 100.0, ("learner", "cubic"), queue="sfq_codel"),
     trees=_LEARNER, seed=1, duration_s=_DURATION)
+# many_senders_fluid: the vectorized fluid backend at a sender count
+# the packet engine would crawl on.  Pins the fluid integrator's
+# determinism (and its seed-batch invariance, via the pooled run,
+# which groups fluid tasks into one array program).
+SCENARIOS["many_senders_fluid"] = SimTask.build(
+    _dumbbell(15.0, 150.0, ("learner",) * 50, buffer_bdp=None),
+    trees=_LEARNER, seed=1, duration_s=_DURATION, backend="fluid")
 
 #: name -> SHA-1 of the canonical serialized result.  Regenerate by
 #: running this file as a script — but only after convincing yourself
@@ -134,6 +141,7 @@ GOLDEN = {
     "api": "0db9043ca3c8c29b9776b3a321977c23ac9ca3f8",
     "zero_delay": "ec956bfd539121b708292613bd947951939d50ba",
     "sfq_codel": "a3c66118f8d3678804aeb47ef197bddb085e44d6",
+    "many_senders_fluid": "bf1e625e1803dfd31fab55382206f8cf4d026074",
 }
 
 
