@@ -16,9 +16,19 @@ spacing rule (``log:LO:HI:N``, ``lin:LO:HI:N``, ``logint:``/``linint:``
 for rounded deduplicated integers) or an explicit comma-separated value
 list.  Axes sweep any dumbbell knob: ``link_mbps``, ``rtt_ms``,
 ``senders``, ``queue``, ``buffer_bdp`` (``none`` = infinite),
-``buffer_bytes``, ``mean_on_s``, ``mean_off_s``, ``delta``; whatever
+``buffer_bytes``, ``mean_on_s``, ``mean_off_s``, ``delta``, plus the
+link-dynamics knobs ``outage`` (blackout windows as
+``0.5-1.0+2.0-2.5`` tokens, ``none`` = static), ``outage_policy``
+(``hold``/``drop``), ``jitter_ms``, and ``jitter_period_s``; whatever
 isn't swept comes from the matching ``--link-mbps``/``--rtt-ms``/...
 flag (defaults: the calibration network).
+
+``--adversary`` replaces the grid's outage axis with a *searched* one:
+a seeded hill-climb moves ``--adversary-active`` blackout windows
+(among ``--adversary-windows`` equal slices of the run) to minimize the
+first scheme's objective, then sweeps every scheme over ``none`` vs the
+worst pattern found — the learned-Tao brittleness probe.  See
+docs/EXPERIMENTS.md ("Hostile networks").
 
 ``--schemes`` mixes registered protocols (``cubic``, ``newreno``,
 ``aimd``, ``vegas``) with trained Tao asset names (run as homogeneous
@@ -41,6 +51,7 @@ import sys
 import time
 
 from repro.core.scale import Scale
+from repro.experiments.adversary import AdversarialAxis
 from repro.experiments.api import (FAKE_TREE, AdhocBase, Axis,
                                    _adhoc_setting, adhoc_spec,
                                    run_experiment)
@@ -48,6 +59,28 @@ from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
                         store_main)
 from repro.profiling import add_profile_argument, maybe_profile
 from repro.protocols.registry import available_schemes
+from repro.sim.fluid import FLUID_SCHEMES
+
+
+def _check_fluid(schemes, base, axes) -> None:
+    """Fail fast at CLI time when ``--backend fluid`` cannot run the
+    request, naming the unsupported kind/feature and what *is*
+    supported (SimTask.build repeats this check as a backstop)."""
+    protocols = set(available_schemes())
+    bad = sorted(name for name in schemes
+                 if name in protocols and name not in FLUID_SCHEMES)
+    if bad:
+        raise ValueError(
+            f"--backend fluid cannot run {', '.join(bad)}; supported "
+            f"kinds: rule-table Taos plus {', '.join(FLUID_SCHEMES)}")
+    jittery = base.jitter_ms > 0 or any(
+        axis.name == "jitter_ms" and any(float(v) > 0
+                                         for v in axis.values)
+        for axis in axes)
+    if jittery:
+        raise ValueError(
+            "--backend fluid: rtt jitter is packet-only (no fluid "
+            "analogue); outage and rate-trace dynamics are supported")
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -102,6 +135,36 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--mean-off-s", type=float,
                         default=AdhocBase.mean_off_s)
     parser.add_argument("--delta", type=float, default=AdhocBase.delta)
+    parser.add_argument("--outage", default=AdhocBase.outage,
+                        help="bottleneck blackout windows, e.g. "
+                             "'0.5-1.0+2.0-2.5' ('none' = static)")
+    parser.add_argument("--outage-policy", default=AdhocBase.outage_policy,
+                        choices=("hold", "drop"),
+                        help="down links hold queued packets or drop "
+                             "arrivals")
+    parser.add_argument("--jitter-ms", type=float,
+                        default=AdhocBase.jitter_ms,
+                        help="one-way delay jitter half-width "
+                             "(packet backend only)")
+    parser.add_argument("--jitter-period-s", type=float,
+                        default=AdhocBase.jitter_period_s)
+    # adversarial search over outage patterns
+    parser.add_argument("--adversary", action="store_true",
+                        help="search for the outage pattern that "
+                             "minimizes the first scheme's objective, "
+                             "then sweep all schemes over none vs it")
+    parser.add_argument("--adversary-windows", type=int, default=8,
+                        metavar="N",
+                        help="equal time slices the pattern chooses "
+                             "from (default 8)")
+    parser.add_argument("--adversary-active", type=int, default=2,
+                        metavar="K",
+                        help="blacked-out slices per pattern "
+                             "(default 2)")
+    parser.add_argument("--adversary-iters", type=int, default=12,
+                        metavar="N",
+                        help="hill-climb proposals (default 12)")
+    parser.add_argument("--adversary-seed", type=int, default=0)
     # output
     parser.add_argument("-o", "--output", default=None,
                         help="also write the table here")
@@ -119,8 +182,9 @@ def parse_args(argv=None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.resume and not args.store:
         parser.error("--resume requires --store PATH")
-    if not args.axis:
-        parser.error("need at least one --axis NAME=SPEC")
+    if not args.axis and not args.adversary:
+        parser.error("need at least one --axis NAME=SPEC "
+                     "(or --adversary)")
     if args.seeds is not None and args.seeds < 1:
         parser.error("--seeds must be >= 1")
     for flag in ("buffer_bdp", "buffer_bytes"):
@@ -146,13 +210,32 @@ def main(argv=None) -> int:
         n_senders=args.senders, queue=args.queue,
         buffer_bdp=args.buffer_bdp, buffer_bytes=args.buffer_bytes,
         mean_on_s=args.mean_on_s, mean_off_s=args.mean_off_s,
-        delta=args.delta)
+        delta=args.delta,
+        outage=args.outage, outage_policy=args.outage_policy,
+        jitter_ms=args.jitter_ms,
+        jitter_period_s=args.jitter_period_s)
     schemes = [name.strip() for name in args.schemes.split(",")
                if name.strip()]
     try:
         axes = [Axis.parse(text) for text in args.axis]
-        spec = adhoc_spec(axes, schemes, name=args.name, base=base,
-                          bound=not args.no_bound)
+        if args.backend == "fluid":
+            _check_fluid(schemes, base, axes)
+        adversary = None
+        if args.adversary:
+            if any(axis.name == "outage" for axis in axes):
+                raise ValueError(
+                    "--adversary searches the outage axis; drop the "
+                    "explicit --axis outage=...")
+            adversary = AdversarialAxis(
+                windows=args.adversary_windows,
+                active=args.adversary_active,
+                iters=args.adversary_iters,
+                seed=args.adversary_seed,
+                policy=args.outage_policy)
+        spec = None
+        if adversary is None:
+            spec = adhoc_spec(axes, schemes, name=args.name, base=base,
+                              bound=not args.no_bound)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -174,6 +257,16 @@ def main(argv=None) -> int:
     started = time.time()
     with executor, maybe_profile(args.profile):
         try:
+            if adversary is not None:
+                search = adversary.resolve(
+                    schemes[0], base=base, scale=scale,
+                    trees=overrides, executor=executor,
+                    base_seed=args.base_seed, backend=args.backend,
+                    log=lambda message: print(message, flush=True))
+                print(search.summary(), flush=True)
+                spec = adhoc_spec([*axes, search.axis], schemes,
+                                  name=args.name, base=base,
+                                  bound=not args.no_bound)
             result = run_experiment(
                 spec, scale=scale, trees=overrides,
                 base_seed=args.base_seed, executor=executor,

@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..sim.dynamics import DynamicsSpec
 from ..topology.dumbbell import bdp_packets
 
 __all__ = ["NetworkConfig", "ScenarioRange", "QUEUE_KINDS"]
@@ -60,6 +61,12 @@ class NetworkConfig:
     buffer_bdp: Optional[float] = 5.0
     buffer_bytes: Optional[float] = None
     queue: str = "droptail"
+    #: Optional link dynamics (rate traces, outages, jitter,
+    #: reordering).  ``None`` — the overwhelmingly common case — is
+    #: omitted from ``to_dict()`` so dynamics-free fingerprints (and
+    #: therefore existing ResultStore caches) are byte-identical to
+    #: before this field existed.
+    dynamics: Optional[DynamicsSpec] = None
 
     def __post_init__(self) -> None:
         if self.topology not in ("dumbbell", "parking_lot"):
@@ -83,10 +90,28 @@ class NetworkConfig:
             raise ValueError("parking lot requires exactly 3 senders")
         if self.queue not in QUEUE_KINDS:
             raise ValueError(f"unknown queue {self.queue!r}")
-        if self.mean_on_s <= 0:
-            raise ValueError("mean_on_s must be positive")
+        if self.mean_on_s < 0:
+            raise ValueError("mean_on_s must be non-negative")
         if self.mean_off_s < 0:
             raise ValueError("mean_off_s must be non-negative")
+        if self.mean_on_s == 0 and self.mean_off_s != 0:
+            # mean_on 0 with real off periods would mean "never sends";
+            # only the both-zero degenerate (always-on senders, p_on 1)
+            # is meaningful.
+            raise ValueError(
+                "mean_on_s must be positive (or both mean_on_s and "
+                "mean_off_s zero for always-on senders)")
+        if self.dynamics is not None:
+            if not isinstance(self.dynamics, DynamicsSpec):
+                raise ValueError(
+                    f"dynamics must be a DynamicsSpec, "
+                    f"got {type(self.dynamics).__name__}")
+            expected = 1 if self.topology == "dumbbell" else 2
+            if len(self.dynamics.links) not in (1, expected):
+                raise ValueError(
+                    f"dynamics has {len(self.dynamics.links)} link "
+                    f"schedule(s); {self.topology} needs 1 (applied to "
+                    f"all bottlenecks) or {expected}")
         if not self.deltas:
             object.__setattr__(
                 self, "deltas", tuple(1.0 for _ in self.sender_kinds))
@@ -100,8 +125,21 @@ class NetworkConfig:
 
     @property
     def p_on(self) -> float:
-        """Stationary probability a sender is 'on'."""
-        return self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+        """Stationary probability a sender is 'on'.
+
+        The always-on degenerate (both means zero) is 1.0, not a
+        ZeroDivisionError.
+        """
+        total = self.mean_on_s + self.mean_off_s
+        if total <= 0:
+            return 1.0
+        return self.mean_on_s / total
+
+    @property
+    def always_on(self) -> bool:
+        """True for the degenerate both-zero on/off config (no off
+        periods at all — permanent backlog)."""
+        return self.mean_on_s == 0 and self.mean_off_s == 0
 
     def link_speed_bps(self, index: int = 0) -> float:
         return self.link_speeds_mbps[index] * 1e6
@@ -142,11 +180,21 @@ class NetworkConfig:
             "buffer_bdp": self.buffer_bdp,
             "buffer_bytes": self.buffer_bytes,
             "queue": self.queue,
+            # The dynamics key is OMITTED when unset: dynamics-free
+            # dicts (and the SimTask fingerprints over them) must stay
+            # byte-identical to the pre-dynamics format so existing
+            # result stores keep hitting.
+            **({"dynamics": self.dynamics.to_dict()}
+               if self.dynamics is not None else {}),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "NetworkConfig":
+        dynamics = data.get("dynamics")
+        if dynamics is not None and not isinstance(dynamics, DynamicsSpec):
+            dynamics = DynamicsSpec.from_dict(dynamics)
         return cls(
+            dynamics=dynamics,
             topology=data["topology"],
             link_speeds_mbps=tuple(data["link_speeds_mbps"]),
             rtt_ms=data["rtt_ms"],

@@ -65,6 +65,20 @@ class SimTask:
         for kind, tree in sorted((trees or {}).items()):
             pairs.append((kind, tree if isinstance(tree, str)
                           else tree.to_json()))
+        if backend == "fluid":
+            # Fail at build time, not mid-batch: by the time a mixed
+            # task group reaches the fluid branch, every packet task in
+            # the batch has already been simulated — an unsupported
+            # scheme or packet-only dynamics feature should reject the
+            # task before any work happens, with the reason named.
+            from ..core.scenario import NetworkConfig
+            from ..sim.fluid import fluid_refusal
+            cfg = config if isinstance(config, NetworkConfig) \
+                else NetworkConfig.from_dict(config_dict)
+            reason = fluid_refusal(cfg, tree_kinds=[k for k, _ in pairs])
+            if reason is not None:
+                raise ValueError(
+                    f"backend 'fluid' cannot run this task: {reason}")
         return cls(config=config_dict, trees=tuple(pairs), seed=seed,
                    duration_s=duration_s, record_usage=record_usage,
                    backend=backend)

@@ -1,0 +1,198 @@
+"""Adversarially searched hostile-network axes.
+
+A grid sweep samples the scenario space where the experimenter thinks
+trouble lives; an adversary *searches* for it.  CCLab-style, this module
+optimizes a cross-traffic/outage on-off pattern against a victim scheme:
+the simulated duration is cut into equal windows, a candidate pattern
+blacks out a fixed number of them, and a seeded hill-climb moves the
+blackout windows to minimize the victim's mean normalized objective.
+
+The search result is an ordinary :class:`~repro.experiments.api.Axis`
+over outage tokens (``"none"`` plus the worst pattern found), so the
+final comparison — every scheme, static vs adversarial — runs through
+the standard sweep engine and renders with the standard table/CSV
+renderers.  Tokens are the ``parse_outage_token`` encoding, so a found
+pattern can be replayed later with ``--axis 'outage=...'`` verbatim.
+
+Determinism: candidate proposals come from one ``random.Random(seed)``;
+evaluations are ordinary fingerprinted SimTasks.  Re-running the same
+search against the same store replays every evaluation as a cache hit
+and reproduces the same trajectory, which is what lets the CI resume
+job kill half the store mid-search and diff the final report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.scale import DEFAULT, Scale
+from ..exec import Executor
+from ..remy.tree import WhiskerTree
+from ..sim.dynamics import format_outage_token
+from .api import AdhocBase, Axis, adhoc_spec, run_experiment
+
+__all__ = ["AdversarialAxis", "AdversarialResult"]
+
+LogFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class AdversarialResult:
+    """What the search found, plus the axis to sweep with."""
+
+    axis: Axis                      # "none" + the worst pattern found
+    victim: str
+    best_token: str
+    best_score: float               # victim objective under best_token
+    static_score: float             # victim objective with no outages
+    #: Every (token, score) evaluated, in evaluation order.
+    history: Tuple[Tuple[str, float], ...] = ()
+
+    def summary(self) -> str:
+        lines = [
+            f"adversarial search vs {self.victim!r}: "
+            f"{len(self.history)} pattern(s) evaluated",
+            f"  static   objective {self.static_score:+.4f}  (outage=none)",
+            f"  worst    objective {self.best_score:+.4f}  "
+            f"(outage={self.best_token})",
+            f"  degradation {self.static_score - self.best_score:.4f}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AdversarialAxis:
+    """An axis whose points come from a search loop, not a grid.
+
+    ``resolve`` runs a seeded hill-climb over outage patterns (``active``
+    blacked-out windows among ``windows`` equal slices of the run) and
+    returns an :class:`AdversarialResult` whose ``axis`` compares
+    ``"none"`` against the worst pattern found.  The victim's objective
+    is evaluated through the ordinary sweep engine, so ``--jobs``,
+    ``--store`` and ``--resume`` apply to every candidate evaluation.
+    """
+
+    name: str = "outage"
+    victim: Optional[str] = None    # default: the sweep's first scheme
+    windows: int = 8
+    active: int = 2
+    iters: int = 12
+    seed: int = 0
+    policy: str = "hold"
+
+    def __post_init__(self) -> None:
+        if self.windows < 2:
+            raise ValueError("adversary needs windows >= 2")
+        if not 1 <= self.active < self.windows:
+            raise ValueError(
+                f"adversary active windows must be in [1, windows-1], "
+                f"got {self.active} of {self.windows}")
+        if self.iters < 0:
+            raise ValueError("iters must be >= 0")
+
+    # ------------------------------------------------------------------
+    def _token(self, pattern: frozenset, width: float) -> str:
+        """Encode active window indices as an outage token, merging
+        adjacent windows into single blackout intervals."""
+        windows: List[Tuple[float, float]] = []
+        for index in sorted(pattern):
+            start = round(index * width, 6)
+            stop = round((index + 1) * width, 6)
+            if windows and windows[-1][1] == start:
+                windows[-1] = (windows[-1][0], stop)
+            else:
+                windows.append((start, stop))
+        return format_outage_token(windows)
+
+    def resolve(self, scheme: str,
+                base: Optional[AdhocBase] = None,
+                scale: Scale = DEFAULT,
+                trees: Optional[Mapping[str, WhiskerTree]] = None,
+                executor: Optional[Executor] = None,
+                store=None,
+                jobs: Optional[int] = None,
+                base_seed: int = 1,
+                backend: str = "packet",
+                log: Optional[LogFn] = None) -> AdversarialResult:
+        """Search for the worst outage pattern against ``scheme``."""
+        base = base or AdhocBase()
+        if base.outage != "none":
+            raise ValueError(
+                "adversarial search needs a static base (outage='none')")
+        base = AdhocBase(**{**{f: getattr(base, f)
+                               for f in base.__dataclass_fields__},
+                            "outage_policy": self.policy})
+        say = log or (lambda message: None)
+
+        # The victim's scenario (and with it the simulated duration
+        # every window pattern is laid over).
+        probe = adhoc_spec([Axis.of(self.name, ("none",))], [scheme],
+                           base=base, bound=False)
+        config = probe.build(scheme, {self.name: "none"}).config
+        duration = scale.duration_for(config)
+        width = duration / self.windows
+
+        scores: Dict[str, float] = {}
+        history: List[Tuple[str, float]] = []
+
+        def evaluate(tokens: List[str]) -> None:
+            fresh = [t for t in dict.fromkeys(tokens) if t not in scores]
+            if not fresh:
+                return
+            spec = adhoc_spec([Axis.of(self.name, tuple(fresh))],
+                              [scheme], name="adversary", base=base,
+                              bound=False)
+            result = run_experiment(spec, scale=scale, trees=trees,
+                                    base_seed=base_seed,
+                                    executor=executor, store=store,
+                                    jobs=jobs, backend=backend)
+            for token in fresh:
+                row = next(result.select(scheme, **{self.name: token}))
+                scores[token] = float(row["mean_objective"])
+                history.append((token, scores[token]))
+
+        rng = random.Random(self.seed)
+        # Start from evenly spread blackouts (the "grid sweep would
+        # have tried this" pattern), then move windows greedily.
+        stride = self.windows / self.active
+        pattern = frozenset(
+            min(int(k * stride), self.windows - 1)
+            for k in range(self.active))
+        token = self._token(pattern, width)
+        evaluate(["none", token])
+        static_score = scores["none"]
+        best_pattern, best_token = pattern, token
+        best_score = scores[token]
+        say(f"adversary: static {static_score:+.4f}, "
+            f"seed pattern {token} -> {best_score:+.4f}")
+
+        for iteration in range(self.iters):
+            # Mutate: move one blackout window to a random free slot.
+            current = sorted(best_pattern)
+            victim_idx = rng.choice(current)
+            free = [k for k in range(self.windows)
+                    if k not in best_pattern]
+            if not free:
+                break
+            candidate = frozenset(
+                (best_pattern - {victim_idx}) | {rng.choice(free)})
+            cand_token = self._token(candidate, width)
+            evaluate([cand_token])
+            cand_score = scores[cand_token]
+            accepted = cand_score < best_score
+            say(f"adversary[{iteration + 1}/{self.iters}]: "
+                f"{cand_token} -> {cand_score:+.4f}"
+                f"{' *' if accepted else ''}")
+            if accepted:
+                best_pattern, best_token = candidate, cand_token
+                best_score = cand_score
+
+        return AdversarialResult(
+            axis=Axis.of(self.name, ("none", best_token)),
+            victim=scheme,
+            best_token=best_token,
+            best_score=best_score,
+            static_score=static_score,
+            history=tuple(history))

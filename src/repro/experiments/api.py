@@ -52,6 +52,8 @@ from ..protocols.registry import available_schemes
 from ..remy.action import Action
 from ..remy.assets import load_tree
 from ..remy.tree import WhiskerTree
+from ..sim.dynamics import (DynamicsSpec, LinkSchedule,
+                            parse_outage_token)
 from .common import mean_normalized_score, run_seed_batch, scored_flows
 
 __all__ = [
@@ -182,7 +184,14 @@ class Axis:
                 raise ValueError(
                     f"axis {text!r}: LO/HI must be numbers, N an int"
                 ) from None
-            return maker(name, lo, hi, n, integer=integer)
+            try:
+                return maker(name, lo, hi, n, integer=integer)
+            except ValueError as error:
+                # Eager validation with the *offending spec string* in
+                # the message: a malformed spec (log:1:300:0, hi < lo,
+                # ...) must fail at parse time, naming itself, not
+                # surface as a bare ValueError mid-sweep.
+                raise ValueError(f"axis {text!r}: {error}") from None
         values = [cls._coerce_token(token.strip())
                   for token in spec.split(",") if token.strip()]
         if not values:
@@ -608,6 +617,14 @@ class AdhocBase:
     mean_on_s: float = 1.0
     mean_off_s: float = 1.0
     delta: float = 1.0
+    # Link dynamics (see repro.sim.dynamics).  ``outage`` is the token
+    # form: "none" or "+"-joined START-STOP windows in seconds
+    # ("0.5-1.0+2.0-2.5") — the same encoding the adversarial search
+    # emits, so searched patterns sweep like any other axis value.
+    outage: str = "none"
+    outage_policy: str = "hold"
+    jitter_ms: float = 0.0
+    jitter_period_s: float = 0.05
 
 
 #: Axis-name aliases -> AdhocBase field.
@@ -621,6 +638,8 @@ _ADHOC_KEYS: Dict[str, str] = {
     "buffer_bdp": "buffer_bdp", "buffer_bytes": "buffer_bytes",
     "mean_on_s": "mean_on_s", "mean_off_s": "mean_off_s",
     "delta": "delta",
+    "outage": "outage", "outage_policy": "outage_policy",
+    "jitter_ms": "jitter_ms", "jitter_period_s": "jitter_period_s",
 }
 
 _ADHOC_NONE = ("none", "inf", "nodrop")
@@ -635,9 +654,29 @@ def _adhoc_setting(key: str, value: object) -> object:
         return float(value)
     if target == "n_senders":
         return int(value)
-    if target == "queue":
+    if target in ("queue", "outage_policy"):
         return str(value)
+    if target == "outage":
+        token = str(value)
+        parse_outage_token(token)       # eager validation at parse time
+        return token
     return float(value)
+
+
+def _adhoc_dynamics(settings: Mapping[str, object]
+                    ) -> Optional[DynamicsSpec]:
+    """The DynamicsSpec for a settings dict, or None when all-static."""
+    windows = parse_outage_token(str(settings["outage"]))
+    jitter_ms = float(settings["jitter_ms"])
+    if not windows and jitter_ms == 0:
+        return None
+    schedule = LinkSchedule(
+        outages=windows,
+        outage_policy=str(settings["outage_policy"]),
+        jitter_ms=jitter_ms,
+        jitter_period_s=(float(settings["jitter_period_s"])
+                         if jitter_ms > 0 else 0.0))
+    return DynamicsSpec(links=(schedule,))
 
 
 def adhoc_spec(axes: Sequence[Axis],
@@ -665,6 +704,16 @@ def adhoc_spec(axes: Sequence[Axis],
             raise ValueError(
                 f"unknown sweep axis {axis.name!r}; "
                 f"known: {sorted(_ADHOC_KEYS)}")
+        for value in axis.values:
+            # Eager validation at spec time: a malformed value (a bad
+            # outage token, a non-numeric rtt) must fail here, naming
+            # itself, not as a traceback mid-grid.
+            try:
+                _adhoc_setting(axis.name, value)
+            except ValueError as error:
+                raise ValueError(
+                    f"axis {axis.name!r} value {value!r}: "
+                    f"{error}") from None
     schemes = tuple(schemes)
     if not schemes:
         raise ValueError("need at least one scheme")
@@ -695,7 +744,8 @@ def adhoc_spec(axes: Sequence[Axis],
             mean_off_s=float(settings["mean_off_s"]),
             buffer_bdp=settings["buffer_bdp"],
             buffer_bytes=settings["buffer_bytes"],
-            queue=str(settings["queue"]))
+            queue=str(settings["queue"]),
+            dynamics=_adhoc_dynamics(settings))
         return Cell(config, trees)
 
     def metrics(scheme: str, point: Mapping[str, object],
@@ -725,8 +775,12 @@ def adhoc_spec(axes: Sequence[Axis],
             settings = settings_for(point)
             n = int(settings["n_senders"])
             speed_bps = float(settings["link_mbps"]) * 1e6
-            p_on = settings["mean_on_s"] / (settings["mean_on_s"]
-                                            + settings["mean_off_s"])
+            on_off_total = (settings["mean_on_s"]
+                            + settings["mean_off_s"])
+            # Same guard as NetworkConfig.p_on: the both-zero
+            # degenerate means always-on, not ZeroDivisionError.
+            p_on = (settings["mean_on_s"] / on_off_total
+                    if on_off_total > 0 else 1.0)
             expected = dumbbell_expected_throughput(speed_bps, n, p_on)
             min_delay = float(settings["rtt_ms"]) / 2e3
             return {

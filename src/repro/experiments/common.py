@@ -31,11 +31,13 @@ from ..protocols.transport import DATA_PACKET_BYTES, FlowReceiver, FlowSender
 from ..remy.compiled import UsageStats
 from ..remy.tree import WhiskerTree
 from ..sim.codel import CoDelQueue
+from ..sim.dynamics import DynamicsDriver
 from ..sim.engine import Simulator
 from ..sim.queues import DropTailQueue, QueueDiscipline
 from ..sim.sfq_codel import SfqCoDelQueue
 from ..sim.tracing import QueueTrace
-from ..sim.workload import OnOffWorkload, ScheduledWorkload
+from ..sim.workload import (AlwaysOnWorkload, OnOffWorkload,
+                            ScheduledWorkload)
 from ..topology.dumbbell import dumbbell
 from ..topology.graph import BuiltTopology
 from ..topology.parking_lot import parking_lot
@@ -181,6 +183,19 @@ def build_simulation(
                            queue_factory2=_queue_factory(config, 1))
     built = topo.build(sim)
 
+    if config.dynamics is not None and not config.dynamics.is_empty:
+        # Dynamics apply to the bottleneck links (the ones the config's
+        # link_speeds_mbps describe); access links stay static.  The
+        # driver must start before senders are built only in the sense
+        # that it runs pre-traffic — it merely schedules events, and
+        # the per-link RNG streams are disjoint from the workload
+        # streams, so static scenarios are untouched.
+        if config.topology == "dumbbell":
+            dyn_links = [built.link("A", "B")]
+        else:
+            dyn_links = [built.link("A", "B"), built.link("B", "C")]
+        DynamicsDriver(sim, dyn_links, config.dynamics, seed=seed).start()
+
     controllers: List[CongestionController] = []
     senders: List[FlowSender] = []
     receivers: List[FlowReceiver] = []
@@ -194,6 +209,10 @@ def build_simulation(
         if workload_intervals is not None and i in workload_intervals:
             workload = ScheduledWorkload(sim, sender,
                                          workload_intervals[i])
+        elif config.always_on:
+            # The both-zero on/off degenerate: permanent backlog, no
+            # RNG draws at all.
+            workload = AlwaysOnWorkload(sim, sender)
         else:
             flow_rng = random.Random(seed * 1_000_003 + i * 7_919 + 17)
             workload = OnOffWorkload(sim, sender, config.mean_on_s,

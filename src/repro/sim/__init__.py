@@ -17,6 +17,8 @@ Public surface:
 """
 
 from .codel import CODEL_INTERVAL, CODEL_TARGET, CoDelQueue, CoDelState
+from .dynamics import (DynamicsDriver, DynamicsSpec, LinkSchedule,
+                       format_outage_token, parse_outage_token)
 from .engine import Event, Simulator, Timer
 from .link import Link, LinkStats
 from .network import FlowPath, Network
@@ -34,6 +36,8 @@ __all__ = [
     "CoDelQueue", "CoDelState", "CODEL_TARGET", "CODEL_INTERVAL",
     "SfqCoDelQueue",
     "Link", "LinkStats",
+    "LinkSchedule", "DynamicsSpec", "DynamicsDriver",
+    "parse_outage_token", "format_outage_token",
     "Network", "FlowPath",
     "OnOffWorkload", "ScheduledWorkload", "AlwaysOnWorkload", "Switchable",
     "QueueTrace",

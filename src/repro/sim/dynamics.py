@@ -1,0 +1,398 @@
+"""Link dynamics: declarative schedules driving links over simulated time.
+
+Every scenario the repo could express before this module was *static*:
+link rates, propagation delays, and ordering were fixed at construction
+and held for the whole run.  The paper's central question — how brittle
+is a learned Tao outside the conditions it was trained for? — needs
+hostile networks: rates that step up and down, links that black out,
+RTTs that wander, packets that arrive out of order.
+
+This module is the declarative layer for exactly that:
+
+* :class:`LinkSchedule` — what happens to **one** link over time:
+  a piecewise-constant rate trace, outage (blackout) windows, a
+  periodic RTT-jitter process, and a random-reordering process.
+* :class:`DynamicsSpec` — the per-scenario bundle: one schedule per
+  bottleneck link (or a single schedule applied to all of them).  It
+  round-trips ``to_dict``/``from_dict`` so it can ride inside
+  :class:`~repro.core.scenario.NetworkConfig` and the ``SimTask``
+  fingerprint.
+* :class:`DynamicsDriver` — the imperative half: given a built
+  simulator and its bottleneck links, schedules the ``set_rate`` /
+  ``set_delay`` events that realize a spec.  All randomness (jitter,
+  reordering) is drawn from per-link ``random.Random`` streams seeded
+  from the run seed, so runs stay bitwise deterministic and
+  common-random-number candidate comparisons stay valid.
+
+Fluid-backend support: piecewise rate traces and outages map cleanly
+onto per-step capacity arrays, but RTT jitter and reordering are
+packet-level phenomena with no fluid analogue —
+:meth:`DynamicsSpec.packet_only_reason` names the offending feature so
+the fluid backend (and ``SimTask`` build validation) can refuse with a
+useful message instead of mid-batch.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .engine import Simulator
+from .link import Link
+
+__all__ = ["LinkSchedule", "DynamicsSpec", "DynamicsDriver",
+           "parse_outage_token", "format_outage_token",
+           "OUTAGE_POLICIES"]
+
+#: What a down link does with traffic: ``"hold"`` queues packets (up to
+#: the queue's capacity) for transmission after the outage; ``"drop"``
+#: discards every arrival while the link is down (a true blackout).
+OUTAGE_POLICIES = ("hold", "drop")
+
+
+def _as_pairs(value: Sequence[Sequence[float]],
+              what: str) -> Tuple[Tuple[float, float], ...]:
+    pairs = []
+    for entry in value:
+        entry = tuple(entry)
+        if len(entry) != 2:
+            raise ValueError(f"{what} entries must be (a, b) pairs, "
+                             f"got {entry!r}")
+        pairs.append((float(entry[0]), float(entry[1])))
+    return tuple(pairs)
+
+
+@dataclass(frozen=True)
+class LinkSchedule:
+    """Time-varying behaviour of one link.
+
+    Parameters
+    ----------
+    rate_steps:
+        Piecewise-constant rate trace: ``(at_s, rate_mbps)`` pairs,
+        sorted by time.  At each ``at_s`` the link's rate becomes
+        ``rate_mbps`` (absolute, not a delta).  Before the first step
+        the link runs at its configured speed.  A rate of 0 is a
+        legal "link down" state.
+    outages:
+        Blackout windows: ``(start_s, stop_s)`` half-open intervals,
+        sorted and disjoint.  Inside a window the rate is forced to 0
+        regardless of the rate trace; at ``stop_s`` the trace rate
+        current at that time is restored.
+    outage_policy:
+        ``"hold"`` or ``"drop"`` — see :data:`OUTAGE_POLICIES`.
+    jitter_ms:
+        Half-width of a uniform RTT-jitter process: every
+        ``jitter_period_s`` the link's one-way delay is resampled as
+        ``base + U(-jitter_ms, +jitter_ms)`` (clamped at 0).
+    jitter_period_s:
+        Resampling period of the jitter process (required > 0 when
+        ``jitter_ms`` > 0).
+    reorder_prob:
+        Per-packet probability of extra propagation delay, which lets
+        later packets overtake — random reordering.
+    reorder_extra_ms:
+        Upper bound of the uniform extra delay for reordered packets
+        (required > 0 when ``reorder_prob`` > 0).
+    """
+
+    rate_steps: Tuple[Tuple[float, float], ...] = ()
+    outages: Tuple[Tuple[float, float], ...] = ()
+    outage_policy: str = "hold"
+    jitter_ms: float = 0.0
+    jitter_period_s: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_extra_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rate_steps",
+                           _as_pairs(self.rate_steps, "rate_steps"))
+        object.__setattr__(self, "outages",
+                           _as_pairs(self.outages, "outages"))
+        last = -math.inf
+        for at, rate in self.rate_steps:
+            if at < 0 or not math.isfinite(at):
+                raise ValueError(f"rate step time must be >= 0, got {at}")
+            if at <= last:
+                raise ValueError("rate_steps must be sorted by strictly "
+                                 "increasing time")
+            if rate < 0 or not math.isfinite(rate):
+                raise ValueError(
+                    f"rate step rate_mbps must be finite and >= 0, "
+                    f"got {rate}")
+            last = at
+        last = 0.0
+        for start, stop in self.outages:
+            if start < last:
+                raise ValueError("outages must be sorted, disjoint, and "
+                                 "start at t >= 0")
+            if not stop > start:
+                raise ValueError(
+                    f"outage window must satisfy stop > start, "
+                    f"got ({start}, {stop})")
+            if not math.isfinite(stop):
+                raise ValueError("outage windows must be finite")
+            last = stop
+        if self.outage_policy not in OUTAGE_POLICIES:
+            raise ValueError(
+                f"unknown outage_policy {self.outage_policy!r}; "
+                f"expected one of {OUTAGE_POLICIES}")
+        if self.jitter_ms < 0 or not math.isfinite(self.jitter_ms):
+            raise ValueError("jitter_ms must be finite and >= 0")
+        if self.jitter_ms > 0 and not self.jitter_period_s > 0:
+            raise ValueError("jitter_ms > 0 requires jitter_period_s > 0")
+        if self.jitter_period_s < 0:
+            raise ValueError("jitter_period_s must be >= 0")
+        if not 0.0 <= self.reorder_prob <= 1.0:
+            raise ValueError("reorder_prob must be in [0, 1]")
+        if self.reorder_prob > 0 and not self.reorder_extra_ms > 0:
+            raise ValueError(
+                "reorder_prob > 0 requires reorder_extra_ms > 0")
+        if self.reorder_extra_ms < 0:
+            raise ValueError("reorder_extra_ms must be >= 0")
+
+    @property
+    def is_empty(self) -> bool:
+        return (not self.rate_steps and not self.outages
+                and self.jitter_ms == 0 and self.reorder_prob == 0)
+
+    @property
+    def varies_rate(self) -> bool:
+        return bool(self.rate_steps or self.outages)
+
+    def packet_only_reason(self) -> Optional[str]:
+        """Why this schedule has no fluid-model analogue (or None)."""
+        if self.jitter_ms > 0:
+            return "rtt jitter (jitter_ms > 0)"
+        if self.reorder_prob > 0:
+            return "random reordering (reorder_prob > 0)"
+        return None
+
+    # ------------------------------------------------------------------
+    def timeline(self, base_rate_bps: float
+                 ) -> List[Tuple[float, float]]:
+        """Merge the rate trace and outages into one piecewise timeline.
+
+        Returns sorted ``(at_s, rate_bps)`` change points: the trace
+        rate outside outage windows, 0 inside them, and the
+        trace-current rate restored at each window's end.  Only actual
+        changes are emitted (an outage during an already-zero trace
+        produces no events).
+        """
+        points = sorted(
+            {at for at, _ in self.rate_steps}
+            | {t for window in self.outages for t in window})
+        changes: List[Tuple[float, float]] = []
+        current = base_rate_bps
+        for at in points:
+            rate = base_rate_bps
+            for step_at, mbps in self.rate_steps:
+                if step_at <= at:
+                    rate = mbps * 1e6
+                else:
+                    break
+            for start, stop in self.outages:
+                if start <= at < stop:
+                    rate = 0.0
+                    break
+            if rate != current:
+                changes.append((at, rate))
+                current = rate
+        return changes
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "rate_steps": [list(pair) for pair in self.rate_steps],
+            "outages": [list(pair) for pair in self.outages],
+            "outage_policy": self.outage_policy,
+            "jitter_ms": self.jitter_ms,
+            "jitter_period_s": self.jitter_period_s,
+            "reorder_prob": self.reorder_prob,
+            "reorder_extra_ms": self.reorder_extra_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkSchedule":
+        return cls(
+            rate_steps=tuple(tuple(p) for p in data.get("rate_steps", ())),
+            outages=tuple(tuple(p) for p in data.get("outages", ())),
+            outage_policy=data.get("outage_policy", "hold"),
+            jitter_ms=data.get("jitter_ms", 0.0),
+            jitter_period_s=data.get("jitter_period_s", 0.0),
+            reorder_prob=data.get("reorder_prob", 0.0),
+            reorder_extra_ms=data.get("reorder_extra_ms", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """Per-scenario link dynamics: one schedule per bottleneck link.
+
+    A single-entry ``links`` tuple applies to every bottleneck (the
+    common case); otherwise its length must match the topology's
+    bottleneck count (1 for the dumbbell, 2 for the parking lot) —
+    validated by :class:`~repro.core.scenario.NetworkConfig`.
+    """
+
+    links: Tuple[LinkSchedule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", tuple(self.links))
+        if not self.links:
+            raise ValueError("DynamicsSpec needs at least one LinkSchedule")
+        for schedule in self.links:
+            if not isinstance(schedule, LinkSchedule):
+                raise ValueError(
+                    f"DynamicsSpec.links entries must be LinkSchedule, "
+                    f"got {type(schedule).__name__}")
+
+    @property
+    def is_empty(self) -> bool:
+        return all(schedule.is_empty for schedule in self.links)
+
+    def schedule_for(self, index: int) -> LinkSchedule:
+        """The schedule for bottleneck ``index`` (broadcast if single)."""
+        if len(self.links) == 1:
+            return self.links[0]
+        return self.links[index]
+
+    def packet_only_reason(self) -> Optional[str]:
+        """Why the fluid backend cannot run this spec (or None)."""
+        for schedule in self.links:
+            reason = schedule.packet_only_reason()
+            if reason:
+                return reason
+        return None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the common shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def outage(cls, windows: Sequence[Sequence[float]],
+               policy: str = "hold") -> "DynamicsSpec":
+        return cls(links=(LinkSchedule(outages=tuple(windows),
+                                       outage_policy=policy),))
+
+    @classmethod
+    def jitter(cls, jitter_ms: float,
+               period_s: float = 0.05) -> "DynamicsSpec":
+        return cls(links=(LinkSchedule(jitter_ms=jitter_ms,
+                                       jitter_period_s=period_s),))
+
+    @classmethod
+    def rate_trace(cls, steps: Sequence[Sequence[float]]) -> "DynamicsSpec":
+        return cls(links=(LinkSchedule(rate_steps=tuple(steps)),))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"links": [schedule.to_dict() for schedule in self.links]}
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["DynamicsSpec"]:
+        if data is None:
+            return None
+        return cls(links=tuple(
+            LinkSchedule.from_dict(entry) for entry in data["links"]))
+
+
+# ----------------------------------------------------------------------
+# Outage tokens: the CLI/axis encoding of a blackout pattern
+# ----------------------------------------------------------------------
+def parse_outage_token(token: str) -> Tuple[Tuple[float, float], ...]:
+    """Parse ``"0.5-1.0+2.0-2.5"`` into outage windows (``"none"`` -> ()).
+
+    This is the sweep-axis encoding: windows are ``start-stop`` in
+    seconds, joined by ``+``.  It is also what the adversarial search
+    emits, so searched patterns drop straight into ``--axis outage=``.
+    """
+    text = str(token).strip()
+    if text in ("", "none", "off"):
+        return ()
+    windows = []
+    for part in text.split("+"):
+        pieces = part.split("-")
+        if len(pieces) != 2:
+            raise ValueError(
+                f"bad outage window {part!r} in {token!r}; expected "
+                f"START-STOP seconds, e.g. '0.5-1.0+2.0-2.5' or 'none'")
+        try:
+            start, stop = float(pieces[0]), float(pieces[1])
+        except ValueError:
+            raise ValueError(
+                f"bad outage window {part!r} in {token!r}: bounds must "
+                f"be numbers") from None
+        windows.append((start, stop))
+    # LinkSchedule validation enforces sorted/disjoint/positive-width.
+    return tuple(windows)
+
+
+def format_outage_token(
+        windows: Sequence[Sequence[float]]) -> str:
+    """Inverse of :func:`parse_outage_token`."""
+    if not windows:
+        return "none"
+    return "+".join(f"{start:g}-{stop:g}" for start, stop in windows)
+
+
+# ----------------------------------------------------------------------
+# The imperative half: realize a spec on a built simulation
+# ----------------------------------------------------------------------
+class DynamicsDriver:
+    """Schedules the events that realize a :class:`DynamicsSpec`.
+
+    Construct it after the topology is built but before the run starts;
+    :meth:`start` enables the dynamic serialization path on each link
+    with a non-trivial schedule and schedules every rate change, outage
+    boundary, and the first jitter resample.  Jitter resamples chain
+    themselves, so the process runs for the whole simulation.
+
+    All randomness comes from per-link ``random.Random`` streams seeded
+    as ``seed * 1_000_003 + 611_953 + index * 7_919`` — disjoint from
+    the workload streams (``seed * 1_000_003 + flow * 7_919 + 17``), so
+    adding dynamics never perturbs the on/off draws.
+    """
+
+    def __init__(self, sim: Simulator, links: Sequence[Link],
+                 spec: DynamicsSpec, seed: int = 0) -> None:
+        self.sim = sim
+        self.links = list(links)
+        self.spec = spec
+        self.seed = seed
+        self._rngs: List[random.Random] = [
+            random.Random(seed * 1_000_003 + 611_953 + index * 7_919)
+            for index in range(len(self.links))]
+
+    def start(self) -> None:
+        sim = self.sim
+        for index, link in enumerate(self.links):
+            schedule = self.spec.schedule_for(index)
+            if schedule.is_empty:
+                continue
+            rng = self._rngs[index]
+            if schedule.varies_rate:
+                link.enable_dynamics()
+                link.down_policy = schedule.outage_policy
+                for at, rate_bps in schedule.timeline(link.rate_bps):
+                    sim.schedule_at(at, link.set_rate, rate_bps)
+            if schedule.reorder_prob > 0:
+                link.enable_dynamics()
+                link.set_reordering(schedule.reorder_prob,
+                                    schedule.reorder_extra_ms / 1e3, rng)
+            if schedule.jitter_ms > 0:
+                # Delay changes are read per delivery, so jitter alone
+                # does not need the dynamic serialization path.
+                sim.schedule_at(
+                    schedule.jitter_period_s, self._jitter_tick,
+                    link, link.delay_s, schedule.jitter_ms / 1e3,
+                    schedule.jitter_period_s, rng)
+
+    def _jitter_tick(self, link: Link, base_delay_s: float,
+                     jitter_s: float, period_s: float,
+                     rng: random.Random) -> None:
+        link.set_delay(max(base_delay_s + rng.uniform(-jitter_s,
+                                                      jitter_s), 0.0))
+        self.sim.schedule_call(period_s, self._jitter_tick, link,
+                               base_delay_s, jitter_s, period_s, rng)

@@ -60,7 +60,7 @@ import numpy as np
 from ..core.results import FlowStats, RunResult
 from ..core.scenario import NetworkConfig
 
-__all__ = ["simulate_fluid", "fluid_dt", "FLUID_SCHEMES"]
+__all__ = ["simulate_fluid", "fluid_dt", "fluid_refusal", "FLUID_SCHEMES"]
 
 _PKT = 1500.0              # on-the-wire data packet bytes
 _PKT_BITS = _PKT * 8.0
@@ -147,6 +147,10 @@ def _flow_schedule(seed: int, flow: int, mean_on: float, mean_off: float,
     events past the horizon never fire in the packet engine, so their
     draws never happen there either.
     """
+    if mean_on == 0 and mean_off == 0:
+        # The always-on degenerate: permanently on, no draws at all
+        # (matching AlwaysOnWorkload, which never touches an RNG).
+        return [0.0], duration
     rng = random.Random(seed * 1_000_003 + flow * 7_919 + 17)
     p_on = mean_on / (mean_on + mean_off)
     if rng.random() < p_on:
@@ -209,6 +213,31 @@ class _NumpyTree:
 # The fluid integrator
 # ----------------------------------------------------------------------
 
+def fluid_refusal(config: NetworkConfig,
+                  tree_kinds: Sequence[str] = ()) -> Optional[str]:
+    """Why the fluid backend cannot run this scenario, or ``None``.
+
+    This is the single source of truth for fluid support, callable
+    *before* any simulation work: ``SimTask.build`` and the CLIs use it
+    to fail fast (with the offending kind or dynamics feature named)
+    instead of erroring mid-batch after packet tasks already ran.
+    ``tree_kinds`` lists the sender kinds that will have rule tables
+    attached (those are always portable).
+    """
+    tree_kinds = set(tree_kinds)
+    for kind in config.sender_kinds:
+        if kind not in tree_kinds and kind not in FLUID_SCHEMES:
+            return (f"scheme {kind!r} has no fluid port; supported: "
+                    f"rule-table kinds plus {FLUID_SCHEMES}")
+    if config.dynamics is not None:
+        reason = config.dynamics.packet_only_reason()
+        if reason is not None:
+            return (f"dynamics feature {reason} is packet-only "
+                    f"(no fluid analogue); rate traces and outages "
+                    f"are supported")
+    return None
+
+
 def _scheme_families(config: NetworkConfig, trees: Dict[str, object]):
     """Map sender kinds to fluid families; returns (family[N], groups)
     where groups maps a tree to its flow indices."""
@@ -244,6 +273,10 @@ def simulate_fluid(config: NetworkConfig,
     ``seeds`` and bitwise-independent of how seeds are batched.
     """
     trees = trees or {}
+    refusal = fluid_refusal(config, tree_kinds=tuple(trees))
+    if refusal is not None:
+        raise ValueError(f"fluid backend cannot run this scenario: "
+                         f"{refusal}")
     S = len(seeds)
     N = config.num_senders
     base_oneway, base_rtt_l, flow_links, caps_l, props, rev_prop = \
@@ -397,8 +430,42 @@ def simulate_fluid(config: NetworkConfig,
     arange_n = np.arange(N)
     inv_caps_Bps = 1.0 / caps_Bps
 
+    # Link dynamics: piecewise-constant per-step capacity arrays.  A
+    # static config takes ``caps_step is None`` and the loop below uses
+    # the exact same scalars (and therefore the exact same floats) as
+    # before dynamics existed — the golden fluid digests pin this.
+    # During a zero-capacity (outage) step the queueing-delay estimate
+    # uses the *nominal* capacity (the backlog drains at that rate once
+    # service resumes); a true infinite-sojourn estimate would poison
+    # every downstream EWMA for no modeling gain.
+    caps_step = None
+    inv_caps_step = None
+    drop_down = [False] * L
+    if config.dynamics is not None and not config.dynamics.is_empty:
+        dyn = config.dynamics
+        if any(dyn.schedule_for(l).varies_rate for l in range(L)):
+            caps_step = np.tile(caps_Bps, (n_steps, 1))
+            for l in range(L):
+                schedule = dyn.schedule_for(l)
+                drop_down[l] = schedule.outage_policy == "drop"
+                changes = schedule.timeline(caps_l[l])
+                for at, rate_bps in changes:
+                    start = min(int(math.ceil(at / dt)), n_steps)
+                    caps_step[start:, l] = rate_bps / 8.0
+            inv_caps_step = np.where(caps_step > 0.0,
+                                     np.divide(1.0, caps_step,
+                                               where=caps_step > 0.0,
+                                               out=np.zeros_like(caps_step)),
+                                     inv_caps_Bps[None, :])
+
     for step in range(n_steps):
         t = step * dt
+        if caps_step is None:
+            caps_now = caps_Bps
+            inv_now = inv_caps_Bps
+        else:
+            caps_now = caps_step[step]
+            inv_now = inv_caps_step[step]
         # -- 1. workload toggles due at or before t --------------------
         while True:
             nxt = np.take_along_axis(toggles, ptr[..., None],
@@ -434,10 +501,10 @@ def simulate_fluid(config: NetworkConfig,
             if is_sfq:
                 n_act = np.maximum((q_mem > 0).sum(axis=1), 1)
                 path_qd[:, fidx] += q_mem * (n_act[:, None]
-                                             * inv_caps_Bps[l])
+                                             * inv_now[l])
             else:
                 path_qd[:, fidx] += (qlink[:, l]
-                                     * inv_caps_Bps[l])[:, None]
+                                     * inv_now[l])[:, None]
         rtt_est = base_rtt[None, :] + path_qd
 
         # -- 3. delivery and the ACK clock (lagged streams) ------------
@@ -642,14 +709,21 @@ def simulate_fluid(config: NetworkConfig,
             inflow = np.where(hidx == 0, inflow0[:, fidx], upstream)
             q_mem = q[:, fidx, hidx]
             arr = inflow * dt
+            if drop_down[l] and caps_now[l] == 0.0:
+                # Blackout with a drop policy: arriving fluid is
+                # discarded (queued bytes stay for after the outage).
+                drop_bytes[:, l] += arr.sum(axis=1)
+                loss_hist[:, fidx, pos_now] |= arr > 1e-9
+                drop_hist[:, fidx, pos_now] += arr / _PKT
+                arr = np.zeros_like(arr)
             avail = q_mem + arr
             tot = avail.sum(axis=1)
-            cap_dt = caps_Bps[l] * dt
+            cap_dt = caps_now[l] * dt
             if is_sfq:
                 out_mem = _waterfill(avail, cap_dt)
                 rem = np.maximum(avail - out_mem, 0.0)
                 n_act = np.maximum((q_mem > 0).sum(axis=1), 1)
-                sojourn = q_mem * (n_act[:, None] * inv_caps_Bps[l])
+                sojourn = q_mem * (n_act[:, None] * inv_now[l])
                 above = codel_above_q[:, fidx, hidx]
                 above = np.where(sojourn > _CODEL_TARGET,
                                  above + dt, 0.0)
@@ -660,7 +734,7 @@ def simulate_fluid(config: NetworkConfig,
                 # own backlog at the fair-share rate.
                 n_arr = np.maximum((avail > 0.0).sum(axis=1), 1)
                 wait = (q_mem + 0.5 * arr) \
-                    * (n_arr[:, None] * inv_caps_Bps[l])
+                    * (n_arr[:, None] * inv_now[l])
                 wpk = arr / _PKT
             else:
                 # Tail drop at arrival, like the packet droptail queue:
@@ -681,7 +755,7 @@ def simulate_fluid(config: NetworkConfig,
                     loss_hist[:, fidx, pos_now] |= dropped > 1e-9
                     drop_hist[:, fidx, pos_now] += dropped / _PKT
                 if is_codel:
-                    sojourn = qlink[:, l] * inv_caps_Bps[l]
+                    sojourn = qlink[:, l] * inv_now[l]
                     codel_above[:, l] = np.where(
                         sojourn > _CODEL_TARGET,
                         codel_above[:, l] + dt, 0.0)

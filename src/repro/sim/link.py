@@ -122,13 +122,18 @@ class Link:
     """
 
     __slots__ = ("sim", "rate_bps", "delay_s", "queue", "name",
-                 "deliver", "stats", "pool", "_busy", "_instant", "_fast")
+                 "deliver", "stats", "pool", "_busy", "_instant", "_fast",
+                 "nominal_rate_bps", "nominal_delay_s", "down_policy",
+                 "_dynamic", "_down", "_tx_packet", "_tx_bits",
+                 "_tx_rate", "_tx_armed_at", "_tx_epoch",
+                 "_reorder_prob", "_reorder_extra_s", "_reorder_rng")
 
     def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
                  queue: Optional[QueueDiscipline] = None,
                  name: str = "link"):
-        if rate_bps <= 0:
-            raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+        if rate_bps < 0:
+            raise ValueError(
+                f"rate_bps must be >= 0 (0 = link down), got {rate_bps}")
         if delay_s < 0:
             raise ValueError(f"delay_s must be >= 0, got {delay_s}")
         self.sim = sim
@@ -144,26 +149,151 @@ class Link:
         self.stats = LinkStats()
         self._busy = False
         self._instant = math.isinf(rate_bps)
+        #: The configured (static) rate and delay.  ``set_rate`` /
+        #: ``set_delay`` never touch these; path base-RTT computations
+        #: use them so a scenario's unloaded RTT is well-defined even
+        #: under dynamics (and is the exact same float as before on
+        #: static links).
+        self.nominal_rate_bps = rate_bps
+        self.nominal_delay_s = delay_s
+        #: What a down (rate 0) link does with arrivals: "hold" queues
+        #: them for after the outage, "drop" discards on arrival.
+        self.down_policy = "hold"
+        self._dynamic = False
+        self._down = rate_bps == 0
+        if self._down:
+            # A link constructed down is dynamic from birth: something
+            # must call set_rate() for it to ever carry traffic.
+            self._dynamic = True
+        self._tx_packet: Optional[Packet] = None
+        self._tx_bits = 0.0
+        self._tx_rate = 0.0
+        self._tx_armed_at = 0.0
+        self._tx_epoch = 0
+        self._reorder_prob = 0.0
+        self._reorder_extra_s = 0.0
+        self._reorder_rng = None
         # Monomorphic fast path: the queue's concrete type is decided
         # once, at construction.  The occupancy listener is re-checked
         # per send because tracing attaches one after the topology is
         # built.
-        self._fast = type(self.queue) is DropTailQueue
+        self._fast = (type(self.queue) is DropTailQueue
+                      and not self._dynamic)
 
     @property
     def busy(self) -> bool:
         """True while a packet is being serialized."""
         return self._busy
 
+    @property
+    def down(self) -> bool:
+        """True while the link is in the rate-0 "down" state."""
+        return self._down
+
     def transmission_time(self, size_bytes: int) -> float:
-        """Seconds to serialize ``size_bytes`` at this link's rate."""
-        if math.isinf(self.rate_bps):
+        """Seconds to serialize ``size_bytes`` at this link's rate.
+
+        A down link (rate 0) never finishes serializing: ``inf``.
+        """
+        rate = self.rate_bps
+        if rate == 0:
+            return math.inf
+        if math.isinf(rate):
             return 0.0
-        return size_bytes * 8.0 / self.rate_bps
+        return size_bytes * 8.0 / rate
+
+    def base_transmission_time(self, size_bytes: int) -> float:
+        """Seconds to serialize at the *nominal* (configured) rate."""
+        rate = self.nominal_rate_bps
+        if rate == 0:
+            return math.inf
+        if math.isinf(rate):
+            return 0.0
+        return size_bytes * 8.0 / rate
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` the link spent transmitting."""
-        return self.stats.utilization(self.rate_bps, elapsed)
+        return self.stats.utilization(self.nominal_rate_bps, elapsed)
+
+    # ------------------------------------------------------------------
+    # Dynamics: rate/delay changes over simulated time
+    # ------------------------------------------------------------------
+    def enable_dynamics(self) -> None:
+        """Switch to the re-priceable serialization path.
+
+        Must be called before traffic flows (the fast paths keep no
+        re-pricing state for an in-flight packet).  Static links never
+        call this, so their event trajectories are untouched.
+        """
+        if self._busy:
+            raise RuntimeError(
+                f"{self.name}: enable_dynamics() must run before the "
+                f"link carries traffic")
+        self._dynamic = True
+        self._fast = False
+
+    def set_reordering(self, prob: float, extra_s: float, rng) -> None:
+        """Give a fraction ``prob`` of packets extra propagation delay
+        drawn from ``U(0, extra_s)``, letting later packets overtake."""
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"reorder prob must be in [0, 1], got {prob}")
+        if prob > 0 and not extra_s > 0:
+            raise ValueError("reordering needs extra_s > 0")
+        if not self._dynamic:
+            self.enable_dynamics()
+        self._reorder_prob = prob
+        self._reorder_extra_s = extra_s
+        self._reorder_rng = rng
+
+    def set_delay(self, delay_s: float) -> None:
+        """Change the propagation delay from now on.
+
+        Packets already propagating keep the delay they departed with;
+        delay is read per delivery, so this is safe on every path.
+        """
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self.delay_s = delay_s
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the transmission rate from now on, re-pricing any
+        in-flight serialization.
+
+        The packet currently serializing keeps the bits it has already
+        transmitted at the old rate; its remaining bits are re-priced at
+        the new rate.  Rate 0 takes the link down: serialization
+        suspends mid-packet and arrivals are held or dropped per
+        ``down_policy`` until a later ``set_rate`` brings it back up.
+        """
+        if rate_bps < 0:
+            raise ValueError(
+                f"rate_bps must be >= 0 (0 = link down), got {rate_bps}")
+        if not self._dynamic:
+            self.enable_dynamics()
+        now = self.sim._now
+        old_rate = self._tx_rate
+        if self._tx_packet is not None and old_rate > 0:
+            # Settle bits served at the old rate since the last arming.
+            elapsed = now - self._tx_armed_at
+            if math.isinf(old_rate):
+                served = self._tx_bits
+            else:
+                served = elapsed * old_rate
+                self.stats.busy_time += elapsed
+            self._tx_bits = max(self._tx_bits - served, 0.0)
+        self.rate_bps = rate_bps
+        self._instant = math.isinf(rate_bps)
+        self._down = rate_bps == 0
+        if self._down:
+            # Suspend: invalidate the outstanding done event and keep
+            # the half-served packet parked until the link comes back.
+            self._tx_epoch += 1
+            self._tx_rate = 0.0
+            return
+        if self._tx_packet is not None:
+            self._arm_tx()
+        elif not self._busy:
+            self._start_next_dynamic()
 
     # ------------------------------------------------------------------
     # Send: fast path inline, generic fallback
@@ -237,6 +367,20 @@ class Link:
                 else:
                     self._serialize_next_fast(sim, queue)
             return True
+        if self._down and self.down_policy == "drop":
+            # Blackout with a drop policy: the packet never reaches the
+            # queue.  Accounted like an arrival drop so queue-resident
+            # math (enqueued - dequeued - dropped) stays consistent.
+            stats = queue.stats
+            stats.dropped += 1
+            stats.dropped_at_arrival += 1
+            stats.bytes_dropped += packet.size_bytes
+            listener = queue.occupancy_listener
+            if listener is not None:
+                listener(now, len(queue))
+            if self.pool is not None:
+                self.pool.release(packet)
+            return False
         admitted = queue.enqueue(packet, now)
         if admitted and not self._busy:
             self._start_next()
@@ -343,9 +487,67 @@ class Link:
             self._start_next()
 
     # ------------------------------------------------------------------
+    # Dynamic path: re-priceable serialization for time-varying links
+    # ------------------------------------------------------------------
+    # The epoch token makes serialization-done events cancellable
+    # without handles: set_rate() bumps ``_tx_epoch``, so the done
+    # event already in the agenda arrives stale and returns without
+    # effect, while the re-armed event (pricing the *remaining* bits at
+    # the new rate) carries the fresh epoch.  Static links never enter
+    # this path, so their trajectories and fast paths are untouched.
+    def _start_next_dynamic(self) -> None:
+        sim = self.sim
+        if self._down:
+            if self._tx_packet is None:
+                self._busy = False
+            return
+        if self._tx_packet is None:
+            packet = self.queue.dequeue(sim._now)
+            if packet is None:
+                self._busy = False
+                return
+            self._tx_packet = packet
+            self._tx_bits = packet.size_bytes * 8.0
+        self._busy = True
+        self._arm_tx()
+
+    def _arm_tx(self) -> None:
+        sim = self.sim
+        rate = self.rate_bps
+        self._tx_rate = rate
+        self._tx_armed_at = sim._now
+        tx_time = 0.0 if math.isinf(rate) else self._tx_bits / rate
+        self._tx_epoch += 1
+        sim.schedule_call(tx_time, self._tx_done_dynamic, self._tx_epoch)
+
+    def _tx_done_dynamic(self, epoch: int) -> None:
+        if epoch != self._tx_epoch:
+            return  # re-priced or suspended; a fresh event supersedes us
+        packet = self._tx_packet
+        self._tx_packet = None
+        rate = self._tx_rate
+        if rate > 0 and not math.isinf(rate):
+            self.stats.busy_time += self.sim._now - self._tx_armed_at
+        stats = self.stats
+        stats.packets_forwarded += 1
+        stats.bytes_forwarded += packet.size_bytes
+        delay = self.delay_s
+        rng = self._reorder_rng
+        if rng is not None and rng.random() < self._reorder_prob:
+            delay += rng.uniform(0.0, self._reorder_extra_s)
+        if delay > 0:
+            self.sim.schedule_call(delay, self.deliver, packet)
+        else:
+            self.deliver(packet)
+        self._start_next_dynamic()
+
+    # ------------------------------------------------------------------
     # Generic path: virtual-dispatch queue machinery
     # ------------------------------------------------------------------
     def _start_next(self) -> None:
+        if self._dynamic:
+            self._start_next_dynamic()
+            return
         sim = self.sim
         packet = self.queue.dequeue(sim._now)
         if packet is None:

@@ -40,19 +40,26 @@ class FlowPath:
     def base_delay(self, data_bytes: int, ack_bytes: int) -> float:
         """Unloaded round-trip time for a ``data_bytes`` packet.
 
-        Propagation plus serialization on every hop, both directions.
-        This is the floor against which queueing delay is measured.
+        Propagation plus serialization on every hop, both directions,
+        at the links' *nominal* (configured) rates and delays — under
+        link dynamics the instantaneous values wander, but the
+        scenario's unloaded RTT is defined by the static configuration.
+        On static links nominal == current, so this is the exact same
+        float as before.
         """
-        forward = sum(link.delay_s + link.transmission_time(data_bytes)
-                      for link in self.data_route)
-        reverse = sum(link.delay_s + link.transmission_time(ack_bytes)
-                      for link in self.ack_route)
+        forward = sum(
+            link.nominal_delay_s + link.base_transmission_time(data_bytes)
+            for link in self.data_route)
+        reverse = sum(
+            link.nominal_delay_s + link.base_transmission_time(ack_bytes)
+            for link in self.ack_route)
         return forward + reverse
 
     def one_way_base_delay(self, data_bytes: int) -> float:
         """Unloaded sender-to-receiver latency for a data packet."""
-        return sum(link.delay_s + link.transmission_time(data_bytes)
-                   for link in self.data_route)
+        return sum(
+            link.nominal_delay_s + link.base_transmission_time(data_bytes)
+            for link in self.data_route)
 
 
 class Network:

@@ -49,7 +49,17 @@ TOLERANCE = {
     "api":           (0.030, 0.030),
     "zero_delay":    (0.030, 0.080),
     "sfq_codel":     (0.080, 0.060),
+    # Outage dynamics sit outside the 10% static-fidelity target: the
+    # fluid blackout approximations (nominal-inverse delay pricing and
+    # step-grid window edges — see docs/PERFORMANCE.md) cost ~12% on
+    # the bursty learner flow.  Band widened accordingly, knowingly.
+    "outage_blackout": (0.150, 0.030),
 }
+
+#: Golden packet scenarios the fluid backend *refuses* (packet-only
+#: dynamics features).  ``test_packet_only_scenarios_refused_by_name``
+#: pins the refusal and its message.
+FLUID_UNSUPPORTED = {"rtt_jitter"}
 
 
 def _fluid_twin(task: SimTask) -> SimTask:
@@ -87,11 +97,23 @@ class TestCrossValidation:
 
     def test_every_golden_scenario_has_a_band(self):
         """A new golden scenario must bring its cross-validation band
-        along (fluid-native scenarios have nothing to validate
-        against)."""
+        along (fluid-native scenarios have nothing to validate against,
+        and packet-only dynamics scenarios must be declared in
+        FLUID_UNSUPPORTED instead)."""
         packet = {name for name, task in SCENARIOS.items()
                   if task.backend == "packet"}
-        assert packet == set(TOLERANCE)
+        assert packet == set(TOLERANCE) | FLUID_UNSUPPORTED
+        assert not set(TOLERANCE) & FLUID_UNSUPPORTED
+
+    @pytest.mark.parametrize("name", sorted(FLUID_UNSUPPORTED))
+    def test_packet_only_scenarios_refused_by_name(self, name):
+        """Rebuilding a packet-only scenario on the fluid backend must
+        fail at build time with the offending feature named."""
+        task = SCENARIOS[name]
+        with pytest.raises(ValueError, match="packet-only"):
+            SimTask.build(task.config, trees=dict(task.trees),
+                          seed=task.seed, duration_s=task.duration_s,
+                          backend="fluid")
 
 
 def _dumbbell(rate, kinds, buffer_bdp=5.0, queue="droptail"):

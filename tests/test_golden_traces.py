@@ -28,17 +28,18 @@ from repro.exec.store import encode_result
 from repro.experiments.api import FAKE_TREE as TREE
 from repro.experiments.api import Axis, adhoc_spec, expand
 from repro.experiments.calibration import CALIBRATION_CONFIG
+from repro.sim.dynamics import DynamicsSpec, LinkSchedule
 
 _LEARNER = {"learner": TREE}
 _DURATION = 2.0
 
 
 def _dumbbell(speed, rtt_ms, kinds, queue="droptail", buffer_bdp=5.0,
-              deltas=()):
+              deltas=(), dynamics=None):
     return NetworkConfig(
         link_speeds_mbps=(speed,), rtt_ms=rtt_ms, sender_kinds=kinds,
         deltas=deltas, mean_on_s=1.0, mean_off_s=1.0,
-        buffer_bdp=buffer_bdp, queue=queue)
+        buffer_bdp=buffer_bdp, queue=queue, dynamics=dynamics)
 
 
 #: One scenario per experiment module, mirroring that module's network
@@ -126,6 +127,26 @@ SCENARIOS["many_senders_fluid"] = SimTask.build(
     _dumbbell(15.0, 150.0, ("learner",) * 50, buffer_bdp=None),
     trees=_LEARNER, seed=1, duration_s=_DURATION, backend="fluid")
 
+#: Link-dynamics scenarios: pin the dynamic serialization path the
+#: static fast paths bypass.
+#
+# outage_blackout: two hold-policy blackout windows on the bottleneck —
+# rate drops to 0 mid-serialization (re-pricing the in-flight packet's
+# remaining bits) and recovery restarts the held queue.
+SCENARIOS["outage_blackout"] = SimTask.build(
+    _dumbbell(12.0, 150.0, ("learner", "newreno"),
+              dynamics=DynamicsSpec.outage(((0.6, 1.0), (1.4, 1.6)))),
+    trees=_LEARNER, seed=1, duration_s=_DURATION)
+# rtt_jitter: periodic delay resampling plus random reordering — the
+# two packet-only dynamics features (no fluid analogue), drawing from
+# the dynamics RNG stream disjoint from the workload streams.
+SCENARIOS["rtt_jitter"] = SimTask.build(
+    _dumbbell(12.0, 100.0, ("learner", "newreno"),
+              dynamics=DynamicsSpec(links=(LinkSchedule(
+                  jitter_ms=10.0, jitter_period_s=0.05,
+                  reorder_prob=0.05, reorder_extra_ms=8.0),))),
+    trees=_LEARNER, seed=1, duration_s=_DURATION)
+
 #: name -> SHA-1 of the canonical serialized result.  Regenerate by
 #: running this file as a script — but only after convincing yourself
 #: the simulator change behind the mismatch is intentional.
@@ -142,6 +163,8 @@ GOLDEN = {
     "zero_delay": "ec956bfd539121b708292613bd947951939d50ba",
     "sfq_codel": "a3c66118f8d3678804aeb47ef197bddb085e44d6",
     "many_senders_fluid": "bf1e625e1803dfd31fab55382206f8cf4d026074",
+    "outage_blackout": "753836519abf3a4eee99198e9336f6b5555c7236",
+    "rtt_jitter": "590d8579b90f3ef7fc5b4f7ea78d5b8e69c6a47a",
 }
 
 
@@ -167,8 +190,11 @@ class TestGoldenTraces:
         import inspect
 
         import repro.experiments as experiments
+        # "common" and "adversary" are infrastructure (shared builders,
+        # the search loop), not registered experiment modules.
         modules = {name for name in dir(experiments)
-                   if not name.startswith("_") and name != "common"
+                   if not name.startswith("_")
+                   and name not in ("common", "adversary")
                    and inspect.ismodule(getattr(experiments, name))}
         # Subset, not equality: SCENARIOS also pins simulator paths no
         # experiment module owns (zero_delay, sfq_codel).

@@ -137,9 +137,16 @@ class TestSynchronousDeliveryBound:
 
 
 class TestValidation:
-    def test_zero_rate_rejected(self):
+    def test_negative_rate_rejected(self):
         with pytest.raises(ValueError):
-            Link(Simulator(), 0.0, 0.0)
+            Link(Simulator(), -1.0, 0.0)
+
+    def test_zero_rate_is_a_legal_down_state(self):
+        # The outage/blackout state: constructible, never serializes.
+        import math
+        link = Link(Simulator(), 0.0, 0.0)
+        assert link.down
+        assert math.isinf(link.transmission_time(1500))
 
     def test_negative_delay_rejected(self):
         with pytest.raises(ValueError):

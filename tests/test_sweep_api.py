@@ -100,6 +100,47 @@ class TestAxis:
         with pytest.raises(ValueError):
             Axis.parse(bad)
 
+    @pytest.mark.parametrize("bad", ["x=log:1:300:0", "x=log:1:300:1",
+                                     "x=lin:10:1:5", "x=log:0:10:3",
+                                     "x=log:one:300:7", "x=lin:1:2:2.5"])
+    def test_parse_errors_name_the_offending_spec(self, bad):
+        """Eager validation at parse time, with the spec string in the
+        message — a bad --axis must fail before any simulation, naming
+        itself."""
+        with pytest.raises(ValueError) as err:
+            Axis.parse(bad)
+        assert repr(bad) in str(err.value)
+
+    @given(st.integers(2, 30),
+           st.floats(0.01, 1e3, allow_nan=False),
+           st.floats(1.0, 1e4, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_parse_spacing_round_trips_constructor(self, n, lo, span):
+        """``NAME=log:LO:HI:N`` parses to the exact grid Axis.log
+        builds (and likewise for lin) — the CLI form is a pure spelling
+        of the constructor, not a second implementation."""
+        hi = lo * span
+        parsed = Axis.parse(f"x=log:{lo!r}:{hi!r}:{n}")
+        assert parsed.values == Axis.log("x", lo, hi, n).values
+        parsed = Axis.parse(f"x=lin:{lo!r}:{hi!r}:{n}")
+        assert parsed.values == Axis.linear("x", lo, hi, n).values
+
+    @given(st.lists(st.one_of(
+        st.integers(-1000, 1000),
+        st.floats(-1e6, 1e6, allow_nan=False).map(
+            lambda v: round(v, 6)),
+        st.text(alphabet="abcdefgh_", min_size=1, max_size=8)),
+        min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_parse_value_list_round_trips(self, values):
+        """A comma-joined value list parses back to the same values
+        (numeric tokens as numbers, everything else as strings)."""
+        text = ",".join(str(v) for v in values)
+        parsed = Axis.parse(f"x={text}")
+        assert list(parsed.values) == [
+            v if isinstance(v, (int, float)) else str(v)
+            for v in values]
+
     def test_legacy_sweeps_ride_on_axis_values(self):
         # The modules' sweep helpers and the Axis grid must agree.
         assert multiplexing.sweep_senders(6) == list(
@@ -256,6 +297,16 @@ class TestAdhoc:
         omni = list(result.select(scheme="omniscient"))
         assert len(omni) == 2
         assert all(row["qdelay_ms"] == 0.0 for row in omni)
+
+    @pytest.mark.parametrize("axis", [
+        Axis.of("outage", ("none", "0.5")),       # bad outage token
+        Axis.of("rtt_ms", ("fast",)),             # non-numeric value
+    ])
+    def test_malformed_axis_values_fail_at_spec_time(self, axis):
+        """Values are validated when the spec is composed — a bad
+        --axis value names itself before any cell is simulated."""
+        with pytest.raises(ValueError, match=axis.name):
+            adhoc_spec([axis], ["newreno"])
 
     def test_unknown_axis_rejected(self):
         with pytest.raises(ValueError):
