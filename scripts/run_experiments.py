@@ -52,8 +52,9 @@ import sys
 import time
 
 from repro.core.scale import Scale
-from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
-                        store_main)
+from repro.exec import (StoreExecutor, StoreSchemaError, TaskFailedError,
+                        add_fault_tolerance_arguments, executor_for,
+                        policy_from_args, store_main)
 from repro.experiments.api import (FAKE_TREE, experiments,
                                    run_experiment)
 from repro.profiling import add_profile_argument, maybe_profile
@@ -127,6 +128,7 @@ def main(argv=None) -> int:
                         help="require --store to exist already (guards "
                              "against a typo'd path silently recomputing "
                              "a finished sweep)")
+    add_fault_tolerance_arguments(parser)
     add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
@@ -143,10 +145,12 @@ def main(argv=None) -> int:
                  f"{scale.sweep_points} sweep points)\n")
     try:
         executor = executor_for(args.jobs, store=args.store,
-                                resume=args.resume)
+                                resume=args.resume,
+                                policy=policy_from_args(args))
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2
+    failed = 0
     with executor, maybe_profile(args.profile):
         for entry in _selected(experiments(), args.only):
             overrides = None
@@ -171,6 +175,12 @@ def main(argv=None) -> int:
                         backend=args.backend).format_table()
             except FileNotFoundError as error:
                 block = f"SKIPPED: {error}"
+            except TaskFailedError as error:
+                # One experiment's poison must not silently eat the
+                # rest of the report: record the failure in its block,
+                # keep going, exit non-zero at the end.
+                block = f"FAILED: {error}"
+                failed += 1
             print(block, flush=True)
             elapsed = time.time() - started
             print(f"({elapsed:.0f}s)", flush=True)
@@ -178,14 +188,20 @@ def main(argv=None) -> int:
         if isinstance(executor, StoreExecutor):
             # To stdout only, never the report: hit counts vary between
             # a fresh and a resumed run, the tables must not.
+            quarantined = (f", {executor.quarantined} quarantined"
+                           if executor.quarantined else "")
             print(f"\nstore: {executor.hits} hit(s), "
-                  f"{executor.misses} miss(es) -> {executor.store.path}",
-                  flush=True)
+                  f"{executor.misses} miss(es){quarantined} -> "
+                  f"{executor.store.path}", flush=True)
 
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report.getvalue())
         print(f"\nreport written to {args.output}")
+    if failed:
+        print(f"\n{failed} experiment(s) failed on poison tasks",
+              file=sys.stderr)
+        return 3
     return 0
 
 

@@ -55,8 +55,9 @@ from repro.experiments.adversary import AdversarialAxis
 from repro.experiments.api import (FAKE_TREE, AdhocBase, Axis,
                                    _adhoc_setting, adhoc_spec,
                                    run_experiment)
-from repro.exec import (StoreExecutor, StoreSchemaError, executor_for,
-                        store_main)
+from repro.exec import (StoreExecutor, StoreSchemaError, TaskFailedError,
+                        add_fault_tolerance_arguments, executor_for,
+                        policy_from_args, store_main)
 from repro.profiling import add_profile_argument, maybe_profile
 from repro.protocols.registry import available_schemes
 from repro.sim.fluid import FLUID_SCHEMES
@@ -178,6 +179,7 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--resume", action="store_true",
                         help="require --store to exist already (typo "
                              "guard)")
+    add_fault_tolerance_arguments(parser)
     add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
@@ -250,7 +252,8 @@ def main(argv=None) -> int:
 
     try:
         executor = executor_for(args.jobs, store=args.store,
-                                resume=args.resume)
+                                resume=args.resume,
+                                policy=policy_from_args(args))
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2
@@ -277,12 +280,26 @@ def main(argv=None) -> int:
                   "--fake-taos to exercise the plumbing)",
                   file=sys.stderr)
             return 2
+        except TaskFailedError as error:
+            print(f"execution failed: {error}", file=sys.stderr)
+            if args.on_failure == "raise":
+                print("(rerun with --on-failure=quarantine to record "
+                      "the poison task and finish everything else)",
+                      file=sys.stderr)
+            elif args.store:
+                print(f"(quarantined fingerprints are recorded in "
+                      f"{args.store}; inspect with "
+                      f"'store stats --store {args.store} --strict')",
+                      file=sys.stderr)
+            return 3
         table = result.format_table()
         print(table, flush=True)
         print(f"({time.time() - started:.0f}s)", flush=True)
         if isinstance(executor, StoreExecutor):
+            quarantined = (f", {executor.quarantined} quarantined"
+                           if executor.quarantined else "")
             print(f"store: {executor.hits} hit(s), "
-                  f"{executor.misses} miss(es) -> "
+                  f"{executor.misses} miss(es){quarantined} -> "
                   f"{executor.store.path}", flush=True)
 
     if args.output:

@@ -44,8 +44,9 @@ import time
 from dataclasses import asdict
 
 from repro.core.scale import Scale
-from repro.exec import (StoreExecutor, StoreSchemaError, default_jobs,
-                        executor_for, store_main)
+from repro.exec import (StoreExecutor, StoreSchemaError, TaskFailedError,
+                        add_fault_tolerance_arguments, default_jobs,
+                        executor_for, policy_from_args, store_main)
 from repro.profiling import add_profile_argument, maybe_profile
 from repro.remy.assets import save_asset
 from repro.remy.catalog import CATALOG
@@ -91,6 +92,7 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--resume", action="store_true",
                         help="require --store to exist already (typo "
                              "guard)")
+    add_fault_tolerance_arguments(parser)
     add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
@@ -174,21 +176,29 @@ def main(argv=None) -> int:
     done = set()
     try:
         executor = executor_for(args.jobs, store=args.store,
-                                resume=args.resume)
+                                resume=args.resume,
+                                policy=policy_from_args(args))
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2
     with executor, maybe_profile(args.profile):
-        for name in names:
-            if name in done:
-                continue
-            partner = CATALOG[name].coopt_partner
-            if partner is not None:
-                train_coopt_pair(name, partner, args, executor)
-                done.update((name, partner))
-            else:
-                train_single(name, args, executor)
-                done.add(name)
+        try:
+            for name in names:
+                if name in done:
+                    continue
+                partner = CATALOG[name].coopt_partner
+                if partner is not None:
+                    train_coopt_pair(name, partner, args, executor)
+                    done.update((name, partner))
+                else:
+                    train_single(name, args, executor)
+                    done.add(name)
+        except TaskFailedError as error:
+            # Training cannot quarantine around a missing score — a
+            # candidate compared on partial evidence would corrupt the
+            # search — so any exhausted task aborts the asset.
+            print(f"training aborted: {error}", file=sys.stderr)
+            return 3
         if isinstance(executor, StoreExecutor):
             print(f"store: {executor.hits} hit(s), "
                   f"{executor.misses} miss(es) -> {executor.store.path}",

@@ -10,7 +10,9 @@ batch-execution layer:
   exposed as the universal :func:`cache_key`.
 * :class:`Executor` and its implementations (:class:`SerialExecutor`,
   :class:`ProcessPoolExecutor` with cost-packed chunks,
-  :class:`CachingExecutor` in memory, :class:`StoreExecutor` on disk).
+  :class:`SupervisedExecutor` adding retry/timeout/quarantine fault
+  tolerance under a :class:`RetryPolicy`, :class:`CachingExecutor` in
+  memory, :class:`StoreExecutor` on disk).
 * :class:`ResultStore` — the sharded, schema-versioned,
   corruption-tolerant on-disk result map behind :class:`StoreExecutor`;
   it makes crashed sweeps resumable and shares results across
@@ -29,15 +31,20 @@ from .executors import (CachingExecutor, Executor, ProcessPoolExecutor,
                         task_cost)
 from .store import (SCHEMA_VERSION, ResultStore, StoreExecutor,
                     StoreSchemaError, StoreStats, store_main)
-from .task import (BACKENDS, SimTask, SimTaskResult, cache_key,
-                   run_sim_task, run_task_group)
+from .supervise import (RetryPolicy, SupervisedExecutor, SuperviseStats,
+                        TaskFailedError, add_fault_tolerance_arguments,
+                        policy_from_args)
+from .task import (BACKENDS, SimTask, SimTaskResult, TaskFailure,
+                   cache_key, run_sim_task, run_task_group)
 
 __all__ = [
-    "SimTask", "SimTaskResult", "run_sim_task", "run_task_group",
-    "cache_key", "BACKENDS",
+    "SimTask", "SimTaskResult", "TaskFailure", "run_sim_task",
+    "run_task_group", "cache_key", "BACKENDS",
     "Executor", "SerialExecutor", "ProcessPoolExecutor",
-    "CachingExecutor", "StoreExecutor", "default_jobs",
-    "pack_chunks", "task_cost",
+    "CachingExecutor", "StoreExecutor", "SupervisedExecutor",
+    "default_jobs", "pack_chunks", "task_cost",
+    "RetryPolicy", "SuperviseStats", "TaskFailedError",
+    "add_fault_tolerance_arguments", "policy_from_args",
     "ResultStore", "StoreStats", "StoreSchemaError", "SCHEMA_VERSION",
     "store_main",
     "run_batch", "executor_for",

@@ -13,9 +13,9 @@ from __future__ import annotations
 import os
 from typing import List, Optional, Sequence, Union
 
-from .executors import (Executor, ProcessPoolExecutor, ProgressFn,
-                        SerialExecutor)
+from .executors import Executor, ProgressFn, SerialExecutor
 from .store import ResultStore, StoreExecutor
+from .supervise import RetryPolicy, SupervisedExecutor
 from .task import SimTask, SimTaskResult
 
 __all__ = ["run_batch", "executor_for"]
@@ -26,20 +26,30 @@ StoreLike = Union[ResultStore, str, os.PathLike]
 
 def executor_for(jobs: Optional[int],
                  store: Optional[StoreLike] = None,
-                 resume: bool = False) -> Executor:
+                 resume: bool = False,
+                 policy: Optional[RetryPolicy] = None) -> Executor:
     """The executor implied by ``--jobs N`` / ``--store PATH`` flags.
 
     ``None``, ``0``, or ``1`` jobs mean serial; anything larger is a
-    process pool with that many workers.  Negative counts are rejected
-    loudly — silently running a sweep single-core after a ``--jobs -8``
-    typo would waste hours.
+    supervised worker pool with that many workers (a
+    :class:`~repro.exec.supervise.SupervisedExecutor`: per-task
+    exception capture, worker respawn with chunk bisection, cost-derived
+    timeouts — see ``docs/EXECUTION.md``, "Failure semantics").
+    Negative counts are rejected loudly — silently running a sweep
+    single-core after a ``--jobs -8`` typo would waste hours.
+
+    ``policy`` tunes retries/timeouts/quarantine (default
+    :class:`RetryPolicy`, which raises on the first exhausted task).
 
     ``store`` (a directory path or an open :class:`ResultStore`) wraps
     the executor in a :class:`StoreExecutor`: results already on disk
     are served without simulating, fresh results are persisted as they
-    complete.  ``resume`` additionally requires the store to already
-    exist — the ``--resume`` guard against a typo'd path quietly
-    recomputing a finished sweep (``FileNotFoundError`` otherwise).
+    complete.  Under a quarantine policy the store also records poison
+    fingerprints and — on ``resume`` — serves their recorded failures
+    instead of re-executing them.  ``resume`` additionally requires the
+    store to already exist — the ``--resume`` guard against a typo'd
+    path quietly recomputing a finished sweep (``FileNotFoundError``
+    otherwise).
 
     The caller owns the result and should ``close()`` it (or use it as
     a context manager).
@@ -50,21 +60,24 @@ def executor_for(jobs: Optional[int],
         raise ValueError("resume requires a result store "
                          "(pass store=/--store)")
     if jobs is not None and jobs > 1:
-        inner: Executor = ProcessPoolExecutor(jobs)
+        inner: Executor = SupervisedExecutor(jobs, policy=policy)
     else:
         inner = SerialExecutor()
     if store is None:
         return inner
     if not isinstance(store, ResultStore):
         store = ResultStore(store, require_exists=resume)
-    return StoreExecutor(inner, store=store)
+    quarantining = policy is not None and policy.on_failure == "quarantine"
+    return StoreExecutor(inner, store=store,
+                         skip_quarantined=quarantining)
 
 
 def run_batch(tasks: Sequence[SimTask],
               executor: Optional[Executor] = None,
               jobs: Optional[int] = None,
               progress: Optional[ProgressFn] = None,
-              store: Optional[StoreLike] = None
+              store: Optional[StoreLike] = None,
+              policy: Optional[RetryPolicy] = None
               ) -> List[SimTaskResult]:
     """Run ``tasks`` and return their results in task order.
 
@@ -84,5 +97,5 @@ def run_batch(tasks: Sequence[SimTask],
             # close the caller's executor, so don't close the wrapper.
             executor = StoreExecutor(executor, store=store)
         return executor.run_batch(tasks, progress=progress)
-    with executor_for(jobs, store=store) as owned:
+    with executor_for(jobs, store=store, policy=policy) as owned:
         return owned.run_batch(tasks, progress=progress)

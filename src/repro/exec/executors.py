@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
@@ -50,8 +51,22 @@ ProgressFn = Callable[[int, int], None]
 
 
 def default_jobs() -> int:
-    """A sensible worker count for this machine (always >= 1)."""
-    return max((multiprocessing.cpu_count() or 1) - 1, 1)
+    """A sensible worker count for this machine (always >= 1).
+
+    Uses the process's CPU *affinity* when the platform exposes it:
+    in a cgroup-limited container (CI) ``cpu_count()`` reports the
+    host's cores, and sizing the pool to that oversubscribes the few
+    CPUs the scheduler will actually grant.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            cpus = len(affinity(0))
+        except OSError:
+            cpus = multiprocessing.cpu_count()
+    else:
+        cpus = multiprocessing.cpu_count()
+    return max((cpus or 1) - 1, 1)
 
 
 def task_cost(task: SimTask) -> float:
@@ -234,8 +249,22 @@ class ProcessPoolExecutor(Executor):
         # imap_unordered: completed chunks stream back immediately, so
         # consumers (progress, the disk store) see results as they
         # exist; _collect reorders to task order at the end.
-        for indices, results in pool.imap_unordered(_run_chunk, payloads):
-            yield from zip(indices, results)
+        try:
+            for indices, results in pool.imap_unordered(_run_chunk,
+                                                        payloads):
+                yield from zip(indices, results)
+        except GeneratorExit:
+            # Consumer stopped early: the pool is healthy, keep it warm
+            # for the next batch (remaining chunks finish and are
+            # discarded, matching the old semantics).
+            raise
+        except BaseException:
+            # A worker exception (or a worker killed mid-chunk) can
+            # leave the pool broken or wedged; recycle it so the next
+            # run_batch on this executor gets a fresh pool instead of
+            # hanging on a dead one.
+            self.close()
+            raise
 
     def run_batch(self, tasks: Sequence[SimTask],
                   progress: Optional[ProgressFn] = None
@@ -243,10 +272,14 @@ class ProcessPoolExecutor(Executor):
         return self._collect(tasks, progress)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        # Detach before tearing down: if a ^C lands inside terminate()
+        # or join(), the executor is already consistent (no dangling
+        # half-closed pool) and a repeated close() is a clean no-op —
+        # the interrupt itself propagates unmasked.
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
 
 class CachingExecutor(Executor):

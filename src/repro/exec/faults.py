@@ -1,0 +1,235 @@
+"""Deterministic fault injection for the execution layer.
+
+The supervised executor (:mod:`repro.exec.supervise`) exists to survive
+faults that are miserable to reproduce by waiting for them: a worker
+OOM-killed mid-chunk, a task that hangs, a shard corrupted under a
+crashed writer.  This module makes every one of those injectable *on
+purpose* and *deterministically*, so the fault-tolerance machinery is
+tested the same way the simulator is — against a pinned, seeded
+schedule, with results compared bitwise to a fault-free run.
+
+Determinism contract
+--------------------
+Whether a fault fires is a pure function of ``(plan, task fingerprint,
+attempt)``: a SHA-1 over the plan seed, the fault kind, and the task's
+:func:`~repro.exec.task.cache_key` is mapped to a uniform draw and
+compared against the plan's probability.  No wall clock, no process
+RNG.  The same plan therefore injects the same faults into the same
+tasks on every run and on every machine — which is what lets the chaos
+tests assert that completed results are bitwise-identical to the
+fault-free serial reference.
+
+Activation
+----------
+A plan travels through the :data:`FAULTS_ENV` environment variable
+(JSON, see :meth:`FaultPlan.to_json`).  Worker processes read it once
+in their initializer (:func:`mark_worker_process` +
+:func:`injector_from_env`); the in-task faults (raise / hang / SIGKILL)
+fire **only inside worker processes**, so the serial reference run and
+the supervisor's own in-process fallback are never injected.  The shard
+corruptor (:func:`shard_sabotage`) is the one exception — it fires in
+whichever process appends to the store, because that is where shards
+are written.
+
+Transient vs. poison
+--------------------
+``max_attempt`` bounds probabilistic faults to early attempts
+(default 0: first attempt only), modelling transient failures the retry
+machinery should absorb.  The ``raise_keys`` / ``hang_keys`` /
+``kill_keys`` lists target specific fingerprints on *every* attempt —
+poison tasks that must end up quarantined, not retried forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["FAULTS_ENV", "FaultPlan", "FaultInjected", "FaultInjector",
+           "injector_from_env", "mark_worker_process", "shard_sabotage"]
+
+#: Environment variable carrying a JSON-encoded :class:`FaultPlan`.
+#: Unset (or empty) means no injection anywhere.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: A whole-line garbage record appended by the shard corruptor.  It is
+#: deliberately *skippable* garbage (fails JSON parsing), modelling the
+#: torn writes a crashed process leaves behind — the store's corruption
+#: tolerance must degrade it to a cache miss, never a wrong answer.
+_GARBAGE = b"\x00\xfe<injected shard corruption>not json\n"
+
+
+class FaultInjected(RuntimeError):
+    """The in-task exception the injector raises (kind ``exception``)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative fault schedule.
+
+    Probabilities are per *(task, kind)*: each task's fingerprint is
+    hashed with the seed and the fault kind to an independent uniform
+    draw.  ``max_attempt`` limits probabilistic faults to attempts
+    ``<= max_attempt`` (``None`` = every attempt); the ``*_keys`` lists
+    are poison — they fire on every attempt regardless.
+    """
+
+    seed: int = 0
+    p_exception: float = 0.0      # raise FaultInjected inside the task
+    p_kill: float = 0.0           # SIGKILL the worker before the task
+    p_hang: float = 0.0           # sleep hang_s before the task
+    p_corrupt: float = 0.0        # append a garbage line after a put
+    hang_s: float = 3600.0
+    max_attempt: Optional[int] = 0
+    raise_keys: Tuple[str, ...] = field(default_factory=tuple)
+    kill_keys: Tuple[str, ...] = field(default_factory=tuple)
+    hang_keys: Tuple[str, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "p_exception": self.p_exception,
+            "p_kill": self.p_kill,
+            "p_hang": self.p_hang,
+            "p_corrupt": self.p_corrupt,
+            "hang_s": self.hang_s,
+            "max_attempt": self.max_attempt,
+            "raise_keys": list(self.raise_keys),
+            "kill_keys": list(self.kill_keys),
+            "hang_keys": list(self.hang_keys),
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, "
+                             f"got {type(data).__name__}")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            p_exception=float(data.get("p_exception", 0.0)),
+            p_kill=float(data.get("p_kill", 0.0)),
+            p_hang=float(data.get("p_hang", 0.0)),
+            p_corrupt=float(data.get("p_corrupt", 0.0)),
+            hang_s=float(data.get("hang_s", 3600.0)),
+            max_attempt=(None if data.get("max_attempt", 0) is None
+                         else int(data.get("max_attempt", 0))),
+            raise_keys=tuple(data.get("raise_keys") or ()),
+            kill_keys=tuple(data.get("kill_keys") or ()),
+            hang_keys=tuple(data.get("hang_keys") or ()),
+        )
+
+
+def _uniform(seed: int, kind: str, key: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one (task, fault kind).
+
+    Independent across kinds (the kind is hashed in), stable across
+    processes and machines — the whole point of seeded injection.
+    """
+    digest = hashlib.sha1(f"{seed}:{kind}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the worker's task boundary."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def _probabilistic(self, kind: str, p: float, key: str,
+                       attempt: int) -> bool:
+        if p <= 0.0:
+            return False
+        if self.plan.max_attempt is not None \
+                and attempt > self.plan.max_attempt:
+            return False
+        return _uniform(self.plan.seed, kind, key) < p
+
+    def on_task(self, key: str, attempt: int) -> None:
+        """Fire any scheduled fault for ``key`` at ``attempt``.
+
+        Called by the supervised worker immediately before running each
+        task.  May raise :class:`FaultInjected`, sleep (hang), or
+        SIGKILL the calling process — exactly the failure modes the
+        supervisor must survive.
+        """
+        plan = self.plan
+        if key in plan.raise_keys \
+                or self._probabilistic("exception", plan.p_exception,
+                                       key, attempt):
+            raise FaultInjected(
+                f"injected in-task exception for {key[:12]} "
+                f"(attempt {attempt})")
+        if key in plan.hang_keys \
+                or self._probabilistic("hang", plan.p_hang, key, attempt):
+            time.sleep(plan.hang_s)
+        if key in plan.kill_keys \
+                or self._probabilistic("kill", plan.p_kill, key, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_put(self, key: str) -> Optional[bytes]:
+        """Garbage to append after persisting ``key``, or ``None``."""
+        if _uniform(self.plan.seed, "corrupt", key) < self.plan.p_corrupt:
+            return _GARBAGE
+        return None
+
+
+# ----------------------------------------------------------------------
+# Per-process activation.  Worker processes opt in explicitly; the
+# supervisor / serial paths never see in-task faults even with the env
+# var set (the fault-free reference must stay fault-free).
+
+_IS_WORKER = False
+_CACHE: Tuple[Optional[str], Optional[FaultInjector]] = (None, None)
+
+
+def mark_worker_process() -> None:
+    """Called by the supervised worker initializer: in-task injection
+    is armed only in processes that declare themselves workers."""
+    global _IS_WORKER
+    _IS_WORKER = True
+
+
+def _injector() -> Optional[FaultInjector]:
+    """The process's injector, rebuilt only when the env var changes."""
+    global _CACHE
+    raw = os.environ.get(FAULTS_ENV) or None
+    cached_raw, cached = _CACHE
+    if raw == cached_raw:
+        return cached
+    injector = None
+    if raw is not None:
+        try:
+            injector = FaultInjector(FaultPlan.from_json(raw))
+        except (ValueError, TypeError) as error:
+            raise ValueError(
+                f"unreadable {FAULTS_ENV} fault plan: {error}")
+    _CACHE = (raw, injector)
+    return injector
+
+
+def injector_from_env() -> Optional[FaultInjector]:
+    """The worker-side injector, or ``None`` outside worker processes
+    (or when no plan is installed)."""
+    if not _IS_WORKER:
+        return None
+    return _injector()
+
+
+def shard_sabotage(key: str) -> Optional[bytes]:
+    """Store-side hook: garbage to append after a shard write.
+
+    Unlike the in-task faults this fires in *any* process with a plan
+    installed — shards are written by the supervising process, and
+    corrupting them there is precisely the mid-run disk fault the
+    store's tolerance machinery claims to absorb.
+    """
+    injector = _injector()
+    if injector is None:
+        return None
+    return injector.on_put(key)

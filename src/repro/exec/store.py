@@ -47,11 +47,13 @@ from typing import Dict, List, Optional, Sequence, Set, Union
 
 from ..core.results import FlowStats, RunResult
 from .executors import Executor, ProgressFn, SerialExecutor
-from .task import SimTask, SimTaskResult, cache_key
+from .faults import shard_sabotage
+from .task import SimTask, SimTaskResult, TaskFailure, cache_key
 
 __all__ = ["SCHEMA_VERSION", "StoreSchemaError", "StoreStats",
            "ResultStore", "StoreExecutor", "encode_result",
-           "decode_result", "store_main"]
+           "decode_result", "encode_failure", "decode_failure",
+           "store_main"]
 
 #: Version of the on-disk record format.  Bump whenever
 #: :func:`encode_result` / :func:`decode_result` change shape *or* the
@@ -63,6 +65,12 @@ SCHEMA_VERSION = 1
 _MAGIC = "repro-result-store"
 _META = "meta.json"
 _SHARDS = "shards"
+#: The quarantine shard: one JSONL of ``{"schema", "key", "failure"}``
+#: records naming fingerprints whose tasks exhausted their retries
+#: (poison tasks).  Kept apart from the result shards so a quarantined
+#: key can never be confused with a completed result, and so ``stats``
+#: can report it without scanning every shard.
+_QUARANTINE = "quarantine.jsonl"
 
 
 class StoreSchemaError(RuntimeError):
@@ -107,12 +115,31 @@ def decode_result(data: dict) -> SimTaskResult:
         usage_sums=[list(row) for row in data.get("usage_sums") or []])
 
 
-def _parse_record(line: bytes) -> Optional[dict]:
+def encode_failure(failure: TaskFailure) -> dict:
+    """``TaskFailure`` -> plain JSON-able dict (quarantine records)."""
+    return dataclasses.asdict(failure)
+
+
+def decode_failure(data: dict) -> TaskFailure:
+    """Inverse of :func:`encode_failure`; tolerant of absent fields."""
+    return TaskFailure(
+        kind=str(data.get("kind", "exception")),
+        message=str(data.get("message", "")),
+        attempts=int(data.get("attempts", 1)),
+        error_type=str(data.get("error_type", "")),
+        traceback=str(data.get("traceback", "")),
+        resubmissions=int(data.get("resubmissions", 0)))
+
+
+def _parse_record(line: bytes, payload: str = "result"
+                  ) -> Optional[dict]:
     """One shard line -> record dict, or ``None`` if unusable.
 
     Unusable covers truncated/garbled JSON (crash mid-append), records
     from a different schema version, and records missing fields —
     corruption tolerance means all of these read as cache misses.
+    ``payload`` names the required dict field: ``"result"`` for result
+    shards, ``"failure"`` for the quarantine shard.
     """
     line = line.strip()
     if not line:
@@ -124,7 +151,7 @@ def _parse_record(line: bytes) -> Optional[dict]:
     if not isinstance(record, dict) \
             or record.get("schema") != SCHEMA_VERSION \
             or not isinstance(record.get("key"), str) \
-            or not isinstance(record.get("result"), dict):
+            or not isinstance(record.get(payload), dict):
         return None
     return record
 
@@ -155,15 +182,17 @@ class StoreStats:
     distinct: int         # distinct fingerprints
     corrupt: int          # unreadable / foreign-schema / undecodable lines
     size_bytes: int
+    quarantined: int = 0  # distinct fingerprints in the quarantine shard
 
     def lines(self) -> List[str]:
         return [
-            f"store    {self.path}",
-            f"schema   {self.schema}",
-            f"shards   {self.shards}",
-            f"records  {self.records} ({self.distinct} distinct)",
-            f"corrupt  {self.corrupt}",
-            f"bytes    {self.size_bytes}",
+            f"store       {self.path}",
+            f"schema      {self.schema}",
+            f"shards      {self.shards}",
+            f"records     {self.records} ({self.distinct} distinct)",
+            f"corrupt     {self.corrupt}",
+            f"quarantined {self.quarantined}",
+            f"bytes       {self.size_bytes}",
         ]
 
 
@@ -189,6 +218,7 @@ class ResultStore:
         self.path = str(path)
         self._shards_dir = os.path.join(self.path, _SHARDS)
         self._cache: Dict[str, Dict[str, dict]] = {}
+        self._quarantine_cache: Optional[Dict[str, dict]] = None
         if os.path.exists(self.path) and not os.path.isdir(self.path):
             raise StoreSchemaError(
                 f"{self.path} is a file, not a result-store directory")
@@ -268,6 +298,12 @@ class ResultStore:
         os.makedirs(self._shards_dir, exist_ok=True)
         with open(self._shard_path(self._shard_of(key)), "ab") as fh:
             fh.write(line.encode())
+            # Chaos hook: under an installed fault plan this appends a
+            # torn-write garbage line, which the readers' corruption
+            # tolerance must degrade to a miss (see repro.exec.faults).
+            garbage = shard_sabotage(key)
+            if garbage is not None:
+                fh.write(garbage)
         records[key] = payload
 
     def keys(self) -> Set[str]:
@@ -278,6 +314,46 @@ class ResultStore:
 
     def __len__(self) -> int:
         return len(self.keys())
+
+    # ------------------------------------------------------------------
+    # Quarantine: fingerprints whose tasks exhausted every retry.  A
+    # separate shard, same append/parse discipline as result shards.
+
+    def _quarantine_path(self) -> str:
+        return os.path.join(self.path, _QUARANTINE)
+
+    def _load_quarantine(self) -> Dict[str, dict]:
+        loaded = self._quarantine_cache
+        if loaded is not None:
+            return loaded
+        records: Dict[str, dict] = {}
+        path = self._quarantine_path()
+        if os.path.exists(path):
+            with open(path, "rb") as fh:
+                for line in fh:
+                    record = _parse_record(line, payload="failure")
+                    if record is not None:
+                        records[record["key"]] = record["failure"]
+        self._quarantine_cache = records
+        return records
+
+    def quarantine(self, key: str, failure: TaskFailure) -> None:
+        """Record one poison fingerprint (atomic single-line append)."""
+        records = self._load_quarantine()
+        payload = encode_failure(failure)
+        line = json.dumps(
+            {"schema": SCHEMA_VERSION, "key": key, "failure": payload},
+            sort_keys=True, separators=(",", ":")) + "\n"
+        with open(self._quarantine_path(), "ab") as fh:
+            fh.write(line.encode())
+        records[key] = payload
+
+    def get_quarantine(self, key: str) -> Optional[TaskFailure]:
+        payload = self._load_quarantine().get(key)
+        return None if payload is None else decode_failure(payload)
+
+    def quarantined_keys(self) -> Set[str]:
+        return set(self._load_quarantine())
 
     # ------------------------------------------------------------------
     def _scan(self, deep: bool) -> StoreStats:
@@ -302,10 +378,28 @@ class ResultStore:
                     else:
                         records += 1
                         distinct.add(record["key"])
+        quarantined: Set[str] = set()
+        quarantine_path = self._quarantine_path()
+        if os.path.exists(quarantine_path):
+            size += os.path.getsize(quarantine_path)
+            with open(quarantine_path, "rb") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    record = _parse_record(line, payload="failure")
+                    if record is not None and deep:
+                        try:
+                            decode_failure(record["failure"])
+                        except (TypeError, ValueError):
+                            record = None
+                    if record is None:
+                        corrupt += 1
+                    else:
+                        quarantined.add(record["key"])
         return StoreStats(path=self.path, schema=SCHEMA_VERSION,
                           shards=len(shards), records=records,
                           distinct=len(distinct), corrupt=corrupt,
-                          size_bytes=size)
+                          size_bytes=size, quarantined=len(quarantined))
 
     def stats(self) -> StoreStats:
         """Cheap scan: shard/record/corrupt counts and sizes."""
@@ -344,6 +438,26 @@ class ResultStore:
                 for key in sorted(keep))
             _atomic_write(path, body.encode())
             self._cache[shard] = keep
+        quarantine_path = self._quarantine_path()
+        if os.path.exists(quarantine_path):
+            keep_q: Dict[str, dict] = {}
+            total = 0
+            with open(quarantine_path, "rb") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    total += 1
+                    record = _parse_record(line, payload="failure")
+                    if record is not None:
+                        keep_q[record["key"]] = record["failure"]
+            dropped += total - len(keep_q)
+            body = "".join(
+                json.dumps({"schema": SCHEMA_VERSION, "key": key,
+                            "failure": keep_q[key]},
+                           sort_keys=True, separators=(",", ":")) + "\n"
+                for key in sorted(keep_q))
+            _atomic_write(quarantine_path, body.encode())
+            self._quarantine_cache = keep_q
         return dropped
 
 
@@ -358,18 +472,28 @@ class StoreExecutor(Executor):
     written to the store the moment each result exists — kill the
     process mid-batch and everything finished so far is already on
     disk, so the rerun simulates only the remainder.
+
+    Failure results (the supervised executor's quarantine variant) are
+    recorded in the store's quarantine shard, never in the result
+    shards.  With ``skip_quarantined=True`` a known-poison fingerprint
+    is served as its recorded failure instead of being re-executed —
+    the ``--resume`` behavior that keeps one poison task from killing
+    a fresh worker on every rerun.
     """
 
     def __init__(self, inner: Optional[Executor] = None,
-                 store: Union[ResultStore, str, os.PathLike, None] = None):
+                 store: Union[ResultStore, str, os.PathLike, None] = None,
+                 skip_quarantined: bool = False):
         if store is None:
             raise ValueError("StoreExecutor requires a store "
                              "(a ResultStore or a directory path)")
         self.inner = inner or SerialExecutor()
         self.store = store if isinstance(store, ResultStore) \
             else ResultStore(store)
+        self.skip_quarantined = skip_quarantined
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def run_batch(self, tasks: Sequence[SimTask],
                   progress: Optional[ProgressFn] = None
@@ -390,10 +514,16 @@ class StoreExecutor(Executor):
             if hit is not None:
                 fetched[key] = hit
                 self.hits += 1
-            else:
-                seen.add(key)
-                pending.append(task)
-                pending_keys.append(key)
+                continue
+            if self.skip_quarantined:
+                known = self.store.get_quarantine(key)
+                if known is not None:
+                    fetched[key] = SimTaskResult(failure=known)
+                    self.quarantined += 1
+                    continue
+            seen.add(key)
+            pending.append(task)
+            pending_keys.append(key)
         # Progress spans the submitted batch (hits and duplicates count
         # as already done), mirroring CachingExecutor.
         done_offset = len(tasks) - len(pending)
@@ -401,7 +531,15 @@ class StoreExecutor(Executor):
             self.misses += len(pending)
             done = 0
             for i, result in self.inner.run_iter(pending):
-                self.store.put(pending_keys[i], result)
+                if result.failure is not None:
+                    # Poison goes to the quarantine shard, never the
+                    # result shards: a failure must not be served as a
+                    # cache hit by a reader unaware of quarantine.
+                    self.store.quarantine(pending_keys[i],
+                                          result.failure)
+                    self.quarantined += 1
+                else:
+                    self.store.put(pending_keys[i], result)
                 fetched[pending_keys[i]] = result
                 done += 1
                 if progress is not None:
@@ -420,7 +558,9 @@ class StoreExecutor(Executor):
 def store_main(argv: Optional[Sequence[str]] = None) -> int:
     """``store stats|gc|verify --store PATH`` — inspect or repair a
     result store.  Returns a shell-style exit code (``verify`` exits 1
-    when corrupt records are found)."""
+    when corrupt records are found; with ``--strict``, ``stats`` and
+    ``verify`` also exit 1 on a schema-valid store that holds
+    quarantined fingerprints)."""
     parser = argparse.ArgumentParser(
         prog="store",
         description="inspect or repair a disk-backed result store")
@@ -430,6 +570,9 @@ def store_main(argv: Optional[Sequence[str]] = None) -> int:
                              "lines and duplicate keys")
     parser.add_argument("--store", required=True,
                         help="result store directory")
+    parser.add_argument("--strict", action="store_true",
+                        help="also exit non-zero when the store holds "
+                             "quarantined (poison) fingerprints")
     args = parser.parse_args(argv)
     try:
         store = ResultStore(args.store, require_exists=True)
@@ -447,5 +590,14 @@ def store_main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"verify: FAILED — {stats.corrupt} corrupt record(s) "
                   f"(run 'store gc' to drop them)")
             return 1
+    if args.strict and stats.quarantined:
+        keys = sorted(store.quarantined_keys())
+        shown = ", ".join(key[:12] for key in keys[:8])
+        more = f", +{len(keys) - 8} more" if len(keys) > 8 else ""
+        print(f"{args.command}: FAILED (--strict) — "
+              f"{stats.quarantined} quarantined fingerprint(s): "
+              f"{shown}{more}")
+        return 1
+    if args.command == "verify":
         print("verify: ok — every record decodes")
     return 0

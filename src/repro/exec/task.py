@@ -24,8 +24,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["SimTask", "SimTaskResult", "run_sim_task", "run_task_group",
-           "cache_key", "BACKENDS"]
+__all__ = ["SimTask", "SimTaskResult", "TaskFailure", "run_sim_task",
+           "run_task_group", "cache_key", "BACKENDS"]
 
 #: Simulation backends a task may select.  ``"packet"`` is the exact
 #: event-driven engine (the source of truth); ``"fluid"`` is the
@@ -117,6 +117,27 @@ def cache_key(task: "SimTask") -> str:
     return task.fingerprint()
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """Why a task produced no :class:`RunResult`.
+
+    ``kind`` is one of ``"exception"`` (the task itself raised),
+    ``"timeout"`` (it exceeded its cost-derived wall-clock budget), or
+    ``"worker-death"`` (the worker process died while — after
+    bisection, provably *because of* — running it).  ``attempts`` is
+    how many times the task was tried before the executor gave up.
+    ``resubmissions`` counts how many crash-triggered resubmissions the
+    task rode through (the bisection depth for a poison task).
+    """
+
+    kind: str
+    message: str
+    attempts: int = 1
+    error_type: str = ""
+    traceback: str = ""
+    resubmissions: int = 0
+
+
 @dataclass
 class SimTaskResult:
     """What one executed :class:`SimTask` produced.
@@ -126,11 +147,21 @@ class SimTaskResult:
     task asked for it (empty otherwise).  Consumers derive scores from
     these fields on the submitting side, so scoring policy never needs
     to travel to the workers.
+
+    A result is *either* a run *or* a failure: under the supervised
+    executor's quarantine policy a task that exhausted its retries
+    yields ``run=None`` with ``failure`` describing why, instead of
+    killing the batch.  Check :attr:`ok` before touching :attr:`run`.
     """
 
-    run: "RunResult"               # repro.core.results.RunResult
+    run: Optional["RunResult"] = None   # repro.core.results.RunResult
     usage_counts: List[int] = field(default_factory=list)
     usage_sums: List[List[float]] = field(default_factory=list)
+    failure: Optional[TaskFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
 
 def run_sim_task(task: SimTask) -> SimTaskResult:

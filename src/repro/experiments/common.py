@@ -328,6 +328,15 @@ def run_seed_batch(specs: Sequence[Tuple[NetworkConfig,
         tasks.extend(_seed_tasks(config, trees, scale, base_seed,
                                  backend=backend))
     outputs = run_batch(tasks, executor=executor, store=store, jobs=jobs)
+    failed = [(task.fingerprint(), out.failure)
+              for task, out in zip(tasks, outputs)
+              if out.failure is not None]
+    if failed:
+        # Quarantine-mode executors finish the rest of the grid (and
+        # persist it) before we get here; the table must still not be
+        # built over holes — fail loudly naming every poison task.
+        from ..exec import TaskFailedError
+        raise TaskFailedError(failed)
     grouped: List[List[RunResult]] = []
     for i in range(len(specs)):
         chunk = outputs[i * scale.n_seeds:(i + 1) * scale.n_seeds]

@@ -217,6 +217,15 @@ class TreeEvaluator:
         if pending:
             fresh = self.executor.run_batch(pending)
             self._evaluations += len(pending)
+            failed = [(key, out.failure)
+                      for key, out in zip(pending_keys, fresh)
+                      if out.failure is not None]
+            if failed:
+                # A candidate scored on a partial grid is not comparable
+                # to one scored on the full grid — quarantined results
+                # must abort the evaluation, never be skipped over.
+                from ..exec import TaskFailedError
+                raise TaskFailedError(failed)
             for key, out in zip(pending_keys, fresh):
                 self._memo[key] = (score_training_run(out.run),
                                    out.usage_counts, out.usage_sums)

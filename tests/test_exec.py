@@ -398,3 +398,62 @@ class TestEvaluatorOnExecutors:
                 RANGE, TINY, settings, executor=pool).train()
         assert serial_tree.to_json() == pooled_tree.to_json()
         assert serial_log.scores == pooled_log.scores
+
+
+class TestDefaultJobs:
+    """default_jobs sizes the pool from the CPUs the scheduler will
+    actually grant (affinity mask), not the host's core count."""
+
+    def test_respects_cpu_affinity(self, monkeypatch):
+        from repro.exec import executors
+        monkeypatch.setattr(executors.os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert executors.default_jobs() == 2
+
+    def test_affinity_failure_falls_back_to_cpu_count(self, monkeypatch):
+        import multiprocessing as mp
+
+        from repro.exec import executors
+
+        def boom(pid):
+            raise OSError("affinity unavailable")
+
+        monkeypatch.setattr(executors.os, "sched_getaffinity", boom,
+                            raising=False)
+        assert executors.default_jobs() == max(mp.cpu_count() - 1, 1)
+
+    def test_single_cpu_still_one_worker(self, monkeypatch):
+        from repro.exec import executors
+        monkeypatch.setattr(executors.os, "sched_getaffinity",
+                            lambda pid: {0}, raising=False)
+        assert executors.default_jobs() == 1
+
+
+class TestPoolLifecycle:
+    """The pool is recycled after a mid-batch worker exception and
+    close() stays safe under repetition / interruption."""
+
+    def test_pool_recycled_after_worker_exception(self):
+        bad = dataclasses.replace(small_batch(1)[0],
+                                  trees=(("learner", "{broken"),))
+        pool = ProcessPoolExecutor(jobs=2)
+        try:
+            with pytest.raises(Exception):
+                pool.run_batch([bad])
+            assert pool._pool is None         # broken pool torn down
+            good = pool.run_batch(small_batch(2))   # fresh pool spawned
+            assert flows_key(good) \
+                == flows_key(SerialExecutor().run_batch(small_batch(2)))
+        finally:
+            pool.close()
+
+    def test_close_idempotent_and_detaches_first(self):
+        pool = ProcessPoolExecutor(jobs=2)
+        pool.run_batch(small_batch(1))
+        assert pool._pool is not None
+        pool.close()
+        # Detached before teardown: a ^C landing inside terminate()
+        # leaves no half-closed pool behind, and closing again is a
+        # clean no-op.
+        assert pool._pool is None
+        pool.close()

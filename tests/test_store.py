@@ -20,7 +20,9 @@ from repro.core.scenario import NetworkConfig
 from repro.exec import (Executor, ResultStore, SerialExecutor, SimTask,
                         StoreExecutor, StoreSchemaError, cache_key,
                         run_batch, run_sim_task, store_main)
-from repro.exec.store import (SCHEMA_VERSION, decode_result,
+from repro.exec import TaskFailure
+from repro.exec.store import (SCHEMA_VERSION, decode_failure,
+                              decode_result, encode_failure,
                               encode_result)
 from repro.remy.action import Action
 from repro.remy.tree import WhiskerTree
@@ -415,9 +417,10 @@ class TestSweepResume:
         executors = []
         real_executor_for = run_experiments.executor_for
 
-        def counting_executor_for(jobs, store=None, resume=False):
+        def counting_executor_for(jobs, store=None, resume=False,
+                                  policy=None):
             executor = real_executor_for(jobs, store=store,
-                                         resume=resume)
+                                         resume=resume, policy=policy)
             if isinstance(executor, StoreExecutor):
                 executor.inner = CountingExecutor()
                 executors.append(executor)
@@ -467,3 +470,77 @@ class TestSweepResume:
              "--store", str(tmp_path / "typo"), "--resume"])
         assert code == 2
         assert "no result store" in capsys.readouterr().err
+
+
+FAILURE = TaskFailure(kind="worker-death", message="poison",
+                      attempts=3, resubmissions=3)
+
+
+class TestQuarantine:
+    """The quarantine shard: poison fingerprints recorded apart from
+    results, surfaced by stats/verify, enforced only under --strict."""
+
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.quarantine("deadbeef", FAILURE)
+        assert store.get_quarantine("deadbeef") == FAILURE
+        assert store.get_quarantine("cafebabe") is None
+        # A fresh open reads it back from disk.
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.quarantined_keys() == {"deadbeef"}
+        assert reopened.get_quarantine("deadbeef") == FAILURE
+
+    def test_encode_decode_tolerant(self):
+        assert decode_failure(encode_failure(FAILURE)) == FAILURE
+        sparse = decode_failure({"kind": "timeout"})
+        assert sparse.kind == "timeout" and sparse.attempts == 1
+
+    def test_never_lands_in_result_shards(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = cache_key(small_batch(1)[0])
+        store.quarantine(key, FAILURE)
+        assert key not in store            # not servable as a result
+        stats = store.stats()
+        assert stats.records == 0 and stats.quarantined == 1
+
+    def test_stats_and_verify_count_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        StoreExecutor(SerialExecutor(),
+                      store=store).run_batch(small_batch(1))
+        store.quarantine("deadbeef", FAILURE)
+        store.quarantine("deadbeef", FAILURE)   # duplicate: 1 distinct
+        for stats in (store.stats(), store.verify()):
+            assert stats.distinct == 1
+            assert stats.quarantined == 1
+        assert any("quarantined 1" in line
+                   for line in store.stats().lines())
+
+    def test_gc_compacts_quarantine_shard(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.quarantine("deadbeef", FAILURE)
+        store.quarantine("deadbeef", FAILURE)
+        with open(store._quarantine_path(), "ab") as fh:
+            fh.write(b"\x00not json\n")
+        assert store.gc() == 2                  # duplicate + garbage
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.quarantined_keys() == {"deadbeef"}
+        assert reopened.stats().corrupt == 0
+
+    def test_store_main_strict_gates_on_quarantine(self, tmp_path,
+                                                   capsys):
+        path = str(tmp_path / "s")
+        store = ResultStore(path)
+        StoreExecutor(SerialExecutor(),
+                      store=store).run_batch(small_batch(1))
+        # Healthy, no quarantine: strict and non-strict both pass.
+        for extra in ([], ["--strict"]):
+            assert store_main(["stats", "--store", path] + extra) == 0
+            assert store_main(["verify", "--store", path] + extra) == 0
+        store.quarantine("deadbeef", FAILURE)
+        capsys.readouterr()
+        # Quarantined fingerprints are reported but only fail --strict.
+        assert store_main(["stats", "--store", path]) == 0
+        assert "quarantined 1" in capsys.readouterr().out
+        assert store_main(["stats", "--store", path, "--strict"]) == 1
+        assert "deadbeef"[:12] in capsys.readouterr().out
+        assert store_main(["verify", "--store", path, "--strict"]) == 1
