@@ -81,6 +81,8 @@ BENCHMARKS = {
     "whisker_lookup": workloads.run_whisker_lookups,
     "compiled_lookup": workloads.run_compiled_lookups,
     "newreno_flow": workloads.run_newreno_flow,
+    "dctcp_flow": workloads.run_dctcp_flow,
+    "pcc_flow": workloads.run_pcc_flow,
     "remycc_flow": workloads.run_remycc_flow,
     "many_senders": workloads.run_many_senders,
     "fluid_dumbbell": workloads.run_fluid_dumbbell,

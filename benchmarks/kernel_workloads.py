@@ -21,7 +21,8 @@ from repro.remy.tree import WhiskerTree
 from repro.sim.engine import Simulator
 
 __all__ = ["demo_tree", "lookup_vectors", "spin_event_loop",
-           "run_newreno_flow", "run_remycc_flow", "run_many_senders",
+           "run_newreno_flow", "run_dctcp_flow", "run_pcc_flow",
+           "run_remycc_flow", "run_many_senders",
            "run_whisker_lookups", "run_compiled_lookups",
            "run_fluid_dumbbell", "run_fluid_kilosenders",
            "run_packet_kilosenders"]
@@ -88,6 +89,36 @@ def run_newreno_flow(duration_s: float = 10.0) -> int:
     config = NetworkConfig(
         link_speeds_mbps=(15.0,), rtt_ms=100.0,
         sender_kinds=("newreno",), mean_on_s=100.0, mean_off_s=0.0,
+        buffer_bdp=5.0)
+    handle = build_simulation(config, seed=1)
+    result = handle.run(duration_s)
+    return result.flows[0].packets_delivered
+
+
+def run_dctcp_flow(duration_s: float = 10.0) -> int:
+    """Packets delivered by one saturated DCTCP flow through an
+    ECN-marking bottleneck (threshold at ~0.17 BDP).  Times the whole
+    marking path: CE stamping in the queue, ECE echo through the
+    transport, and the per-round alpha accounting in the controller.
+    """
+    config = NetworkConfig(
+        link_speeds_mbps=(15.0,), rtt_ms=100.0,
+        sender_kinds=("dctcp",), mean_on_s=100.0, mean_off_s=0.0,
+        buffer_bdp=5.0, ecn_threshold=20.0)
+    handle = build_simulation(config, seed=1)
+    result = handle.run(duration_s)
+    return result.flows[0].packets_delivered
+
+
+def run_pcc_flow(duration_s: float = 10.0) -> int:
+    """Packets delivered by one saturated PCC dumbbell flow.  PCC is
+    pacing-driven, so every packet rides a pacing timer and every ACK
+    feeds the monitor-interval accounting — the most event-dense
+    scheme in the suite per delivered packet.
+    """
+    config = NetworkConfig(
+        link_speeds_mbps=(15.0,), rtt_ms=100.0,
+        sender_kinds=("pcc",), mean_on_s=100.0, mean_off_s=0.0,
         buffer_bdp=5.0)
     handle = build_simulation(config, seed=1)
     result = handle.run(duration_s)

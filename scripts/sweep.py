@@ -19,9 +19,11 @@ list.  Axes sweep any dumbbell knob: ``link_mbps``, ``rtt_ms``,
 ``buffer_bytes``, ``mean_on_s``, ``mean_off_s``, ``delta``, plus the
 link-dynamics knobs ``outage`` (blackout windows as
 ``0.5-1.0+2.0-2.5`` tokens, ``none`` = static), ``outage_policy``
-(``hold``/``drop``), ``jitter_ms``, and ``jitter_period_s``; whatever
-isn't swept comes from the matching ``--link-mbps``/``--rtt-ms``/...
-flag (defaults: the calibration network).
+(``hold``/``drop``), ``jitter_ms``, ``jitter_period_s``, and the queue
+ECN knob ``ecn_threshold`` (marking threshold in packets, ``none`` =
+ECN off); whatever isn't swept comes from the matching
+``--link-mbps``/``--rtt-ms``/... flag (defaults: the calibration
+network).
 
 ``--adversary`` replaces the grid's outage axis with a *searched* one:
 a seeded hill-climb moves ``--adversary-active`` blackout windows
@@ -149,6 +151,11 @@ def parse_args(argv=None) -> argparse.Namespace:
                              "(packet backend only)")
     parser.add_argument("--jitter-period-s", type=float,
                         default=AdhocBase.jitter_period_s)
+    parser.add_argument("--ecn-threshold", default="none",
+                        help="ECN marking threshold in packets applied "
+                             "to every bottleneck queue ('none' = ECN "
+                             "off); only ECN-capable schemes (dctcp) "
+                             "react")
     # adversarial search over outage patterns
     parser.add_argument("--adversary", action="store_true",
                         help="search for the outage pattern that "
@@ -189,7 +196,7 @@ def parse_args(argv=None) -> argparse.Namespace:
                      "(or --adversary)")
     if args.seeds is not None and args.seeds < 1:
         parser.error("--seeds must be >= 1")
-    for flag in ("buffer_bdp", "buffer_bytes"):
+    for flag in ("buffer_bdp", "buffer_bytes", "ecn_threshold"):
         try:
             setattr(args, flag,
                     _adhoc_setting(flag, getattr(args, flag)))
@@ -215,7 +222,8 @@ def main(argv=None) -> int:
         delta=args.delta,
         outage=args.outage, outage_policy=args.outage_policy,
         jitter_ms=args.jitter_ms,
-        jitter_period_s=args.jitter_period_s)
+        jitter_period_s=args.jitter_period_s,
+        ecn_threshold=args.ecn_threshold)
     schemes = [name.strip() for name in args.schemes.split(",")
                if name.strip()]
     try:

@@ -67,6 +67,12 @@ class NetworkConfig:
     #: therefore existing ResultStore caches) are byte-identical to
     #: before this field existed.
     dynamics: Optional[DynamicsSpec] = None
+    #: ECN marking threshold in packets applied to every bottleneck
+    #: queue (DCTCP's *K* on drop-tail; mark-instead-of-drop on
+    #: CoDel/sfqCoDel).  ``None`` disables ECN and — like ``dynamics``
+    #: — is omitted from ``to_dict()`` so ECN-free fingerprints stay
+    #: byte-identical to the pre-ECN format.
+    ecn_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.topology not in ("dumbbell", "parking_lot"):
@@ -112,6 +118,8 @@ class NetworkConfig:
                     f"dynamics has {len(self.dynamics.links)} link "
                     f"schedule(s); {self.topology} needs 1 (applied to "
                     f"all bottlenecks) or {expected}")
+        if self.ecn_threshold is not None and self.ecn_threshold < 0:
+            raise ValueError("ecn_threshold must be >= 0 packets")
         if not self.deltas:
             object.__setattr__(
                 self, "deltas", tuple(1.0 for _ in self.sender_kinds))
@@ -186,6 +194,10 @@ class NetworkConfig:
             # result stores keep hitting.
             **({"dynamics": self.dynamics.to_dict()}
                if self.dynamics is not None else {}),
+            # Same omit-when-unset rule as dynamics: ECN-free configs
+            # keep the pre-ECN dict shape (and fingerprints).
+            **({"ecn_threshold": self.ecn_threshold}
+               if self.ecn_threshold is not None else {}),
         }
 
     @classmethod
@@ -195,6 +207,7 @@ class NetworkConfig:
             dynamics = DynamicsSpec.from_dict(dynamics)
         return cls(
             dynamics=dynamics,
+            ecn_threshold=data.get("ecn_threshold"),
             topology=data["topology"],
             link_speeds_mbps=tuple(data["link_speeds_mbps"]),
             rtt_ms=data["rtt_ms"],

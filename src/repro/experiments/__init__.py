@@ -10,11 +10,13 @@ One module per figure/table; see DESIGN.md section 4 for the index:
 * :mod:`repro.experiments.tcp_awareness` — Table 6 / Figures 7-8
 * :mod:`repro.experiments.diversity` — Table 7 / Figure 9
 * :mod:`repro.experiments.signals` — section 3.4
+* :mod:`repro.experiments.ecn` — beyond the paper: ECN thresholds vs
+  the modern scheme family (DCTCP, PCC)
 """
 
 from . import api
-from . import (calibration, diversity, link_speed, multiplexing, rtt,
-               signals, structure, tcp_awareness)
+from . import (calibration, diversity, ecn, link_speed, multiplexing,
+               rtt, signals, structure, tcp_awareness)
 from .api import (Axis, ExperimentSpec, SweepResult, adhoc_spec,
                   experiments, get_experiment, run_experiment)
 from .common import (DEFAULT, FULL, QUICK, Scale, SimulationHandle,
@@ -29,5 +31,5 @@ __all__ = [
     "api", "Axis", "ExperimentSpec", "SweepResult", "adhoc_spec",
     "experiments", "get_experiment", "run_experiment",
     "calibration", "link_speed", "multiplexing", "rtt",
-    "structure", "tcp_awareness", "diversity", "signals",
+    "structure", "tcp_awareness", "diversity", "signals", "ecn",
 ]

@@ -625,6 +625,9 @@ class AdhocBase:
     outage_policy: str = "hold"
     jitter_ms: float = 0.0
     jitter_period_s: float = 0.05
+    # ECN marking threshold in packets ("none" disables; see
+    # docs/EXPERIMENTS.md "ECN and the modern scheme family").
+    ecn_threshold: Optional[float] = None
 
 
 #: Axis-name aliases -> AdhocBase field.
@@ -640,6 +643,7 @@ _ADHOC_KEYS: Dict[str, str] = {
     "delta": "delta",
     "outage": "outage", "outage_policy": "outage_policy",
     "jitter_ms": "jitter_ms", "jitter_period_s": "jitter_period_s",
+    "ecn_threshold": "ecn_threshold", "ecn": "ecn_threshold",
 }
 
 _ADHOC_NONE = ("none", "inf", "nodrop")
@@ -647,7 +651,7 @@ _ADHOC_NONE = ("none", "inf", "nodrop")
 
 def _adhoc_setting(key: str, value: object) -> object:
     target = _ADHOC_KEYS[key]
-    if target in ("buffer_bdp", "buffer_bytes"):
+    if target in ("buffer_bdp", "buffer_bytes", "ecn_threshold"):
         if value is None or (isinstance(value, str)
                              and value.lower() in _ADHOC_NONE):
             return None
@@ -745,7 +749,8 @@ def adhoc_spec(axes: Sequence[Axis],
             buffer_bdp=settings["buffer_bdp"],
             buffer_bytes=settings["buffer_bytes"],
             queue=str(settings["queue"]),
-            dynamics=_adhoc_dynamics(settings))
+            dynamics=_adhoc_dynamics(settings),
+            ecn_threshold=settings["ecn_threshold"])
         return Cell(config, trees)
 
     def metrics(scheme: str, point: Mapping[str, object],

@@ -118,12 +118,16 @@ class SimulationHandle:
 
 def _queue_factory(config: NetworkConfig, link_index: int):
     capacity = config.buffer_packets(link_index)
+    ecn = config.ecn_threshold
     if config.queue == "droptail":
-        return lambda: DropTailQueue(capacity_packets=capacity)
+        return lambda: DropTailQueue(capacity_packets=capacity,
+                                     ecn_threshold=ecn)
     if config.queue == "codel":
-        return lambda: CoDelQueue(capacity_packets=capacity)
+        return lambda: CoDelQueue(capacity_packets=capacity,
+                                  ecn_threshold=ecn)
     if config.queue == "sfq_codel":
-        return lambda: SfqCoDelQueue(capacity_packets=capacity)
+        return lambda: SfqCoDelQueue(capacity_packets=capacity,
+                                     ecn_threshold=ecn)
     raise ValueError(f"unknown queue {config.queue!r}")
 
 

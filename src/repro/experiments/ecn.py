@@ -1,0 +1,124 @@
+"""Experiment E10 — ECN marking thresholds vs the modern scheme family.
+
+Beyond the paper: the calibration dumbbell (32 Mbps, 150 ms RTT, two
+on/off senders, 5 BDP of drop-tail buffer) with an ECN-capable
+bottleneck, swept over the marking threshold *K* in packets.  Schemes:
+the calibration Tao, DCTCP (the one ECN-reactive scheme — its cut
+depth tracks the marked fraction, so small *K* buys low delay at some
+throughput cost), PCC's utility-gradient rate control, and TCP Cubic.
+Cubic, PCC and the Tao ignore CE marks, so their rows double as the
+control group: the marking threshold must not perturb a non-ECN
+scheme (the queue still tail-drops at capacity regardless of *K*).
+
+The table reports the paper's normalized objective next to raw
+throughput and queueing delay per ``(scheme, K)`` cell, with the
+omniscient dumbbell bound as the reference rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Mapping, Sequence
+
+from ..core.objective import normalized_objective
+from ..core.omniscient import dumbbell_expected_throughput
+from ..core.results import RunResult
+from ..core.scenario import NetworkConfig
+from .api import (Axis, Cell, Experiment, ExperimentSpec, register,
+                  run_experiment)
+from .calibration import CALIBRATION_CONFIG
+from .common import mean_normalized_score, scored_flows
+
+__all__ = ["ECN_THRESHOLDS", "SPEC", "run"]
+
+#: Marking thresholds in packets.  The calibration BDP is 400 packets;
+#: the grid spans deep-mark (K well under the DCTCP guideline of
+#: ~0.17 BDP) to mark-never (K at the full 5-BDP buffer, where the
+#: queue overflows before it ever marks).
+ECN_THRESHOLDS = (25.0, 50.0, 100.0, 200.0, 400.0)
+
+#: Scheme name -> homogeneous sender kinds on the dumbbell.
+_SCHEMES = {
+    "tao": ("learner", "learner"),
+    "dctcp": ("dctcp", "dctcp"),
+    "pcc": ("pcc", "pcc"),
+    "cubic": ("cubic", "cubic"),
+}
+
+
+def _build(scheme: str, point: Mapping[str, object]) -> Cell:
+    kinds = _SCHEMES[scheme]
+    config = replace(CALIBRATION_CONFIG, sender_kinds=kinds,
+                     deltas=tuple(1.0 for _ in kinds),
+                     ecn_threshold=float(point["ecn_threshold"]))
+    trees = {"learner": "tao_calibration"} if scheme == "tao" else None
+    return Cell(config, trees)
+
+
+def _metrics(scheme: str, point: Mapping[str, object],
+             config: NetworkConfig,
+             runs: Sequence[RunResult]) -> Dict[str, object]:
+    row: Dict[str, object] = {
+        "mean_objective": mean_normalized_score(runs, config)}
+    tpts: List[float] = []
+    delays: List[float] = []
+    for result in runs:
+        for flow in scored_flows(result):
+            if flow.packets_delivered == 0:
+                continue
+            tpts.append(flow.throughput_bps)
+            delays.append(flow.queueing_delay_s)
+    if tpts:
+        row["tpt_mbps"] = sum(tpts) / len(tpts) / 1e6
+        row["qdelay_ms"] = sum(delays) / len(delays) * 1e3
+    return row
+
+
+def _reference(point: Mapping[str, object]) -> Dict[str, object]:
+    config = CALIBRATION_CONFIG
+    speed_bps = config.link_speed_bps(0)
+    n = config.num_senders
+    expected = dumbbell_expected_throughput(speed_bps, n, config.p_on)
+    min_delay = config.rtt_ms / 2e3
+    return {
+        "mean_objective": normalized_objective(
+            expected, min_delay, speed_bps / n, min_delay),
+        "tpt_mbps": expected / 1e6,
+        "qdelay_ms": 0.0,
+    }
+
+
+SPEC = ExperimentSpec(
+    name="ecn",
+    title="E10 — ECN thresholds: Tao vs DCTCP vs PCC vs Cubic",
+    schemes=tuple(_SCHEMES),
+    axes=(Axis.of("ecn_threshold", ECN_THRESHOLDS),),
+    build=_build,
+    metrics=_metrics,
+    reference=_reference,
+    assets=("tao_calibration",),
+)
+
+
+def run(scale=None, trees=None, base_seed: int = 1, executor=None,
+        backend: str = "packet"):
+    """Run the ECN sweep; returns the generic :class:`SweepResult`.
+
+    Note ``backend="fluid"`` refuses the grid as a whole: PCC is
+    packet-only (:func:`repro.sim.fluid.fluid_refusal` names it).  Drop
+    the scheme from a copy of :data:`SPEC` to fluid-run the rest.
+    """
+    from .common import DEFAULT
+    scale = scale or DEFAULT
+    return run_experiment(SPEC, scale=scale, trees=trees,
+                          base_seed=base_seed, executor=executor,
+                          backend=backend)
+
+
+def _render(scale, trees, executor) -> str:
+    return run(scale=scale, trees=trees,
+               executor=executor).format_table()
+
+
+register(Experiment(eid="E10", name="ecn", title=SPEC.title,
+                    render=_render, spec=SPEC, assets=SPEC.assets))

@@ -3,7 +3,9 @@
 from .aimd import AimdController
 from .base import AckContext, CongestionController, MAX_WINDOW_PACKETS
 from .cubic import CUBIC_BETA, CUBIC_C, CubicController
+from .dctcp import DCTCP_GAIN, DCTCPController
 from .newreno import NewRenoController
+from .pcc import PCC_EPSILON, PCCController
 from .registry import (available_schemes, make_controller,
                        register_scheme)
 from .remycc import REMY_MAX_WINDOW, RemyCCController
@@ -15,6 +17,8 @@ __all__ = [
     "CongestionController", "AckContext", "MAX_WINDOW_PACKETS",
     "AimdController", "NewRenoController",
     "CubicController", "CUBIC_C", "CUBIC_BETA",
+    "DCTCPController", "DCTCP_GAIN",
+    "PCCController", "PCC_EPSILON",
     "RemyCCController", "REMY_MAX_WINDOW",
     "VegasController",
     "FlowSender", "FlowReceiver", "SenderStats", "ReceiverStats",

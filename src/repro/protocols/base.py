@@ -38,11 +38,12 @@ class AckContext:
 
     __slots__ = ("now", "rtt_sample", "newly_acked", "cum_ack",
                  "echo_sent_at", "receiver_time", "in_recovery",
-                 "base_rtt")
+                 "base_rtt", "ecn_echo")
 
     def __init__(self, now: float, rtt_sample: float, newly_acked: int,
                  cum_ack: int, echo_sent_at: float, receiver_time: float,
-                 in_recovery: bool, base_rtt: float):
+                 in_recovery: bool, base_rtt: float,
+                 ecn_echo: bool = False):
         self.now = now
         self.rtt_sample = rtt_sample
         self.newly_acked = newly_acked
@@ -51,6 +52,7 @@ class AckContext:
         self.receiver_time = receiver_time
         self.in_recovery = in_recovery
         self.base_rtt = base_rtt
+        self.ecn_echo = ecn_echo
 
 
 class CongestionController:
@@ -58,6 +60,11 @@ class CongestionController:
 
     #: Human-readable scheme name (used in results tables).
     name = "base"
+
+    #: ECN-capable schemes set this True: the transport then stamps
+    #: outgoing data packets ECT so ECN-enabled queues mark instead of
+    #: dropping, and CE echoes arrive via :attr:`AckContext.ecn_echo`.
+    ecn = False
 
     def __init__(self) -> None:
         self.window: float = 1.0

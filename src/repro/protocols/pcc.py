@@ -1,0 +1,250 @@
+"""PCC: performance-oriented congestion control (Dong et al., NSDI 2015).
+
+PCC abandons hardwired loss reactions: the sender runs consecutive
+*monitor intervals* (MIs, one RTT-ish each), observes the utility each
+sending rate actually achieved, and moves its rate in the direction
+that empirically won.  This implementation follows PCC Allegro's
+control loop:
+
+* **Utility.**  ``u = T * sigmoid(L) - r * L`` where ``T`` is the
+  delivered throughput over the MI, ``r`` the trialled rate, and ``L``
+  the loss fraction, estimated rate-theoretically as
+  ``max(0, 1 - T/r)`` — below capacity it is ~0, past capacity it is
+  exactly the overdrive fraction.  The sigmoid ``1/(1+exp(a*(L-0.05)))``
+  (``a = 100``) is Allegro's loss cliff: utility collapses once more
+  than ~5% of sent data dies.
+* **Starting state.**  Double the rate every MI while utility keeps
+  rising (slow-start analogue); the first decrease enters decision
+  making.
+* **Decision making.**  Run paired rate trials ``r*(1+eps)`` then
+  ``r*(1-eps)`` and step toward the trial with higher utility.
+  Allegro randomizes the trial order; this port *alternates* it
+  deterministically MI-to-MI, which serves the same de-biasing purpose
+  without an RNG — controllers must stay seed-free so the executor
+  determinism contract (serial == pooled == store-backed, bitwise)
+  holds.
+* **Rate adjusting.**  Consecutive wins in the same direction grow the
+  step (``n * eps * r``); a flip resets ``n`` and returns to paired
+  trials.
+
+The transport stays window-based; PCC drives it by pacing
+(:meth:`pacing_interval` = ``1/rate``) and keeps the window just a
+cushion above ``rate * RTT`` so pacing, not the window, is binding.
+PCC does **not** negotiate ECN (`ecn = False`): marks are ignored, as
+in the original deployment, and the scheme is evaluated packet-only
+(the fluid backend has no MI/trial analogue — ``fluid_refusal`` names
+it by scheme).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import AckContext, CongestionController
+
+__all__ = ["PCCController", "PCC_EPSILON", "PCC_LOSS_CLIFF"]
+
+#: Fractional rate perturbation of a trial MI (Allegro's 5%).
+PCC_EPSILON = 0.05
+
+#: Loss fraction where the sigmoid utility collapses.
+PCC_LOSS_CLIFF = 0.05
+
+_SIGMOID_SLOPE = 100.0
+
+#: Controller states.
+_STARTING, _TRIAL_FIRST, _TRIAL_SECOND, _MOVING = range(4)
+
+
+class PCCController(CongestionController):
+    """PCC Allegro: empirical utility-gradient rate control."""
+
+    name = "pcc"
+
+    def __init__(self, epsilon: float = PCC_EPSILON,
+                 min_rate_pps: float = 1.0,
+                 reset_each_on: bool = False):
+        super().__init__()
+        self.epsilon = epsilon
+        self.min_rate_pps = min_rate_pps
+        self.reset_each_on = reset_each_on
+        self._started = False
+        #: Closed-MI utilities in order (observable by tests/tools).
+        self.utilities: list[float] = []
+        self._reset()
+
+    def _reset(self) -> None:
+        self.window = 4.0
+        self.rate = 0.0            # pkts/s; 0 = not yet initialized
+        self._rtt = 0.0
+        self._state = _STARTING
+        self._mi_rate = 0.0        # the rate this MI is trialling
+        self._mi_start = -1.0
+        self._mi_end = -1.0
+        # ACK-attribution window: packets sent during the MI come back
+        # as ACKs one RTT later, so the MI's throughput is counted over
+        # [start + rtt, end + rtt) — without the offset every MI would
+        # measure the *previous* MI's rate and the utility gradient
+        # would point the wrong way.
+        self._count_from = -1.0
+        self._count_until = -1.0
+        self._mi_acked = 0
+        self._first_chunk = 0
+        self._t_first = -1.0
+        self._t_last = -1.0
+        self._last_utility = -math.inf
+        self._trial_up_first = True
+        self._trial_utilities = (0.0, 0.0)
+        self._direction = 1.0
+        self._streak = 0
+        self._base_rate = 0.0
+        del self.utilities[:]
+
+    def on_flow_start(self, now: float) -> None:
+        if self._started and not self.reset_each_on:
+            return
+        self._started = True
+        self._reset()
+
+    # -- utility -------------------------------------------------------
+    def _utility(self, rate: float, throughput: float) -> float:
+        loss = max(0.0, 1.0 - throughput / rate) if rate > 0 else 0.0
+        x = _SIGMOID_SLOPE * (loss - PCC_LOSS_CLIFF)
+        sigmoid = 1.0 / (1.0 + math.exp(min(x, 50.0)))
+        return throughput * sigmoid - rate * loss
+
+    # -- monitor-interval machinery ------------------------------------
+    def _mi_duration(self) -> float:
+        # A hair over one RTT of sending per trial; the attribution
+        # window below shifts by a further RTT to catch its ACKs.
+        return max(1.1 * self._rtt, 0.01)
+
+    def _begin_mi(self, now: float, rate: float) -> None:
+        self._mi_rate = max(rate, self.min_rate_pps)
+        self._mi_start = now
+        self._mi_end = now + self._mi_duration()
+        lag = self._rtt
+        self._count_from = self._mi_start + lag
+        self._count_until = self._mi_end + lag
+        self._mi_acked = 0
+        self._first_chunk = 0
+        self._t_first = -1.0
+        self._t_last = -1.0
+        self._apply_rate(self._mi_rate)
+
+    def _apply_rate(self, rate: float) -> None:
+        self.rate = max(rate, self.min_rate_pps)
+        if self._rtt > 0.0:
+            # Pacing is the binding control; the window is a cushion.
+            self.window = max(4.0, 2.0 * self.rate * self._rtt)
+        self._clamp_window()
+
+    def _close_mi(self, now: float) -> float:
+        # Delivery rate from the ACK spacing *inside* the window (first
+        # counted ACK to last), not count-over-duration: window
+        # boundaries slice the ACK stream, and at tens of packets per
+        # MI a one-packet boundary error would cross the loss cliff.
+        span = self._t_last - self._t_first
+        counted = self._mi_acked - self._first_chunk
+        if counted > 0 and span > 0.0:
+            throughput = counted / span
+        else:
+            elapsed = max(self._mi_end - self._mi_start, 1e-9)
+            throughput = self._mi_acked / elapsed
+        utility = self._utility(self._mi_rate, throughput)
+        self.utilities.append(utility)
+        return utility
+
+    def _advance(self, now: float) -> None:
+        """The MI that just ended decides the next MI's rate."""
+        utility = self._close_mi(now)
+        state = self._state
+        if state == _STARTING:
+            if utility > self._last_utility:
+                self._last_utility = utility
+                self._begin_mi(now, self._mi_rate * 2.0)
+            else:
+                # Overshot: fall back to the last good rate, start
+                # paired trials around it.
+                base = self._mi_rate / 2.0
+                self._state = _TRIAL_FIRST
+                self._begin_mi(now, self._trial_rate(base, first=True))
+                self._base_rate = base
+        elif state == _TRIAL_FIRST:
+            self._trial_utilities = (utility, 0.0)
+            self._state = _TRIAL_SECOND
+            self._begin_mi(now, self._trial_rate(self._base_rate,
+                                                 first=False))
+        elif state == _TRIAL_SECOND:
+            first_u, _ = self._trial_utilities
+            up_won = (first_u > utility) if self._trial_up_first \
+                else (utility > first_u)
+            self._trial_up_first = not self._trial_up_first
+            direction = 1.0 if up_won else -1.0
+            if direction == self._direction:
+                self._streak += 1
+            else:
+                self._streak = 1
+            self._direction = direction
+            step = self._streak * self.epsilon * self._base_rate
+            self._state = _MOVING
+            self._last_utility = max(self._trial_utilities[0], utility)
+            self._begin_mi(now, self._base_rate + direction * step)
+        else:  # _MOVING
+            if utility >= self._last_utility:
+                self._last_utility = utility
+                self._streak += 1
+                step = self._streak * self.epsilon * self._mi_rate
+                self._begin_mi(now,
+                               self._mi_rate + self._direction * step)
+            else:
+                # The move stopped paying: re-trial around here.
+                base = self._mi_rate
+                self._streak = 0
+                self._base_rate = base
+                self._state = _TRIAL_FIRST
+                self._begin_mi(now, self._trial_rate(base, first=True))
+
+    def _trial_rate(self, base: float, first: bool) -> float:
+        up = self._trial_up_first == first
+        factor = 1.0 + self.epsilon if up else 1.0 - self.epsilon
+        return base * factor
+
+    # -- transport hooks -----------------------------------------------
+    def _observe(self, ctx: AckContext) -> None:
+        if ctx.rtt_sample > 0.0:
+            self._rtt = ctx.rtt_sample if self._rtt == 0.0 \
+                else self._rtt + (ctx.rtt_sample - self._rtt) / 8.0
+        if self.rate == 0.0:
+            # First feedback: seed the rate at ~initial window per RTT.
+            rtt = self._rtt if self._rtt > 0.0 else max(ctx.base_rtt, 1e-3)
+            self._last_utility = -math.inf
+            self._begin_mi(ctx.now, max(4.0 / rtt, self.min_rate_pps))
+            return
+        if ctx.now >= self._count_until:
+            self._advance(ctx.now)
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if self._count_from <= ctx.now < self._count_until:
+            if self._mi_acked == 0:
+                self._first_chunk = ctx.newly_acked
+                self._t_first = ctx.now
+            self._mi_acked += ctx.newly_acked
+            self._t_last = ctx.now
+        self._observe(ctx)
+
+    def on_dupack(self, ctx: AckContext) -> None:
+        self._observe(ctx)
+
+    def on_timeout(self, now: float) -> None:
+        # Losing the ACK clock entirely is outside the MI model; start
+        # over from half the current rate.
+        if self.rate > 0.0:
+            self._state = _STARTING
+            self._last_utility = -math.inf
+            self._begin_mi(now, self.rate / 2.0)
+
+    def pacing_interval(self) -> float:
+        if self.rate <= 0.0:
+            return 0.0
+        return 1.0 / self.rate

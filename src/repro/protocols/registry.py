@@ -13,7 +13,9 @@ from ..remy.tree import WhiskerTree
 from .aimd import AimdController
 from .base import CongestionController
 from .cubic import CubicController
+from .dctcp import DCTCPController
 from .newreno import NewRenoController
+from .pcc import PCCController
 from .remycc import RemyCCController
 from .vegas import VegasController
 
@@ -27,6 +29,8 @@ _BUILTIN: Dict[str, ControllerFactory] = {
     "newreno": NewRenoController,
     "aimd": AimdController,
     "vegas": VegasController,
+    "dctcp": DCTCPController,
+    "pcc": PCCController,
 }
 
 _EXTRA: Dict[str, ControllerFactory] = {}

@@ -103,6 +103,10 @@ class FlowSender:
         path = network.flows[flow_id]
         self.base_rtt = path.base_delay(packet_bytes, ack_bytes=40)
         self._pool = network.pool
+        #: ECT: stamp outgoing data packets ECN-capable when the
+        #: controller negotiates ECN (DCTCP), so marking queues mark
+        #: this flow instead of dropping it.
+        self._ecn = bool(getattr(controller, "ecn", False))
         network.attach_sender(flow_id, self._on_ack_packet)
 
         # Reliability state.
@@ -206,6 +210,8 @@ class FlowSender:
         packet = self._pool.acquire(self.flow_id, seq, self.packet_bytes,
                                     sent_at=now, first_sent_at=first,
                                     is_retransmission=retransmission)
+        if self._ecn:
+            packet.ecn_capable = True
         self._sent_time[seq] = now
         self._send_log.append((seq, now))
         self.pipe += 1
@@ -263,7 +269,8 @@ class FlowSender:
                          echo_sent_at=ack.echo_sent_at,
                          receiver_time=ack.receiver_time,
                          in_recovery=self.in_recovery,
-                         base_rtt=self.base_rtt)
+                         base_rtt=self.base_rtt,
+                         ecn_echo=ack.ecn_echo)
         if exited_recovery:
             self.cc.on_recovery_exit(ctx)
         if newly > 0:

@@ -112,14 +112,23 @@ class CoDelQueue(QueueDiscipline):
     Arriving packets are tail-dropped only when the (generous) physical
     buffer overflows; the AQM drops happen at dequeue based on sojourn
     time.
+
+    With ``ecn_threshold`` set the queue becomes ECN-enabled (RFC 8289
+    section 4.1): a CoDel drop decision on an ECT packet CE-marks and
+    *transmits* it instead of dropping (the control-law state machine
+    advances identically), and the inner FIFO additionally applies the
+    DCTCP-style instantaneous threshold mark at enqueue.  Non-ECT
+    packets are dropped exactly as before.
     """
 
     def __init__(self, capacity_packets: float = math.inf,
                  target: float = CODEL_TARGET,
-                 interval: float = CODEL_INTERVAL):
+                 interval: float = CODEL_INTERVAL,
+                 ecn_threshold: Optional[float] = None):
         super().__init__()
         self._fifo = DropTailQueue(capacity_packets=capacity_packets)
         self.codel = CoDelState(target=target, interval=interval)
+        self.ecn_threshold = ecn_threshold
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -133,6 +142,12 @@ class CoDelQueue(QueueDiscipline):
         if admitted:
             self.stats.enqueued += 1
             self.stats.bytes_enqueued += packet.size_bytes
+            threshold = self.ecn_threshold
+            if (threshold is not None and packet.ecn_capable
+                    and not packet.ecn_ce
+                    and len(self._fifo) > threshold):
+                packet.ecn_ce = True
+                self.stats.marked += 1
         else:
             self.stats.dropped += 1
             self.stats.dropped_at_arrival += 1
@@ -152,11 +167,18 @@ class CoDelQueue(QueueDiscipline):
                 return None
             empty_after = len(self._fifo) == 0
             if self.codel.should_drop(packet, now, empty_after):
-                self.stats.dropped += 1
-                self.stats.bytes_dropped += packet.size_bytes
-                if self.pool is not None:
-                    self.pool.release(packet)
-                continue
+                if self.ecn_threshold is not None and packet.ecn_capable:
+                    # ECN mode: the drop decision becomes a CE mark and
+                    # the packet is transmitted (mark-never-drop).
+                    if not packet.ecn_ce:
+                        packet.ecn_ce = True
+                        self.stats.marked += 1
+                else:
+                    self.stats.dropped += 1
+                    self.stats.bytes_dropped += packet.size_bytes
+                    if self.pool is not None:
+                        self.pool.release(packet)
+                    continue
             self.stats.dequeued += 1
             self.stats.bytes_dequeued += packet.size_bytes
             self._notify(now)

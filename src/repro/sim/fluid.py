@@ -28,7 +28,10 @@ What is modeled
 * fluid ports of every controller family: NewReno/AIMD slow start and
   congestion avoidance with a one-RTT loss refractory standing in for
   fast recovery, Cubic's cubic-in-time target with a round-based
-  HyStart analogue, Vegas's per-RTT ``diff`` rule, and the RemyCC
+  HyStart analogue, Vegas's per-RTT ``diff`` rule, DCTCP's
+  marked-fraction EWMA with per-RTT proportional cuts (driven by a
+  threshold-marking indicator on droptail queues — ECN on CoDel
+  variants stays packet-only, as does PCC entirely), and the RemyCC
   whisker controller — EWMA memory signals computed from rates and
   ``dt``, window updates compounded per-ACK in closed form, lookups
   batched through the flat :class:`~repro.remy.compiled.CompiledTree`
@@ -85,10 +88,13 @@ _CODEL_INTERVAL = 0.100
 
 #: Scheme families the fluid backend can port.  Rule-table kinds (any
 #: kind with an attached tree) are always supported.
-FLUID_SCHEMES = ("newreno", "aimd", "cubic", "vegas")
+FLUID_SCHEMES = ("newreno", "aimd", "cubic", "vegas", "dctcp")
 
 # Scheme family codes.
-_F_REMY, _F_RENO, _F_CUBIC, _F_VEGAS = 0, 1, 2, 3
+_F_REMY, _F_RENO, _F_CUBIC, _F_VEGAS, _F_DCTCP = 0, 1, 2, 3, 4
+
+# DCTCP constants (Alizadeh et al., mirrors repro.protocols.dctcp).
+_DCTCP_GAIN = 1.0 / 16.0
 
 
 def fluid_dt(config: NetworkConfig) -> float:
@@ -227,8 +233,14 @@ def fluid_refusal(config: NetworkConfig,
     tree_kinds = set(tree_kinds)
     for kind in config.sender_kinds:
         if kind not in tree_kinds and kind not in FLUID_SCHEMES:
-            return (f"scheme {kind!r} has no fluid port; supported: "
-                    f"rule-table kinds plus {FLUID_SCHEMES}")
+            return (f"scheme {kind!r} is packet-only (no fluid port); "
+                    f"fluid-portable: rule-table kinds plus "
+                    f"{FLUID_SCHEMES} — see docs/PERFORMANCE.md for "
+                    f"the fluid coverage list")
+    if config.ecn_threshold is not None and config.queue != "droptail":
+        return (f"ECN marking on queue {config.queue!r} is packet-only "
+                f"(the fluid model ports threshold marking on droptail "
+                f"only — see docs/PERFORMANCE.md)")
     if config.dynamics is not None:
         reason = config.dynamics.packet_only_reason()
         if reason is not None:
@@ -255,10 +267,13 @@ def _scheme_families(config: NetworkConfig, trees: Dict[str, object]):
             family[i] = _F_CUBIC
         elif kind == "vegas":
             family[i] = _F_VEGAS
+        elif kind == "dctcp":
+            family[i] = _F_DCTCP
         else:
             raise ValueError(
-                f"fluid backend cannot run scheme {kind!r}; supported: "
-                f"rule-table kinds plus {FLUID_SCHEMES}")
+                f"fluid backend cannot run scheme {kind!r} "
+                f"(packet-only); supported: rule-table kinds plus "
+                f"{FLUID_SCHEMES}")
     return family, list(tree_groups.values())
 
 
@@ -356,6 +371,12 @@ def simulate_fluid(config: NetworkConfig,
     is_reno = family == _F_RENO
     is_cubic = family == _F_CUBIC
     is_vegas = family == _F_VEGAS
+    is_dctcp = family == _F_DCTCP
+    # DCTCP grows and reacts to loss exactly like Reno; only its mark
+    # reaction differs.  With no dctcp flows ``is_renoish`` equals
+    # ``is_reno`` elementwise, so every pre-ECN trajectory stays
+    # bitwise identical.
+    is_renoish = is_reno | is_dctcp
     shp = (S, N)
     on = np.zeros(shp, dtype=bool)
     started = np.zeros(shp, dtype=bool)
@@ -385,6 +406,13 @@ def simulate_fluid(config: NetworkConfig,
     vg_round_min = np.full(shp, np.inf)
     vg_in_ss = np.ones(shp, dtype=bool)
     vg_grow = np.ones(shp, dtype=bool)
+    # DCTCP: EWMA of the marked-ACK fraction, cuts once per RTT round
+    # (the Alizadeh fluid model's alpha, driven by the lagged marking
+    # indicator below).
+    dc_alpha = np.zeros(shp)
+    dc_round_end = np.full(shp, -np.inf)
+    dc_acked = np.zeros(shp)
+    dc_marked = np.zeros(shp)
 
     # Queues and lag rings.
     q = np.zeros((S, N, H))                      # bytes per (flow, hop)
@@ -393,6 +421,13 @@ def simulate_fluid(config: NetworkConfig,
     qd_hist = np.zeros((S, N, K))                # path queueing delay, s
     loss_hist = np.zeros((S, N, K), dtype=bool)  # loss signals
     drop_hist = np.zeros((S, N, K))              # dropped pkts per step
+    # ECN: per-step CE-marking indicator, read on the ACK lag like
+    # ``loss_hist`` (allocated only when ECN is on, so non-ECN runs
+    # execute the exact pre-ECN program).
+    ecn_thresh_bytes = (config.ecn_threshold * _PKT
+                        if config.ecn_threshold is not None else None)
+    mark_hist = (np.zeros((S, N, K), dtype=bool)
+                 if ecn_thresh_bytes is not None else None)
     codel_above = np.zeros((S, L))               # FIFO-CoDel timers
     codel_above_q = np.zeros((S, N, H))          # sfq per-bucket timers
 
@@ -526,11 +561,13 @@ def simulate_fluid(config: NetworkConfig,
         loss = loss_hist[:, arange_n, pos_ack]
         sent_lag = sent_hist[:, arange_n, pos_ack]
         rtt_sample = base_rtt[None, :] + qd_hist[:, arange_n, pos_ack]
+        marked = (mark_hist[:, arange_n, pos_ack]
+                  if mark_hist is not None else None)
 
         # -- 4. loss reactions (multiplicative decrease) ---------------
         lost = loss & started & (t >= recover_until)
         if lost.any():
-            lr = lost & is_reno
+            lr = lost & is_renoish
             ssthresh = np.where(lr, np.maximum(w * 0.5, 2.0), ssthresh)
             w = np.where(lr, ssthresh, w)
             lc = lost & is_cubic
@@ -550,11 +587,39 @@ def simulate_fluid(config: NetworkConfig,
             recover_until = np.where(lost & ~is_remy, t + rtt_est,
                                      recover_until)
 
+        # -- 4b. DCTCP mark reaction -----------------------------------
+        # Tally marked vs total ACKs over one RTT round; at round end
+        # fold the fraction into alpha (gain 1/16) and, if any ACK was
+        # marked, cut once by alpha/2 — the proportional decrease that
+        # distinguishes DCTCP from Reno's blind halving.
+        if marked is not None and is_dctcp.any():
+            d_ack = is_dctcp & started & (acks > 0.0)
+            dc_acked = np.where(d_ack, dc_acked + acks, dc_acked)
+            dc_marked = np.where(d_ack & marked, dc_marked + acks,
+                                 dc_marked)
+            due = d_ack & (t >= dc_round_end)
+            if due.any():
+                frac = np.divide(dc_marked, dc_acked,
+                                 where=dc_acked > 0.0,
+                                 out=np.zeros_like(dc_marked))
+                dc_alpha = np.where(
+                    due, dc_alpha + _DCTCP_GAIN * (frac - dc_alpha),
+                    dc_alpha)
+                cut = due & (frac > 0.0)
+                w = np.where(cut,
+                             np.maximum(w * (1.0 - dc_alpha / 2.0),
+                                        2.0), w)
+                ssthresh = np.where(cut, np.maximum(w, 2.0), ssthresh)
+                dc_acked = np.where(due, 0.0, dc_acked)
+                dc_marked = np.where(due, 0.0, dc_marked)
+                dc_round_end = np.where(due, t + rtt_sample,
+                                        dc_round_end)
+
         # -- 5. window growth ------------------------------------------
         acked = started & (acks > 0.0)
         grow = acked & (t >= recover_until)
-        # NewReno / AIMD.
-        g = grow & is_reno
+        # NewReno / AIMD (DCTCP included: Reno-style growth).
+        g = grow & is_renoish
         in_ss = g & (w < ssthresh)
         w = np.where(in_ss, w + acks, w)
         in_ca = g & ~in_ss
@@ -701,6 +766,8 @@ def simulate_fluid(config: NetworkConfig,
         # -- 8. queues: arrivals, service, overflow, CoDel -------------
         loss_hist[:, :, pos_now] = False
         drop_hist[:, :, pos_now] = 0.0
+        if mark_hist is not None:
+            mark_hist[:, :, pos_now] = False
         inflow0 = rate * _PKT                     # bytes/s entering hop 0
         for l, (fidx, hidx) in enumerate(members):
             h_prev = np.maximum(hidx - 1, 0)
@@ -797,6 +864,12 @@ def simulate_fluid(config: NetworkConfig,
                 out_mem = np.maximum(v - prev_v[l], 0.0)
                 prev_v[l] = v
                 rem = np.maximum(q_mem + acc - out_mem, 0.0)
+                if mark_hist is not None:
+                    # Threshold marking (DCTCP's K): fluid arriving
+                    # while the standing queue exceeds K is CE-marked
+                    # — the Alizadeh model's step indicator.
+                    over_k = rem.sum(axis=1) > ecn_thresh_bytes
+                    mark_hist[:, fidx, pos_now] |= over_k[:, None]
                 # Latency: invert the arrival curve at the step's
                 # median departing byte — its wait is the time since
                 # that byte arrived.  Weighted by departures, so bytes

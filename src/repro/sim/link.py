@@ -177,7 +177,11 @@ class Link:
         # once, at construction.  The occupancy listener is re-checked
         # per send because tracing attaches one after the topology is
         # built.
+        # ECN-enabled drop-tail queues must go through the generic
+        # ``enqueue`` so CE marking runs; the inlined fast path would
+        # silently bypass it.
         self._fast = (type(self.queue) is DropTailQueue
+                      and self.queue.ecn_threshold is None
                       and not self._dynamic)
 
     @property

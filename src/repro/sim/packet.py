@@ -52,6 +52,7 @@ class Packet:
         "flow_id", "seq", "size_bytes", "is_ack",
         "sent_at", "first_sent_at", "is_retransmission",
         "ack_seq", "echo_sent_at", "echo_first_sent_at", "receiver_time",
+        "ecn_capable", "ecn_ce", "ecn_echo",
         "route", "hop", "enqueued_at", "sfq_deficit",
     )
 
@@ -77,6 +78,13 @@ class Packet:
         self.echo_sent_at = 0.0
         self.echo_first_sent_at = 0.0
         self.receiver_time = 0.0
+        # ECN: ``ecn_capable`` (ECT) is stamped by the sender when its
+        # controller understands marks; ``ecn_ce`` is set by an
+        # ECN-enabled queue instead of dropping; ``ecn_echo`` carries
+        # the mark back to the sender on the ACK.
+        self.ecn_capable = False
+        self.ecn_ce = False
+        self.ecn_echo = False
         # Routing state, filled in by the network when the packet is sent.
         self.route = ()
         self.hop = 0
@@ -109,6 +117,11 @@ class Packet:
         self.first_sent_at = now
         self.is_retransmission = False
         self.size_bytes = ACK_SIZE_BYTES
+        # Echo any CE mark picked up on the data path, then normalize
+        # the data-direction ECN state (ACKs are never marked).
+        self.ecn_echo = self.ecn_ce
+        self.ecn_capable = False
+        self.ecn_ce = False
         return self
 
     @classmethod
@@ -127,6 +140,7 @@ class Packet:
         ack.echo_sent_at = data_packet.sent_at
         ack.echo_first_sent_at = data_packet.first_sent_at
         ack.receiver_time = now
+        ack.ecn_echo = data_packet.ecn_ce
         return ack
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,11 +30,13 @@ class QueueStats:
     subset rejected before admission (tail drops).  The difference is
     packets dropped *after* admission (AQM dequeue drops, SFQ overflow
     evictions), which is what makes :attr:`resident` exact for every
-    discipline.
+    discipline.  ``marked`` counts ECN CE marks (never double-counted
+    per packet); a marked packet is still enqueued/dequeued normally.
     """
 
     __slots__ = ("enqueued", "dequeued", "dropped", "dropped_at_arrival",
-                 "bytes_enqueued", "bytes_dequeued", "bytes_dropped")
+                 "bytes_enqueued", "bytes_dequeued", "bytes_dropped",
+                 "marked")
 
     def __init__(self) -> None:
         self.enqueued = 0
@@ -44,6 +46,7 @@ class QueueStats:
         self.bytes_enqueued = 0
         self.bytes_dequeued = 0
         self.bytes_dropped = 0
+        self.marked = 0
 
     @property
     def resident(self) -> int:
@@ -75,6 +78,12 @@ class QueueDiscipline:
         #: of becoming garbage.  ``None`` (standalone queues, unit
         #: tests) keeps drops inert.
         self.pool = None
+        #: ECN marking threshold in packets, or ``None`` for a
+        #: non-ECN queue.  Subclasses that support marking accept it as
+        #: a constructor parameter; the link layer reads it to decide
+        #: whether the monomorphic drop-tail fast path (which bypasses
+        #: ``enqueue``) is safe.
+        self.ecn_threshold: Optional[float] = None
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         raise NotImplementedError
@@ -106,15 +115,26 @@ class DropTailQueue(QueueDiscipline):
         Optional byte cap (used by the 250 kB buffer of Figure 7).  The
         queue drops an arriving packet if admitting it would exceed
         *either* limit.
+    ecn_threshold:
+        DCTCP-style instantaneous marking threshold *K* in packets:
+        when admitting a packet leaves more than ``K`` packets queued,
+        an ECT packet is CE-marked instead of waiting for a tail drop
+        (drops still happen at capacity; marking never drops).
+        ``None`` (default) disables ECN entirely and keeps the
+        link-layer fast path.
     """
 
     def __init__(self, capacity_packets: float = math.inf,
-                 capacity_bytes: float = math.inf):
+                 capacity_bytes: float = math.inf,
+                 ecn_threshold: Optional[float] = None):
         super().__init__()
         if capacity_packets < 1 and capacity_packets != 0:
             raise ValueError("capacity_packets must be >= 1 (or 0 to drop all)")
+        if ecn_threshold is not None and ecn_threshold < 0:
+            raise ValueError("ecn_threshold must be >= 0 packets")
         self.capacity_packets = capacity_packets
         self.capacity_bytes = capacity_bytes
+        self.ecn_threshold = ecn_threshold
         self._queue: List[Packet] = []
         self._head = 0            # index of the logical front (amortized pop)
         self._bytes = 0
@@ -148,6 +168,12 @@ class DropTailQueue(QueueDiscipline):
         self._bytes += size
         stats.enqueued += 1
         stats.bytes_enqueued += size
+        threshold = self.ecn_threshold
+        if (threshold is not None and packet.ecn_capable
+                and not packet.ecn_ce
+                and len(self._queue) - self._head > threshold):
+            packet.ecn_ce = True
+            stats.marked += 1
         if listener is not None:
             listener(now, len(self))
         return True

@@ -84,19 +84,27 @@ class SfqCoDelQueue(QueueDiscipline):
         Number of hash buckets.
     quantum:
         DRR quantum in bytes.
+    ecn_threshold:
+        When set, the queue is ECN-enabled: per-bucket CoDel drop
+        decisions CE-mark ECT packets instead of dropping them, and
+        the aggregate occupancy applies a DCTCP-style instantaneous
+        threshold mark at enqueue.  Overflow eviction still drops —
+        ECN never creates buffer space.
     """
 
     def __init__(self, capacity_packets: float = math.inf,
                  n_buckets: int = SFQ_DEFAULT_BUCKETS,
                  quantum: int = SFQ_DEFAULT_QUANTUM,
                  target: float = CODEL_TARGET,
-                 interval: float = CODEL_INTERVAL):
+                 interval: float = CODEL_INTERVAL,
+                 ecn_threshold: Optional[float] = None):
         super().__init__()
         if n_buckets < 1:
             raise ValueError("n_buckets must be >= 1")
         self.capacity_packets = capacity_packets
         self.n_buckets = n_buckets
         self.quantum = quantum
+        self.ecn_threshold = ecn_threshold
         self._target = target
         self._interval = interval
         self._buckets: Dict[int, _Bucket] = {}
@@ -132,6 +140,12 @@ class SfqCoDelQueue(QueueDiscipline):
         self._total_bytes += packet.size_bytes
         self.stats.enqueued += 1
         self.stats.bytes_enqueued += packet.size_bytes
+        threshold = self.ecn_threshold
+        if (threshold is not None and packet.ecn_capable
+                and not packet.ecn_ce
+                and self._total_packets > threshold):
+            packet.ecn_ce = True
+            self.stats.marked += 1
         if not bucket.active:
             bucket.active = True
             bucket.deficit = self.quantum
@@ -207,6 +221,12 @@ class SfqCoDelQueue(QueueDiscipline):
             self._total_bytes -= packet.size_bytes
             empty_after = bucket.peek_is_empty()
             if bucket.codel.should_drop(packet, now, empty_after):
+                if self.ecn_threshold is not None and packet.ecn_capable:
+                    # ECN mode: mark and transmit (mark-never-drop).
+                    if not packet.ecn_ce:
+                        packet.ecn_ce = True
+                        self.stats.marked += 1
+                    return packet
                 self.stats.dropped += 1
                 self.stats.bytes_dropped += packet.size_bytes
                 if self.pool is not None:

@@ -1,0 +1,193 @@
+"""The ECN subsystem and the modern scheme family (DCTCP, PCC).
+
+Four layers of contract:
+
+* **Registry** — dctcp/pcc are first-class scheme names, and an unknown
+  name fails with the full sorted menu (the error a sweep-CLI typo
+  surfaces).
+* **Queue marking** — threshold marking is mark-*instead of*-drop: an
+  ECT packet admitted over the threshold is CE-marked, never dropped;
+  drops still happen at capacity; and against a *fixed* arrival
+  process, marks are monotone nonincreasing in the threshold.  (The
+  monotonicity is a queue property, not an end-to-end one: a reactive
+  sender changes its offered load with the threshold, so end-to-end
+  mark counts may go either way.)
+* **DCTCP steady state** — the queue pins near the threshold with no
+  drops, and the sawtooth amplitude lands within a loose factor of
+  Alizadeh's analytic prediction ``A = (alpha/2) W* ~ sqrt(W*/2)``.
+* **PCC** — the utility the controller reports improves as it searches
+  a static dumbbell, and its best monitor interval closes on the
+  capacity bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import NetworkConfig
+from repro.experiments.common import build_simulation
+from repro.protocols.registry import available_schemes, make_controller
+from repro.sim.fluid import fluid_refusal
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+_PKT = 1500
+
+
+def _dumbbell(kind, ecn_threshold=None, queue="droptail"):
+    """One saturated sender on the 15 Mbps / 100 ms bottleneck."""
+    return NetworkConfig(
+        link_speeds_mbps=(15.0,), rtt_ms=100.0, sender_kinds=(kind,),
+        mean_on_s=100.0, mean_off_s=0.0, buffer_bdp=5.0,
+        ecn_threshold=ecn_threshold, queue=queue)
+
+
+class TestRegistry:
+    def test_modern_family_registered(self):
+        assert {"dctcp", "pcc"} <= set(available_schemes())
+
+    def test_unknown_scheme_error_lists_sorted_menu(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_controller("warp")
+        message = str(excinfo.value)
+        assert "unknown scheme 'warp'" in message
+        # The full sorted menu, so the error is actionable as-is.
+        assert str(available_schemes()) in message
+        assert available_schemes() == sorted(available_schemes())
+
+    def test_ecn_negotiation_is_per_scheme(self):
+        # DCTCP asks for ECT stamping; PCC (as deployed) does not.
+        assert make_controller("dctcp").ecn is True
+        assert make_controller("pcc").ecn is False
+        assert make_controller("cubic").ecn is False
+
+
+def _ect_packet(seq: int) -> Packet:
+    packet = Packet(flow_id=0, seq=seq, size_bytes=_PKT, sent_at=0.0)
+    packet.ecn_capable = True
+    return packet
+
+
+class TestQueueMarking:
+    def test_mark_never_drop_below_capacity(self):
+        queue = DropTailQueue(capacity_packets=100, ecn_threshold=10)
+        packets = [_ect_packet(i) for i in range(50)]
+        assert all(queue.enqueue(p, now=0.0) for p in packets)
+        assert queue.stats.dropped == 0
+        # Occupancy exceeds the threshold from the 11th packet on.
+        assert queue.stats.marked == 40
+        assert [p.ecn_ce for p in packets] == [False] * 10 + [True] * 40
+
+    def test_non_ect_traffic_never_marked(self):
+        queue = DropTailQueue(capacity_packets=100, ecn_threshold=10)
+        for i in range(50):
+            assert queue.enqueue(
+                Packet(flow_id=0, seq=i, size_bytes=_PKT, sent_at=0.0),
+                now=0.0)
+        assert queue.stats.marked == 0
+        assert queue.stats.dropped == 0
+
+    def test_drops_still_happen_at_capacity(self):
+        queue = DropTailQueue(capacity_packets=20, ecn_threshold=5)
+        admitted = sum(queue.enqueue(_ect_packet(i), now=0.0)
+                       for i in range(30))
+        assert admitted == 20
+        assert queue.stats.dropped == 10
+        assert queue.stats.marked == 15   # packets 6..20 of the admitted
+
+    def test_marks_monotone_nonincreasing_in_threshold(self):
+        """Same arrival process, higher threshold: never more marks."""
+        def marks(threshold):
+            queue = DropTailQueue(capacity_packets=200,
+                                  ecn_threshold=threshold)
+            for i in range(120):
+                queue.enqueue(_ect_packet(i), now=0.0)
+                if i % 3 == 2:
+                    queue.dequeue(now=0.0)
+            return queue.stats.marked
+
+        counts = [marks(k) for k in (0, 5, 10, 20, 50, 100)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-2] > 0
+        # The arrival process peaks at 80 resident packets, so a
+        # threshold the occupancy never crosses must never mark.
+        assert counts[-1] == 0
+
+
+class TestEndToEndECN:
+    @pytest.mark.parametrize("queue", ["droptail", "codel", "sfq_codel"])
+    def test_dctcp_marks_and_never_drops(self, queue):
+        """A lone DCTCP flow against a 5-BDP buffer: the marks arrive
+        long before the buffer fills, so ECN fully replaces loss."""
+        handle = build_simulation(
+            _dumbbell("dctcp", ecn_threshold=20.0, queue=queue), seed=1)
+        result = handle.run(10.0)
+        stats = handle.built.link("A", "B").queue.stats
+        assert stats.marked > 0
+        assert stats.dropped == 0
+        assert result.bottleneck_utilization > 0.7
+
+    def test_dctcp_amplitude_matches_analytic(self):
+        """Alizadeh's steady-state analysis: with critical window
+        ``W* = BDP + K`` the marked fraction settles near
+        ``sqrt(2/W*)`` and the sawtooth amplitude near
+        ``A = (alpha/2) W* = sqrt(W*/2)`` packets.  The analysis
+        assumes small oscillations and instant feedback, so the test
+        holds the simulator to a loose factor, not the exact value."""
+        threshold = 20.0
+        config = _dumbbell("dctcp", ecn_threshold=threshold)
+        handle = build_simulation(config, seed=1, trace_queues=True)
+        handle.run(30.0)
+        stats = handle.built.link("A", "B").queue.stats
+        assert stats.dropped == 0
+
+        trace = next(iter(handle.traces.values()))
+        _, lengths = trace.sample(0.01, 30.0)
+        steady = lengths[len(lengths) // 2:]
+        amplitude = (np.percentile(steady, 95)
+                     - np.percentile(steady, 5))
+        bdp = config.link_speed_bps(0) * config.rtt_ms / 1e3 / 8 / _PKT
+        w_star = bdp + threshold
+        analytic = (w_star / 2.0) ** 0.5
+        assert analytic / 2.0 <= amplitude <= 3.0 * analytic, (
+            f"sawtooth amplitude {amplitude:.1f} pkts vs analytic "
+            f"{analytic:.1f} (W* = {w_star:.0f})")
+        # ... and the queue is pinned near K, not near the 5-BDP tail.
+        assert threshold / 4.0 <= steady.mean() <= 2.0 * threshold
+
+
+class TestPCC:
+    def test_utility_improves_in_static_dumbbell(self):
+        handle = build_simulation(_dumbbell("pcc"), seed=1)
+        handle.run(30.0)
+        utilities = handle.controllers[0].utilities
+        assert len(utilities) >= 20
+        # Starting state: each rate doubling below capacity must win.
+        assert utilities[0] < utilities[1] < utilities[2] < utilities[3]
+        # The best monitor interval closes on the capacity bound
+        # (sigmoid(0) * capacity: ~0.99 * 1250 pkts/s here).
+        capacity_pps = 15e6 / 8.0 / _PKT
+        assert max(utilities) > 0.9 * capacity_pps
+        # Converged operation beats the search transient on average.
+        quarter = len(utilities) // 4
+        early = sum(utilities[:quarter]) / quarter
+        late = sum(utilities[-quarter:]) / quarter
+        assert late > early
+
+
+class TestFluidCoverage:
+    def test_pcc_refusal_names_scheme_and_docs(self):
+        reason = fluid_refusal(_dumbbell("pcc"))
+        assert reason is not None
+        assert "'pcc'" in reason
+        assert "packet-only" in reason
+        assert "docs/PERFORMANCE.md" in reason
+
+    def test_dctcp_on_droptail_ecn_is_fluid_eligible(self):
+        assert fluid_refusal(_dumbbell("dctcp", ecn_threshold=20.0)) \
+            is None
+
+    def test_ecn_on_codel_is_packet_only(self):
+        reason = fluid_refusal(
+            _dumbbell("dctcp", ecn_threshold=20.0, queue="codel"))
+        assert reason is not None
+        assert "packet-only" in reason

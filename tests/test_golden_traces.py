@@ -35,11 +35,12 @@ _DURATION = 2.0
 
 
 def _dumbbell(speed, rtt_ms, kinds, queue="droptail", buffer_bdp=5.0,
-              deltas=(), dynamics=None):
+              deltas=(), dynamics=None, ecn_threshold=None):
     return NetworkConfig(
         link_speeds_mbps=(speed,), rtt_ms=rtt_ms, sender_kinds=kinds,
         deltas=deltas, mean_on_s=1.0, mean_off_s=1.0,
-        buffer_bdp=buffer_bdp, queue=queue, dynamics=dynamics)
+        buffer_bdp=buffer_bdp, queue=queue, dynamics=dynamics,
+        ecn_threshold=ecn_threshold)
 
 
 #: One scenario per experiment module, mirroring that module's network
@@ -147,6 +148,28 @@ SCENARIOS["rtt_jitter"] = SimTask.build(
                   reorder_prob=0.05, reorder_extra_ms=8.0),))),
     trees=_LEARNER, seed=1, duration_s=_DURATION)
 
+#: ECN + modern schemes: pin the marking path end to end.
+#
+# ecn: the E10 module's family — an ECN drop-tail bottleneck shared by
+# a DCTCP (reacts to CE echoes) and a Cubic (ignores them) sender, so
+# the digest pins both the marking machinery and the non-ECN scheme's
+# indifference to it.
+SCENARIOS["ecn"] = SimTask.build(
+    _dumbbell(15.0, 50.0, ("dctcp", "cubic"), ecn_threshold=15.0),
+    trees=None, seed=1, duration_s=_DURATION)
+# dctcp_ecn: homogeneous DCTCP under a tight threshold — the
+# marked-fraction EWMA and proportional-cut trajectory.  (50 ms RTT:
+# slow start must actually reach the threshold inside the 2 s budget,
+# or the digest would pin a mark-free — ECN-dead — trajectory.)
+SCENARIOS["dctcp_ecn"] = SimTask.build(
+    _dumbbell(15.0, 50.0, ("dctcp", "dctcp"), ecn_threshold=10.0),
+    trees=None, seed=1, duration_s=_DURATION)
+# pcc_dumbbell: PCC's monitor-interval/utility-gradient loop (packet
+# only — no fluid analogue of rate trials).
+SCENARIOS["pcc_dumbbell"] = SimTask.build(
+    _dumbbell(15.0, 100.0, ("pcc", "pcc")),
+    trees=None, seed=1, duration_s=_DURATION)
+
 #: name -> SHA-1 of the canonical serialized result.  Regenerate by
 #: running this file as a script — but only after convincing yourself
 #: the simulator change behind the mismatch is intentional.
@@ -165,6 +188,9 @@ GOLDEN = {
     "many_senders_fluid": "bf1e625e1803dfd31fab55382206f8cf4d026074",
     "outage_blackout": "753836519abf3a4eee99198e9336f6b5555c7236",
     "rtt_jitter": "590d8579b90f3ef7fc5b4f7ea78d5b8e69c6a47a",
+    "ecn": "f8bf29d38150840c7f771fdac013d61b78d80fb1",
+    "dctcp_ecn": "1408f173aa738536ab43dc60e4deefb575f6e6b9",
+    "pcc_dumbbell": "ada7aa9f913232a73c4c4eff4bae7d6b6a1298cd",
 }
 
 

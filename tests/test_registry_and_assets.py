@@ -34,8 +34,10 @@ class TestRegistry:
         assert controller.tree is tree
 
     def test_unknown_scheme(self):
+        # dctcp/pcc joined the registry in the ECN PR, so the canonical
+        # unknown name must be something no scheme will ever claim.
         with pytest.raises(ValueError, match="unknown scheme"):
-            make_controller("dctcp")
+            make_controller("not_a_scheme")
 
     def test_custom_registration(self):
         register_scheme("myaimd", lambda: AimdController(increase=2.0))

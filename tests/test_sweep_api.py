@@ -227,11 +227,11 @@ class TestSweepResult:
 
 
 class TestRegistry:
-    def test_all_nine_registered_in_paper_order(self):
+    def test_all_ten_registered_in_paper_order(self):
         entries = experiments()
         assert [e.eid for e in entries] == \
-            [f"E{i}" for i in range(1, 10)]
-        assert sum(e.spec is not None for e in entries) == 8
+            [f"E{i}" for i in range(1, 11)]
+        assert sum(e.spec is not None for e in entries) == 9
 
     def test_lookup_by_eid_and_name(self):
         assert get_experiment("E4").name == "rtt"
