@@ -53,8 +53,9 @@ import time
 
 from repro.core.scale import Scale
 from repro.exec import (StoreExecutor, StoreSchemaError, TaskFailedError,
-                        add_fault_tolerance_arguments, executor_for,
-                        policy_from_args, store_main)
+                        add_fault_tolerance_arguments,
+                        add_workers_argument, executor_for,
+                        policy_from_args, store_main, workers_from_args)
 from repro.experiments.api import (FAKE_TREE, experiments,
                                    run_experiment)
 from repro.profiling import add_profile_argument, maybe_profile
@@ -129,6 +130,7 @@ def main(argv=None) -> int:
                              "against a typo'd path silently recomputing "
                              "a finished sweep)")
     add_fault_tolerance_arguments(parser)
+    add_workers_argument(parser)
     add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
@@ -144,9 +146,15 @@ def main(argv=None) -> int:
                  f"{scale.n_seeds} seeds, "
                  f"{scale.sweep_points} sweep points)\n")
     try:
+        workers = workers_from_args(args)
+    except ValueError as error:
+        print(f"--workers: {error}", file=sys.stderr)
+        return 2
+    try:
         executor = executor_for(args.jobs, store=args.store,
                                 resume=args.resume,
-                                policy=policy_from_args(args))
+                                policy=policy_from_args(args),
+                                workers=workers)
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2

@@ -58,8 +58,9 @@ from repro.experiments.api import (FAKE_TREE, AdhocBase, Axis,
                                    _adhoc_setting, adhoc_spec,
                                    run_experiment)
 from repro.exec import (StoreExecutor, StoreSchemaError, TaskFailedError,
-                        add_fault_tolerance_arguments, executor_for,
-                        policy_from_args, store_main)
+                        add_fault_tolerance_arguments,
+                        add_workers_argument, executor_for,
+                        policy_from_args, store_main, workers_from_args)
 from repro.profiling import add_profile_argument, maybe_profile
 from repro.protocols.registry import available_schemes
 from repro.sim.fluid import FLUID_SCHEMES
@@ -187,6 +188,7 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="require --store to exist already (typo "
                              "guard)")
     add_fault_tolerance_arguments(parser)
+    add_workers_argument(parser)
     add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
@@ -259,9 +261,15 @@ def main(argv=None) -> int:
                      if name not in protocols}
 
     try:
+        workers = workers_from_args(args)
+    except ValueError as error:
+        print(f"--workers: {error}", file=sys.stderr)
+        return 2
+    try:
         executor = executor_for(args.jobs, store=args.store,
                                 resume=args.resume,
-                                policy=policy_from_args(args))
+                                policy=policy_from_args(args),
+                                workers=workers)
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2

@@ -45,8 +45,10 @@ from dataclasses import asdict
 
 from repro.core.scale import Scale
 from repro.exec import (StoreExecutor, StoreSchemaError, TaskFailedError,
-                        add_fault_tolerance_arguments, default_jobs,
-                        executor_for, policy_from_args, store_main)
+                        add_fault_tolerance_arguments,
+                        add_workers_argument, default_jobs,
+                        executor_for, policy_from_args, store_main,
+                        workers_from_args)
 from repro.profiling import add_profile_argument, maybe_profile
 from repro.remy.assets import save_asset
 from repro.remy.catalog import CATALOG
@@ -62,10 +64,10 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="catalog names to train")
     parser.add_argument("--all", action="store_true",
                         help="train every catalog entry")
-    parser.add_argument("-j", "--jobs", "--workers", type=int,
+    parser.add_argument("-j", "--jobs", type=int,
                         dest="jobs", default=default_jobs(),
                         help="worker processes for simulation batches "
-                             "(1 = serial; --workers is a legacy alias)")
+                             "(1 = serial)")
     parser.add_argument("--budget", type=float, default=360.0,
                         help="wall-clock seconds per asset")
     parser.add_argument("--generations", type=int, default=2)
@@ -93,10 +95,17 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="require --store to exist already (typo "
                              "guard)")
     add_fault_tolerance_arguments(parser)
+    add_workers_argument(parser)
     add_profile_argument(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.store:
         parser.error("--resume requires --store PATH")
+    if args.workers and args.workers.isdigit():
+        # Pre-remote builds accepted --workers N as a --jobs alias;
+        # keep that spelling working instead of rejecting it as a
+        # malformed HOST:PORT.
+        args.jobs = int(args.workers)
+        args.workers = None
     return args
 
 
@@ -175,9 +184,15 @@ def main(argv=None) -> int:
 
     done = set()
     try:
+        workers = workers_from_args(args)
+    except ValueError as error:
+        print(f"--workers: {error}", file=sys.stderr)
+        return 2
+    try:
         executor = executor_for(args.jobs, store=args.store,
                                 resume=args.resume,
-                                policy=policy_from_args(args))
+                                policy=policy_from_args(args),
+                                workers=workers)
     except (FileNotFoundError, StoreSchemaError) as error:
         print(f"--store: {error}", file=sys.stderr)
         return 2

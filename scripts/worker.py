@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Run one repro worker daemon for remote task dispatch.
+
+Usage::
+
+    python scripts/worker.py --port 7070
+    python scripts/worker.py --host 0.0.0.0 --port 0   # ephemeral port
+
+Then point any sweep/training client at it::
+
+    python scripts/sweep.py --axis rtt_ms=log:1:300:7 --schemes cubic \
+        --workers hostA:7070,hostB:7070
+
+The daemon accepts one :class:`~repro.exec.remote.RemoteExecutor`
+connection per lane (list an address twice client-side for two parallel
+lanes), runs each length-prefixed, checksummed
+:class:`~repro.exec.task.SimTask` assignment, and streams per-task
+results back — those double as the client's heartbeat acks.  Results
+are cached per client session keyed by task fingerprint, so a client
+that reconnects after a network fault gets lost-in-flight results
+replayed instantly instead of recomputed.
+
+Fault injection: the process marks itself a worker, so a
+``REPRO_FAULTS`` plan (see :mod:`repro.exec.faults`) arms both the
+in-task faults (raise / hang / SIGKILL) and the wire faults
+(conn-drop / frame-corrupt / partition / delay) here — never in the
+dispatching client.
+
+Frames are pickled Python objects: run workers only on hosts and
+networks you trust (see docs/EXECUTION.md, "Remote execution").
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+
+from repro.exec.remote import serve_worker  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to listen on (default "
+                             "127.0.0.1; use 0.0.0.0 only on a "
+                             "trusted network)")
+    parser.add_argument("--port", type=int, default=7070,
+                        help="TCP port (0 = pick an ephemeral port "
+                             "and print it)")
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        metavar="N",
+                        help="per-session result-cache entries kept "
+                             "for reconnect replay (default 4096)")
+    args = parser.parse_args(argv)
+    serve_worker(
+        host=args.host, port=args.port, cache_size=args.cache_size,
+        on_ready=lambda port: print(
+            f"repro worker listening on {args.host}:{port}",
+            flush=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,11 @@ batch-execution layer:
   :class:`SupervisedExecutor` adding retry/timeout/quarantine fault
   tolerance under a :class:`RetryPolicy`, :class:`CachingExecutor` in
   memory, :class:`StoreExecutor` on disk).
+* :class:`RemoteExecutor` / :class:`WorkerServer` — multi-host
+  dispatch over TCP (``scripts/worker.py`` daemons) under the same
+  :class:`RetryPolicy` failure contract, with lease-based ownership,
+  session-resuming reconnects, work stealing, and graceful local
+  fallback (``--workers host:port,...`` on the CLIs).
 * :class:`ResultStore` — the sharded, schema-versioned,
   corruption-tolerant on-disk result map behind :class:`StoreExecutor`;
   it makes crashed sweeps resumable and shares results across
@@ -29,6 +34,9 @@ from .batch import executor_for, run_batch
 from .executors import (CachingExecutor, Executor, ProcessPoolExecutor,
                         SerialExecutor, default_jobs, pack_chunks,
                         task_cost)
+from .remote import (RemoteExecutor, RemoteStats, WorkerServer,
+                     add_workers_argument, parse_workers, serve_worker,
+                     workers_from_args)
 from .store import (SCHEMA_VERSION, ResultStore, StoreExecutor,
                     StoreSchemaError, StoreStats, store_main)
 from .supervise import (RetryPolicy, SupervisedExecutor, SuperviseStats,
@@ -42,6 +50,8 @@ __all__ = [
     "run_task_group", "cache_key", "BACKENDS",
     "Executor", "SerialExecutor", "ProcessPoolExecutor",
     "CachingExecutor", "StoreExecutor", "SupervisedExecutor",
+    "RemoteExecutor", "RemoteStats", "WorkerServer", "serve_worker",
+    "parse_workers", "add_workers_argument", "workers_from_args",
     "default_jobs", "pack_chunks", "task_cost",
     "RetryPolicy", "SuperviseStats", "TaskFailedError",
     "add_fault_tolerance_arguments", "policy_from_args",

@@ -11,9 +11,10 @@ so results persist across crashes and processes.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from .executors import Executor, ProgressFn, SerialExecutor
+from .remote import RemoteExecutor
 from .store import ResultStore, StoreExecutor
 from .supervise import RetryPolicy, SupervisedExecutor
 from .task import SimTask, SimTaskResult
@@ -23,11 +24,16 @@ __all__ = ["run_batch", "executor_for"]
 #: Anything ``store=`` accepts: an open store or a directory path.
 StoreLike = Union[ResultStore, str, os.PathLike]
 
+#: Anything ``workers=`` accepts: a ``"host:port,host:port"`` string or
+#: a sequence of addresses (see :func:`repro.exec.remote.parse_workers`).
+WorkersLike = Union[str, Sequence[Union[str, Tuple[str, int]]]]
+
 
 def executor_for(jobs: Optional[int],
                  store: Optional[StoreLike] = None,
                  resume: bool = False,
-                 policy: Optional[RetryPolicy] = None) -> Executor:
+                 policy: Optional[RetryPolicy] = None,
+                 workers: Optional[WorkersLike] = None) -> Executor:
     """The executor implied by ``--jobs N`` / ``--store PATH`` flags.
 
     ``None``, ``0``, or ``1`` jobs mean serial; anything larger is a
@@ -40,6 +46,12 @@ def executor_for(jobs: Optional[int],
 
     ``policy`` tunes retries/timeouts/quarantine (default
     :class:`RetryPolicy`, which raises on the first exhausted task).
+
+    ``workers`` (``--workers host:port,...``) overrides local
+    execution with a :class:`~repro.exec.remote.RemoteExecutor`
+    dispatching to those worker daemons under the same policy; ``jobs``
+    then sizes only the local fallback pool used when no worker is
+    reachable.
 
     ``store`` (a directory path or an open :class:`ResultStore`) wraps
     the executor in a :class:`StoreExecutor`: results already on disk
@@ -59,8 +71,11 @@ def executor_for(jobs: Optional[int],
     if resume and store is None:
         raise ValueError("resume requires a result store "
                          "(pass store=/--store)")
-    if jobs is not None and jobs > 1:
-        inner: Executor = SupervisedExecutor(jobs, policy=policy)
+    if workers:
+        inner: Executor = RemoteExecutor(workers, policy=policy,
+                                         fallback_jobs=jobs or None)
+    elif jobs is not None and jobs > 1:
+        inner = SupervisedExecutor(jobs, policy=policy)
     else:
         inner = SerialExecutor()
     if store is None:
@@ -77,7 +92,8 @@ def run_batch(tasks: Sequence[SimTask],
               jobs: Optional[int] = None,
               progress: Optional[ProgressFn] = None,
               store: Optional[StoreLike] = None,
-              policy: Optional[RetryPolicy] = None
+              policy: Optional[RetryPolicy] = None,
+              workers: Optional[WorkersLike] = None
               ) -> List[SimTaskResult]:
     """Run ``tasks`` and return their results in task order.
 
@@ -97,5 +113,6 @@ def run_batch(tasks: Sequence[SimTask],
             # close the caller's executor, so don't close the wrapper.
             executor = StoreExecutor(executor, store=store)
         return executor.run_batch(tasks, progress=progress)
-    with executor_for(jobs, store=store, policy=policy) as owned:
+    with executor_for(jobs, store=store, policy=policy,
+                      workers=workers) as owned:
         return owned.run_batch(tasks, progress=progress)

@@ -159,11 +159,19 @@ class Executor:
         tasks = list(tasks)
         results: List[Optional[SimTaskResult]] = [None] * len(tasks)
         done = 0
-        for i, result in self.run_iter(tasks):
-            results[i] = result
-            done += 1
-            if progress is not None:
-                progress(done, len(tasks))
+        stream = self.run_iter(tasks)
+        try:
+            for i, result in stream:
+                results[i] = result
+                done += 1
+                if progress is not None:
+                    progress(done, len(tasks))
+        finally:
+            # Close the generator *now*, not at GC time: run_iter
+            # implementations reap worker processes in their except/
+            # finally blocks, and a progress callback that raises must
+            # not leave that cleanup pending on the collector.
+            stream.close()
         return results  # type: ignore[return-value]
 
     def close(self) -> None:

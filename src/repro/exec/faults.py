@@ -38,6 +38,25 @@ Transient vs. poison
 machinery should absorb.  The ``raise_keys`` / ``hang_keys`` /
 ``kill_keys`` lists target specific fingerprints on *every* attempt —
 poison tasks that must end up quarantined, not retried forever.
+
+Network faults
+--------------
+The remote backend (:mod:`repro.exec.remote`) adds four wire-level
+kinds, drawn from the same seeded SHA-1 scheme so chaos runs over TCP
+stay exactly as reproducible as local ones:
+
+* ``conn-drop`` — the worker closes the connection instead of sending
+  the task's result (models a crashed worker host / RST mid-stream);
+* ``frame-corrupt`` — the result frame is sent with flipped payload
+  bytes, so the client's checksum rejects it (models a bad NIC/path);
+* ``partition`` — the worker goes silent for ``partition_s`` before
+  the result (models a network partition; leases must expire);
+* ``delay`` — the result is delayed by ``delay_s`` (models a
+  straggler; work stealing should duplicate the task).
+
+These fire at the *send* boundary, after the task has run (and been
+cached under its session), so a re-dispatch to the same worker is a
+cheap cache hit — which is how the chaos tests keep wall-clock sane.
 """
 
 from __future__ import annotations
@@ -84,11 +103,21 @@ class FaultPlan:
     p_kill: float = 0.0           # SIGKILL the worker before the task
     p_hang: float = 0.0           # sleep hang_s before the task
     p_corrupt: float = 0.0        # append a garbage line after a put
+    p_conn_drop: float = 0.0      # close the wire instead of replying
+    p_frame_corrupt: float = 0.0  # flip payload bytes in the reply frame
+    p_delay: float = 0.0          # delay the reply by delay_s
+    p_partition: float = 0.0      # go silent for partition_s first
     hang_s: float = 3600.0
+    delay_s: float = 2.0
+    partition_s: float = 3600.0
     max_attempt: Optional[int] = 0
     raise_keys: Tuple[str, ...] = field(default_factory=tuple)
     kill_keys: Tuple[str, ...] = field(default_factory=tuple)
     hang_keys: Tuple[str, ...] = field(default_factory=tuple)
+    conn_drop_keys: Tuple[str, ...] = field(default_factory=tuple)
+    frame_corrupt_keys: Tuple[str, ...] = field(default_factory=tuple)
+    delay_keys: Tuple[str, ...] = field(default_factory=tuple)
+    partition_keys: Tuple[str, ...] = field(default_factory=tuple)
 
     def to_json(self) -> str:
         return json.dumps({
@@ -97,11 +126,21 @@ class FaultPlan:
             "p_kill": self.p_kill,
             "p_hang": self.p_hang,
             "p_corrupt": self.p_corrupt,
+            "p_conn_drop": self.p_conn_drop,
+            "p_frame_corrupt": self.p_frame_corrupt,
+            "p_delay": self.p_delay,
+            "p_partition": self.p_partition,
             "hang_s": self.hang_s,
+            "delay_s": self.delay_s,
+            "partition_s": self.partition_s,
             "max_attempt": self.max_attempt,
             "raise_keys": list(self.raise_keys),
             "kill_keys": list(self.kill_keys),
             "hang_keys": list(self.hang_keys),
+            "conn_drop_keys": list(self.conn_drop_keys),
+            "frame_corrupt_keys": list(self.frame_corrupt_keys),
+            "delay_keys": list(self.delay_keys),
+            "partition_keys": list(self.partition_keys),
         }, sort_keys=True)
 
     @classmethod
@@ -116,12 +155,23 @@ class FaultPlan:
             p_kill=float(data.get("p_kill", 0.0)),
             p_hang=float(data.get("p_hang", 0.0)),
             p_corrupt=float(data.get("p_corrupt", 0.0)),
+            p_conn_drop=float(data.get("p_conn_drop", 0.0)),
+            p_frame_corrupt=float(data.get("p_frame_corrupt", 0.0)),
+            p_delay=float(data.get("p_delay", 0.0)),
+            p_partition=float(data.get("p_partition", 0.0)),
             hang_s=float(data.get("hang_s", 3600.0)),
+            delay_s=float(data.get("delay_s", 2.0)),
+            partition_s=float(data.get("partition_s", 3600.0)),
             max_attempt=(None if data.get("max_attempt", 0) is None
                          else int(data.get("max_attempt", 0))),
             raise_keys=tuple(data.get("raise_keys") or ()),
             kill_keys=tuple(data.get("kill_keys") or ()),
             hang_keys=tuple(data.get("hang_keys") or ()),
+            conn_drop_keys=tuple(data.get("conn_drop_keys") or ()),
+            frame_corrupt_keys=tuple(data.get("frame_corrupt_keys")
+                                     or ()),
+            delay_keys=tuple(data.get("delay_keys") or ()),
+            partition_keys=tuple(data.get("partition_keys") or ()),
         )
 
 
@@ -171,6 +221,30 @@ class FaultInjector:
         if key in plan.kill_keys \
                 or self._probabilistic("kill", plan.p_kill, key, attempt):
             os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_wire(self, key: str, attempt: int) -> Optional[str]:
+        """The network fault (if any) scheduled for ``key`` at
+        ``attempt``, as a kind string the remote worker interprets at
+        its send boundary: ``"conn-drop"``, ``"frame-corrupt"``,
+        ``"partition"``, or ``"delay"`` (checked in that order — the
+        most disruptive fault wins when several draws fire).  ``None``
+        means the result frame goes out untouched.
+
+        The ``*_keys`` lists fire on every attempt (persistent network
+        poison); probabilistic draws respect ``max_attempt`` like every
+        other transient kind, so a retry after a dropped connection
+        normally succeeds.
+        """
+        plan = self.plan
+        for kind, keys, p in (
+                ("conn-drop", plan.conn_drop_keys, plan.p_conn_drop),
+                ("frame-corrupt", plan.frame_corrupt_keys,
+                 plan.p_frame_corrupt),
+                ("partition", plan.partition_keys, plan.p_partition),
+                ("delay", plan.delay_keys, plan.p_delay)):
+            if key in keys or self._probabilistic(kind, p, key, attempt):
+                return kind
+        return None
 
     def on_put(self, key: str) -> Optional[bytes]:
         """Garbage to append after persisting ``key``, or ``None``."""

@@ -42,8 +42,9 @@ import json
 import os
 import sys
 import tempfile
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.results import FlowStats, RunResult
 from .executors import Executor, ProgressFn, SerialExecutor
@@ -289,11 +290,19 @@ class ResultStore:
         return key in self._load_shard(self._shard_of(key))
 
     def put(self, key: str, result: SimTaskResult) -> None:
-        """Persist one result (atomic single-line append)."""
+        """Persist one result (atomic single-line append).
+
+        Records carry a write timestamp (``ts``, integer epoch seconds)
+        so :meth:`evict` can sweep least-recently-written first.  It is
+        an *extra* field — readers ignore it and
+        :func:`_parse_record` tolerates its absence — so stores written
+        before (or without) it stay fully compatible, no schema bump.
+        """
         records = self._load_shard(self._shard_of(key))
         payload = encode_result(result)
         line = json.dumps(
-            {"schema": SCHEMA_VERSION, "key": key, "result": payload},
+            {"schema": SCHEMA_VERSION, "key": key, "result": payload,
+             "ts": int(time.time())},
             sort_keys=True, separators=(",", ":")) + "\n"
         os.makedirs(self._shards_dir, exist_ok=True)
         with open(self._shard_path(self._shard_of(key)), "ab") as fh:
@@ -410,6 +419,37 @@ class ResultStore:
         that parses as JSON but no longer decodes counts as corrupt."""
         return self._scan(deep=True)
 
+    @staticmethod
+    def _record_line(key: str, record: dict, payload: str) -> str:
+        """Canonical serialized form of one (parsed) record.
+
+        Preserves the write timestamp through rewrites — ``gc`` must
+        not make every record look freshly written, or :meth:`evict`
+        would lose its least-recently-written ordering.
+        """
+        out = {"schema": SCHEMA_VERSION, "key": key,
+               payload: record[payload]}
+        if "ts" in record:
+            out["ts"] = record["ts"]
+        return json.dumps(out, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+    def _read_records(self, path: str, payload: str = "result"
+                      ) -> Tuple[Dict[str, dict], int]:
+        """All parseable records in one file (last write per key wins)
+        plus the raw line count."""
+        keep: Dict[str, dict] = {}
+        total = 0
+        with open(path, "rb") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                total += 1
+                record = _parse_record(line, payload=payload)
+                if record is not None:
+                    keep[record["key"]] = record
+        return keep, total
+
     def gc(self) -> int:
         """Rewrite every shard down to one record per key.
 
@@ -420,45 +460,78 @@ class ResultStore:
         dropped = 0
         for shard in self._shard_names():
             path = self._shard_path(shard)
-            keep: Dict[str, dict] = {}
-            total = 0
-            with open(path, "rb") as fh:
-                for line in fh:
-                    if not line.strip():
-                        continue
-                    total += 1
-                    record = _parse_record(line)
-                    if record is not None:
-                        keep[record["key"]] = record["result"]
+            keep, total = self._read_records(path)
             dropped += total - len(keep)
             body = "".join(
-                json.dumps({"schema": SCHEMA_VERSION, "key": key,
-                            "result": keep[key]},
-                           sort_keys=True, separators=(",", ":")) + "\n"
+                self._record_line(key, keep[key], "result")
                 for key in sorted(keep))
             _atomic_write(path, body.encode())
-            self._cache[shard] = keep
+            self._cache[shard] = {key: record["result"]
+                                  for key, record in keep.items()}
         quarantine_path = self._quarantine_path()
         if os.path.exists(quarantine_path):
-            keep_q: Dict[str, dict] = {}
-            total = 0
-            with open(quarantine_path, "rb") as fh:
-                for line in fh:
-                    if not line.strip():
-                        continue
-                    total += 1
-                    record = _parse_record(line, payload="failure")
-                    if record is not None:
-                        keep_q[record["key"]] = record["failure"]
+            keep_q, total = self._read_records(quarantine_path,
+                                               payload="failure")
             dropped += total - len(keep_q)
             body = "".join(
-                json.dumps({"schema": SCHEMA_VERSION, "key": key,
-                            "failure": keep_q[key]},
-                           sort_keys=True, separators=(",", ":")) + "\n"
+                self._record_line(key, keep_q[key], "failure")
                 for key in sorted(keep_q))
             _atomic_write(quarantine_path, body.encode())
-            self._quarantine_cache = keep_q
+            self._quarantine_cache = {key: record["failure"]
+                                      for key, record in keep_q.items()}
         return dropped
+
+    def evict(self, max_bytes: int) -> Tuple[int, int]:
+        """Least-recently-written sweep down to ``max_bytes`` of
+        result-shard data.
+
+        Records are ordered by their write timestamp (``ts``; records
+        from stores predating the field count as oldest) and evicted
+        oldest-first until the canonical rewritten shards fit the
+        budget.  Every shard is rewritten canonically (so duplicates
+        and corrupt lines are dropped as a side effect, like
+        :meth:`gc`); the quarantine shard is never evicted — poison
+        fingerprints are tiny and forgetting one re-runs a task that
+        kills workers.
+
+        Returns ``(evicted_records, evicted_shards)`` — how many
+        records were dropped, from how many distinct shards.
+        """
+
+        def age(record: dict) -> float:
+            try:
+                return float(record.get("ts", 0))
+            except (TypeError, ValueError):
+                return 0.0
+
+        shard_keep: Dict[str, Dict[str, dict]] = {}
+        entries: List[Tuple[float, str, str, int]] = []
+        total = 0
+        for shard in self._shard_names():
+            keep, _count = self._read_records(self._shard_path(shard))
+            shard_keep[shard] = keep
+            for key, record in keep.items():
+                size = len(self._record_line(key, record, "result"))
+                entries.append((age(record), key, shard, size))
+                total += size
+        entries.sort()
+        evicted = 0
+        touched: Set[str] = set()
+        for ts, key, shard, size in entries:
+            if total <= max(int(max_bytes), 0):
+                break
+            del shard_keep[shard][key]
+            total -= size
+            evicted += 1
+            touched.add(shard)
+        for shard, keep in shard_keep.items():
+            body = "".join(
+                self._record_line(key, keep[key], "result")
+                for key in sorted(keep))
+            _atomic_write(self._shard_path(shard), body.encode())
+            self._cache[shard] = {key: record["result"]
+                                  for key, record in keep.items()}
+        return evicted, len(touched)
 
 
 class StoreExecutor(Executor):
@@ -530,20 +603,28 @@ class StoreExecutor(Executor):
         if pending:
             self.misses += len(pending)
             done = 0
-            for i, result in self.inner.run_iter(pending):
-                if result.failure is not None:
-                    # Poison goes to the quarantine shard, never the
-                    # result shards: a failure must not be served as a
-                    # cache hit by a reader unaware of quarantine.
-                    self.store.quarantine(pending_keys[i],
-                                          result.failure)
-                    self.quarantined += 1
-                else:
-                    self.store.put(pending_keys[i], result)
-                fetched[pending_keys[i]] = result
-                done += 1
-                if progress is not None:
-                    progress(done_offset + done, len(tasks))
+            stream = self.inner.run_iter(pending)
+            try:
+                for i, result in stream:
+                    if result.failure is not None:
+                        # Poison goes to the quarantine shard, never the
+                        # result shards: a failure must not be served as
+                        # a cache hit by a reader unaware of quarantine.
+                        self.store.quarantine(pending_keys[i],
+                                              result.failure)
+                        self.quarantined += 1
+                    else:
+                        self.store.put(pending_keys[i], result)
+                    fetched[pending_keys[i]] = result
+                    done += 1
+                    if progress is not None:
+                        progress(done_offset + done, len(tasks))
+            finally:
+                # Deterministic generator finalization: a store write
+                # error or raising progress callback must reap the
+                # inner executor's in-flight state immediately, not
+                # whenever GC finds the suspended generator.
+                stream.close()
         elif progress is not None and tasks:
             progress(len(tasks), len(tasks))
         return [fetched[key] for key in keys]
@@ -573,7 +654,14 @@ def store_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="also exit non-zero when the store holds "
                              "quarantined (poison) fingerprints")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="(gc only) after dropping corrupt lines, "
+                             "evict least-recently-written results "
+                             "until the result shards fit in N bytes")
     args = parser.parse_args(argv)
+    if args.max_bytes is not None and args.command != "gc":
+        parser.error("--max-bytes only applies to 'gc'")
     try:
         store = ResultStore(args.store, require_exists=True)
     except (FileNotFoundError, StoreSchemaError) as error:
@@ -582,6 +670,10 @@ def store_main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "gc":
         dropped = store.gc()
         print(f"gc: dropped {dropped} corrupt/duplicate line(s)")
+        if args.max_bytes is not None:
+            evicted, shards = store.evict(args.max_bytes)
+            print(f"gc: evicted {evicted} record(s) from "
+                  f"{shards} shard(s)")
     stats = store.verify() if args.command == "verify" else store.stats()
     for line in stats.lines():
         print(line)

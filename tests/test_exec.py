@@ -457,3 +457,53 @@ class TestPoolLifecycle:
         # clean no-op.
         assert pool._pool is None
         pool.close()
+
+    def test_supervised_close_idempotent_and_reaps(self):
+        import multiprocessing
+
+        from repro.exec import SupervisedExecutor
+
+        def supervised_children():
+            return [p for p in multiprocessing.active_children()
+                    if p.name.startswith("repro-supervised-")]
+
+        pool = SupervisedExecutor(2)
+        pool.run_batch(small_batch(2, duration=1.0))
+        assert supervised_children()
+        pool.close()
+        assert not supervised_children()     # no leaked workers
+        pool.close()                          # double close: clean no-op
+        # Close-then-reuse: a fresh batch respawns workers, and a
+        # second close reaps them again.
+        good = pool.run_batch(small_batch(1, duration=1.0))
+        assert good[0].failure is None
+        pool.close()
+        assert not supervised_children()
+
+    def test_raising_progress_still_reaps_workers(self):
+        """_collect closes the run_iter generator deterministically, so
+        an exploding progress callback cannot leave the supervision
+        loop suspended with busy workers (they are reaped at close,
+        not whenever GC finds the generator)."""
+        import multiprocessing
+
+        from repro.exec import SupervisedExecutor
+
+        class Boom(Exception):
+            pass
+
+        def progress(done, total):
+            raise Boom
+
+        pool = SupervisedExecutor(2)
+        try:
+            with pytest.raises(Boom):
+                pool.run_batch(small_batch(3, duration=1.0),
+                               progress=progress)
+            # The executor is still usable after the consumer blew up.
+            good = pool.run_batch(small_batch(1, duration=1.0))
+            assert good[0].failure is None
+        finally:
+            pool.close()
+        assert not [p for p in multiprocessing.active_children()
+                    if p.name.startswith("repro-supervised-")]

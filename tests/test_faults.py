@@ -95,6 +95,38 @@ class TestFaultPlan:
         assert always.on_put("k") is not None
         assert never.on_put("k") is None
 
+    def test_network_fields_round_trip(self):
+        plan = FaultPlan(seed=9, p_conn_drop=0.5, p_frame_corrupt=0.25,
+                         p_delay=1.0, p_partition=0.125, delay_s=0.7,
+                         partition_s=42.0, conn_drop_keys=("a",),
+                         frame_corrupt_keys=("b",), delay_keys=("c",),
+                         partition_keys=("d", "e"))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_on_wire_precedence_and_targeting(self):
+        injector = FaultInjector(FaultPlan(
+            conn_drop_keys=("drop",), frame_corrupt_keys=("corrupt",),
+            partition_keys=("split",), delay_keys=("slow",)))
+        assert injector.on_wire("drop", 3) == "conn-drop"
+        assert injector.on_wire("corrupt", 0) == "frame-corrupt"
+        assert injector.on_wire("split", 1) == "partition"
+        assert injector.on_wire("slow", 0) == "delay"
+        assert injector.on_wire("innocent", 0) is None
+        # Several kinds armed at once: the most disruptive wins.
+        everything = FaultInjector(FaultPlan(
+            p_conn_drop=1.0, p_frame_corrupt=1.0, p_delay=1.0,
+            p_partition=1.0))
+        assert everything.on_wire("anykey", 0) == "conn-drop"
+
+    def test_on_wire_probabilistic_faults_are_transient(self):
+        injector = FaultInjector(FaultPlan(p_conn_drop=1.0))
+        assert injector.on_wire("anykey", 0) == "conn-drop"
+        assert injector.on_wire("anykey", 1) is None  # retry is clean
+        # Targeted keys are persistent poison: every attempt fires.
+        poison = FaultInjector(FaultPlan(conn_drop_keys=("p",)))
+        assert all(poison.on_wire("p", attempt) == "conn-drop"
+                   for attempt in (0, 1, 9))
+
 
 class TestInjectorGating:
     """In-task faults arm only inside worker processes: the serial

@@ -374,6 +374,116 @@ class TestStoreCli:
         assert "no result store" in capsys.readouterr().err
 
 
+def _stamp_ts(path, stamps):
+    """Rewrite every shard record's ``ts`` from ``stamps[key]``."""
+    for shard in sorted((path / "shards").iterdir()):
+        if shard.name.startswith("quarantine"):
+            continue
+        lines = []
+        for line in shard.read_text().splitlines():
+            record = json.loads(line)
+            record["ts"] = stamps[record["key"]]
+            lines.append(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")))
+        shard.write_text("\n".join(lines) + "\n")
+
+
+def _shard_bytes(path):
+    return sum(shard.stat().st_size
+               for shard in (path / "shards").iterdir()
+               if not shard.name.startswith("quarantine"))
+
+
+class TestEviction:
+    """``store gc --max-bytes N`` — least-recently-written eviction."""
+
+    def _warm(self, tmp_path, n=4):
+        path = tmp_path / "s"
+        tasks = small_batch(n)
+        with StoreExecutor(SerialExecutor(), store=path) as executor:
+            executor.run_batch(tasks)
+        return path, [cache_key(task) for task in tasks]
+
+    def test_oldest_records_go_first(self, tmp_path):
+        path, keys = self._warm(tmp_path)
+        # Ages increase with batch position: keys[0] oldest.
+        _stamp_ts(path, {key: 1000 + i for i, key in enumerate(keys)})
+        store = ResultStore(path, require_exists=True)
+        before = _shard_bytes(path)
+        evicted, shards = store.evict(before // 2)
+        assert evicted >= 1 and shards >= 1
+        assert _shard_bytes(path) <= before // 2
+        survivors = store.keys()
+        # The survivors are exactly the newest tail of the batch.
+        assert survivors == set(keys[len(keys) - len(survivors):])
+        # Survivors are still served, from this handle and a fresh one.
+        reopened = ResultStore(path, require_exists=True)
+        for key in survivors:
+            assert store.get(key) is not None
+            assert reopened.get(key) is not None
+        for key in keys[:len(keys) - len(survivors)]:
+            assert reopened.get(key) is None
+
+    def test_within_budget_is_a_no_op(self, tmp_path):
+        path, keys = self._warm(tmp_path, n=2)
+        store = ResultStore(path, require_exists=True)
+        assert store.evict(_shard_bytes(path)) == (0, 0)
+        assert store.keys() == set(keys)
+
+    def test_missing_ts_counts_as_oldest(self, tmp_path):
+        path, keys = self._warm(tmp_path, n=3)
+        stamps = {key: 5000 for key in keys}
+        _stamp_ts(path, stamps)
+        # Strip ts from one record entirely (a pre-eviction store).
+        for shard in sorted((path / "shards").iterdir()):
+            lines = [json.loads(line)
+                     for line in shard.read_text().splitlines()]
+            if any(rec["key"] == keys[1] for rec in lines):
+                for rec in lines:
+                    rec.pop("ts", None)
+                shard.write_text("\n".join(
+                    json.dumps(rec, sort_keys=True,
+                               separators=(",", ":"))
+                    for rec in lines) + "\n")
+        store = ResultStore(path, require_exists=True)
+        evicted, _shards = store.evict(_shard_bytes(path) - 1)
+        assert evicted == 1
+        assert keys[1] not in store.keys()
+
+    def test_quarantine_is_never_evicted(self, tmp_path):
+        path, keys = self._warm(tmp_path, n=2)
+        store = ResultStore(path, require_exists=True)
+        store.quarantine("deadbeef" * 5, TaskFailure(
+            kind="crash", attempts=3, message="poison"))
+        evicted, _shards = store.evict(0)
+        assert evicted == len(keys)
+        assert store.keys() == set()
+        assert store.get_quarantine("deadbeef" * 5) is not None
+
+    def test_gc_preserves_ts(self, tmp_path):
+        path, keys = self._warm(tmp_path, n=2)
+        _stamp_ts(path, {key: 1234 for key in keys})
+        store = ResultStore(path, require_exists=True)
+        store.gc()
+        for shard in (path / "shards").iterdir():
+            for line in shard.read_text().splitlines():
+                assert json.loads(line)["ts"] == 1234
+
+    def test_cli_prints_eviction_stats(self, tmp_path, capsys):
+        path, keys = self._warm(tmp_path, n=2)
+        assert store_main(["gc", "--store", str(path),
+                           "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"evicted {len(keys)} record(s)" in out
+        assert ResultStore(path, require_exists=True).keys() == set()
+
+    def test_cli_rejects_max_bytes_outside_gc(self, tmp_path):
+        path, _keys = self._warm(tmp_path, n=1)
+        with pytest.raises(SystemExit):
+            store_main(["stats", "--store", str(path),
+                        "--max-bytes", "5"])
+
+
 # ----------------------------------------------------------------------
 def _load_script(name):
     """Import a scripts/*.py file (scripts/ is not a package)."""
@@ -418,9 +528,10 @@ class TestSweepResume:
         real_executor_for = run_experiments.executor_for
 
         def counting_executor_for(jobs, store=None, resume=False,
-                                  policy=None):
+                                  policy=None, workers=None):
             executor = real_executor_for(jobs, store=store,
-                                         resume=resume, policy=policy)
+                                         resume=resume, policy=policy,
+                                         workers=workers)
             if isinstance(executor, StoreExecutor):
                 executor.inner = CountingExecutor()
                 executors.append(executor)
